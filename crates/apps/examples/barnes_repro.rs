@@ -1,0 +1,65 @@
+use cashmere_apps::{Barnes, Benchmark, Scale};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology};
+
+fn run_collect(app: &Barnes, cfg: ClusterConfig) -> Vec<u64> {
+    let mut cfg = cfg;
+    app.configure(&mut cfg);
+    let mut cluster = Cluster::new(cfg);
+    let _ = app.execute(&mut cluster);
+    // pos then vel then acc then mass: first 3n + 3n + 3n + n words
+    (0..(10 * app.bodies))
+        .map(|i| cluster.read_u64(i))
+        .collect()
+}
+
+fn main() {
+    let app = Barnes::new(Scale::Test);
+    let n = app.bodies;
+    let seq = run_collect(
+        &app,
+        ClusterConfig::new(Topology::new(1, 1), ProtocolKind::TwoLevel),
+    );
+    for it in 0..250 {
+        for protocol in [ProtocolKind::TwoLevel, ProtocolKind::TwoLevelShootdown] {
+            let par = run_collect(&app, ClusterConfig::new(Topology::new(2, 2), protocol));
+            let mut bad = Vec::new();
+            for i in 0..par.len() {
+                if par[i] != seq[i] {
+                    bad.push(i);
+                }
+            }
+            if !bad.is_empty() {
+                let region = |i: usize| {
+                    if i < 3 * n {
+                        format!("pos[{}].{}", i / 3, i % 3)
+                    } else if i < 6 * n {
+                        format!("vel[{}].{}", (i - 3 * n) / 3, i % 3)
+                    } else if i < 9 * n {
+                        format!("acc[{}].{}", (i - 6 * n) / 3, i % 3)
+                    } else {
+                        format!("mass[{}]", i - 9 * n)
+                    }
+                };
+                eprintln!(
+                    "== iter {it} {} : {} bad words ==",
+                    protocol.label(),
+                    bad.len()
+                );
+                for &i in bad.iter().take(24) {
+                    eprintln!(
+                        "  word {i} ({}) par={} seq={}",
+                        region(i),
+                        f64::from_bits(par[i]),
+                        f64::from_bits(seq[i])
+                    );
+                }
+                for l in cashmere_core::engine::dump_trace() {
+                    eprintln!("{l}");
+                }
+                std::process::exit(1);
+            }
+            let _ = cashmere_core::engine::dump_trace();
+        }
+    }
+    println!("all ok");
+}

@@ -1,0 +1,25 @@
+use cashmere_apps::{run_app, suite, Scale};
+use cashmere_core::{ClusterConfig, ProtocolKind, TimeCategory, Topology};
+
+fn main() {
+    let apps = suite(Scale::Bench);
+    for (t, k) in [(1, 1), (8, 1), (32, 4)] {
+        for app in &apps {
+            if app.name() != "SOR" && app.name() != "Em3d" {
+                continue;
+            }
+            let out = run_app(
+                app.as_ref(),
+                ClusterConfig::new(Topology::new(t / k, k), ProtocolKind::TwoLevel),
+            );
+            let r = &out.report;
+            let pp = |c: TimeCategory| r.breakdown.get(c) as f64 / r.procs as f64 / 1e9;
+            println!("{} {}:{} exec={:.3}s user={:.3} proto={:.3} poll={:.3} comm={:.3} | rf={} wf={} xfer={} wn={} dir={} twin={} excl={} reloc={}",
+                app.name(), t, k, r.exec_secs(), pp(TimeCategory::User), pp(TimeCategory::Protocol),
+                pp(TimeCategory::Polling), pp(TimeCategory::CommWait),
+                r.counters.read_faults, r.counters.write_faults, r.counters.page_transfers,
+                r.counters.write_notices, r.counters.directory_updates, r.counters.twin_creations,
+                r.counters.exclusive_transitions, r.counters.home_relocations);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+use cashmere_apps::{run_app, Scale, Sor};
+use cashmere_core::{ClusterConfig, ProtocolKind, Topology};
+
+fn main() {
+    let mut app = Sor::new(Scale::Bench);
+    app.iters = 1;
+    let out = run_app(
+        &app,
+        ClusterConfig::new(Topology::new(8, 1), ProtocolKind::TwoLevel),
+    );
+    println!("exec {:.3}", out.report.exec_secs());
+    for l in cashmere_core::engine::dump_trace() {
+        if l.starts_with("FAULT") {
+            eprintln!("{l}");
+        }
+    }
+}

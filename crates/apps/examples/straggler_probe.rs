@@ -1,0 +1,23 @@
+use cashmere_apps::{run_app, Scale, Sor};
+use cashmere_core::{ClusterConfig, ProtocolKind, Topology};
+
+fn main() {
+    let app = Sor::new(Scale::Bench);
+    let out = run_app(
+        &app,
+        ClusterConfig::new(Topology::new(8, 1), ProtocolKind::TwoLevel),
+    );
+    let r = &out.report;
+    println!("exec={:.3}", r.exec_secs());
+    for (i, ns) in r.per_proc_ns.iter().enumerate() {
+        println!("proc {i}: {:.3}s", *ns as f64 / 1e9);
+    }
+    println!(
+        "faults r/w {}/{} transfers {} twins {} flushupd {}",
+        r.counters.read_faults,
+        r.counters.write_faults,
+        r.counters.page_transfers,
+        r.counters.twin_creations,
+        r.counters.flush_updates
+    );
+}

@@ -1,0 +1,21 @@
+use cashmere_apps::{run_app, suite, Scale};
+use cashmere_core::{ClusterConfig, ProtocolKind, Topology};
+use std::time::Instant;
+
+fn main() {
+    for app in suite(Scale::Bench) {
+        let t = Instant::now();
+        let out = run_app(
+            app.as_ref(),
+            ClusterConfig::new(Topology::new(8, 4), ProtocolKind::TwoLevel),
+        );
+        println!(
+            "{:8} wall={:6.2}s sim={:9.4}s transfers={:7} notices={:7}",
+            app.name(),
+            t.elapsed().as_secs_f64(),
+            out.report.exec_secs(),
+            out.report.counters.page_transfers,
+            out.report.counters.write_notices,
+        );
+    }
+}

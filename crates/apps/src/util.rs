@@ -1,0 +1,228 @@
+//! Shared-array helpers and checksum utilities for the application suite.
+
+use cashmere_core::{Addr, Cluster, Proc};
+
+/// A typed view of a shared `f64` array.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrF64 {
+    base: Addr,
+    len: usize,
+}
+
+impl ArrF64 {
+    /// Allocates a page-aligned shared array of `len` doubles.
+    pub fn alloc(c: &mut Cluster, len: usize) -> Self {
+        Self {
+            base: c.alloc_page_aligned(len),
+            len,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Word address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + i
+    }
+
+    /// Reads element `i` through processor `p`.
+    #[inline]
+    pub fn get(&self, p: &mut Proc, i: usize) -> f64 {
+        p.read_f64(self.addr(i))
+    }
+
+    /// Writes element `i` through processor `p`.
+    #[inline]
+    pub fn set(&self, p: &mut Proc, i: usize, v: f64) {
+        p.write_f64(self.addr(i), v)
+    }
+
+    /// Seeds element `i` before the run.
+    pub fn seed(&self, c: &Cluster, i: usize, v: f64) {
+        c.seed_f64(self.addr(i), v);
+    }
+
+    /// Reads element `i` back after the run.
+    pub fn read_back(&self, c: &Cluster, i: usize) -> f64 {
+        c.read_f64(self.addr(i))
+    }
+
+    /// Bitwise checksum over the final contents.
+    pub fn checksum(&self, c: &Cluster) -> u64 {
+        (0..self.len).fold(0u64, |acc, i| {
+            acc.wrapping_mul(31)
+                .wrapping_add(c.read_f64(self.addr(i)).to_bits())
+        })
+    }
+}
+
+/// A typed view of a shared `u64` array.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrU64 {
+    base: Addr,
+    len: usize,
+}
+
+impl ArrU64 {
+    /// Allocates a page-aligned shared array of `len` words.
+    pub fn alloc(c: &mut Cluster, len: usize) -> Self {
+        Self {
+            base: c.alloc_page_aligned(len),
+            len,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Word address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + i
+    }
+
+    /// Reads element `i` through processor `p`.
+    #[inline]
+    pub fn get(&self, p: &mut Proc, i: usize) -> u64 {
+        p.read_u64(self.addr(i))
+    }
+
+    /// Writes element `i` through processor `p`.
+    #[inline]
+    pub fn set(&self, p: &mut Proc, i: usize, v: u64) {
+        p.write_u64(self.addr(i), v)
+    }
+
+    /// Seeds element `i` before the run.
+    pub fn seed(&self, c: &Cluster, i: usize, v: u64) {
+        c.seed_u64(self.addr(i), v);
+    }
+
+    /// Reads element `i` back after the run.
+    pub fn read_back(&self, c: &Cluster, i: usize) -> u64 {
+        c.read_u64(self.addr(i))
+    }
+
+    /// Bitwise checksum over the final contents.
+    pub fn checksum(&self, c: &Cluster) -> u64 {
+        (0..self.len).fold(0u64, |acc, i| {
+            acc.wrapping_mul(31).wrapping_add(c.read_u64(self.addr(i)))
+        })
+    }
+}
+
+/// Splits `n` items into `parts` contiguous chunks; returns the `[start,
+/// end)` range of chunk `k` (remainder spread over the first chunks).
+pub fn chunk_range(n: usize, parts: usize, k: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let start = k * base + k.min(rem);
+    let end = start + base + usize::from(k < rem);
+    (start, end.min(n))
+}
+
+/// A tiny deterministic PRNG (xorshift*) for workload generation —
+/// reproducible across runs and independent of the `rand` crate's version.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8, 32] {
+                let mut total = 0;
+                let mut prev_end = 0;
+                for k in 0..parts {
+                    let (s, e) = chunk_range(n, parts, k);
+                    assert_eq!(s, prev_end, "chunks contiguous (n={n}, parts={parts})");
+                    assert!(e >= s);
+                    prev_end = e;
+                    total += e - s;
+                }
+                assert_eq!(total, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..8)
+            .map(|k| {
+                let (s, e) = chunk_range(30, 8, k);
+                e - s
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_in_range() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v = a.below(13);
+            assert!(v < 13);
+            let f = a.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

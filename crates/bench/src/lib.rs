@@ -1,0 +1,253 @@
+//! Benchmark harness for regenerating every table and figure of the
+//! Cashmere-2L evaluation (§3 of the paper).
+//!
+//! Binaries (one per artifact):
+//!
+//! | binary      | paper artifact |
+//! |-------------|----------------|
+//! | `table1`    | Table 1 — basic operation costs |
+//! | `table2`    | Table 2 — data-set sizes and sequential times |
+//! | `table3`    | Table 3 — detailed 32-processor statistics |
+//! | `fig6`      | Figure 6 — normalized execution-time breakdown |
+//! | `fig7`      | Figure 7 — speedups across cluster configurations |
+//! | `shootdown` | §3.3.4 — shootdown vs two-way diffing, polling vs interrupts |
+//! | `lockfree`  | §3.3.5 — lock-free vs global-lock protocol structures |
+//!
+//! Each binary prints a human-readable table and appends a machine-readable
+//! JSON record to `results/` (used to assemble EXPERIMENTS.md).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+use cashmere_apps::{AppOutcome, Benchmark};
+use cashmere_core::{
+    Cluster, ClusterConfig, DirectoryMode, Messaging, Nanos, ProtocolKind, Topology,
+};
+
+/// The paper's Figure 7 cluster configurations, as `(processors,
+/// processes-per-node)` pairs: 4:1, 4:4, 8:1, 8:2, 8:4, 16:2, 16:4, 24:3,
+/// 32:4.
+pub const PAPER_CONFIGS: [(usize, usize); 9] = [
+    (4, 1),
+    (4, 4),
+    (8, 1),
+    (8, 2),
+    (8, 4),
+    (16, 2),
+    (16, 4),
+    (24, 3),
+    (32, 4),
+];
+
+/// Options perturbing a run beyond protocol/topology.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Directory/write-notice locking ablation (§3.3.5).
+    pub directory: DirectoryMode,
+    /// Request-delivery mechanism (§3.3.4).
+    pub messaging: Messaging,
+    /// Force the polling-overhead fraction to zero (the paper's
+    /// "uninstrumented" sequential runs).
+    pub uninstrumented: bool,
+}
+
+/// Runs `app` under `protocol` on a `total`:`per_node` configuration.
+pub fn run(
+    app: &dyn Benchmark,
+    protocol: ProtocolKind,
+    total: usize,
+    per_node: usize,
+    opts: RunOpts,
+) -> AppOutcome {
+    let topo = Topology::from_paper_config(total, per_node)
+        .unwrap_or_else(|| panic!("bad paper config {total}:{per_node}"));
+    let mut cfg = ClusterConfig::new(topo, protocol);
+    app.configure(&mut cfg);
+    cfg.directory = opts.directory;
+    cfg.cost.messaging = opts.messaging;
+    if opts.uninstrumented {
+        cfg.poll_fraction = 0.0;
+    }
+    let mut cluster = Cluster::new(cfg);
+    app.execute(&mut cluster)
+}
+
+/// The paper's sequential baseline: one processor, uninstrumented.
+pub fn sequential(app: &dyn Benchmark) -> AppOutcome {
+    run(
+        app,
+        ProtocolKind::TwoLevel,
+        1,
+        1,
+        RunOpts {
+            uninstrumented: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Best-of-`n` run (the paper's "execution times were calculated based on
+/// the best of three runs") — returns the outcome with the smallest
+/// simulated execution time. Useful for the nondeterministic applications
+/// (TSP's pruning, Water/Barnes's dynamic scheduling).
+pub fn run_best(
+    app: &dyn Benchmark,
+    protocol: ProtocolKind,
+    total: usize,
+    per_node: usize,
+    opts: RunOpts,
+    n: usize,
+) -> AppOutcome {
+    (0..n.max(1))
+        .map(|_| run(app, protocol, total, per_node, opts))
+        .min_by_key(|o| o.report.exec_ns)
+        .expect("n >= 1")
+}
+
+/// A machine-readable record of one experiment, written under `results/`.
+#[derive(Debug, Serialize)]
+pub struct Record {
+    /// Artifact id (`table3`, `fig7`, …).
+    pub experiment: &'static str,
+    /// Application name.
+    pub app: String,
+    /// Protocol label.
+    pub protocol: String,
+    /// `P:k` configuration.
+    pub config: String,
+    /// Simulated execution seconds.
+    pub exec_secs: f64,
+    /// Speedup vs the sequential baseline (0 when not applicable).
+    pub speedup: f64,
+    /// Table 3 counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Figure 6 breakdown fractions.
+    pub breakdown: BTreeMap<&'static str, f64>,
+}
+
+impl Record {
+    /// Builds a record from an outcome.
+    pub fn new(
+        experiment: &'static str,
+        app: &str,
+        protocol: ProtocolKind,
+        total: usize,
+        per_node: usize,
+        out: &AppOutcome,
+        sequential_ns: Nanos,
+    ) -> Self {
+        use cashmere_core::TimeCategory;
+        let c = out.report.counters;
+        let counters: BTreeMap<&'static str, u64> = [
+            ("lock_acquires", c.lock_acquires),
+            ("barriers", c.barriers),
+            ("read_faults", c.read_faults),
+            ("write_faults", c.write_faults),
+            ("page_transfers", c.page_transfers),
+            ("directory_updates", c.directory_updates),
+            ("write_notices", c.write_notices),
+            ("exclusive_transitions", c.exclusive_transitions),
+            ("data_bytes", c.data_bytes),
+            ("twin_creations", c.twin_creations),
+            ("incoming_diffs", c.incoming_diffs),
+            ("flush_updates", c.flush_updates),
+            ("shootdowns", c.shootdowns),
+        ]
+        .into();
+        let breakdown: BTreeMap<&'static str, f64> = TimeCategory::ALL
+            .iter()
+            .map(|&cat| (cat.label(), out.report.fraction(cat)))
+            .collect();
+        Self {
+            experiment,
+            app: app.to_string(),
+            protocol: protocol.label().to_string(),
+            config: format!("{total}:{per_node}"),
+            exec_secs: out.report.exec_secs(),
+            speedup: if sequential_ns > 0 {
+                out.report.speedup(sequential_ns)
+            } else {
+                0.0
+            },
+            counters,
+            breakdown,
+        }
+    }
+}
+
+/// Appends records as JSON lines to `results/<experiment>.jsonl`.
+pub fn save_records(experiment: &str, records: &[Record]) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    for r in records {
+        let line = serde_json::to_string(r).expect("serialize record");
+        writeln!(f, "{line}").expect("write record");
+    }
+    eprintln!("[saved {} records to {}]", records.len(), path.display());
+}
+
+/// Pretty-prints a value with K/M suffixes like the paper's Table 3.
+pub fn fmt_k(v: u64) -> String {
+    if v >= 1_000_000 {
+        format!("{:.2}M", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.2}K", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Formats megabytes like the paper's "Data (Mbytes)" row.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_apps::{Scale, Sor};
+
+    #[test]
+    fn paper_configs_are_all_valid() {
+        for (total, per_node) in PAPER_CONFIGS {
+            assert!(
+                Topology::from_paper_config(total, per_node).is_some(),
+                "{total}:{per_node}"
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_k(42), "42");
+        assert_eq!(fmt_k(4_250), "4.25K");
+        assert_eq!(fmt_k(4_250_000), "4.25M");
+        assert_eq!(fmt_mb(4_250_000), "4.25");
+    }
+
+    #[test]
+    fn sequential_baseline_and_speedup_record() {
+        let app = Sor::new(Scale::Test);
+        let seq = sequential(&app);
+        assert!(seq.report.exec_ns > 0);
+        let par = run(&app, ProtocolKind::TwoLevel, 4, 2, RunOpts::default());
+        assert_eq!(par.checksum, seq.checksum);
+        let rec = Record::new(
+            "test",
+            "SOR",
+            ProtocolKind::TwoLevel,
+            4,
+            2,
+            &par,
+            seq.report.exec_ns,
+        );
+        assert_eq!(rec.config, "4:2");
+        assert!(rec.speedup > 0.0);
+        assert!(rec.counters.contains_key("page_transfers"));
+    }
+}

@@ -1,0 +1,69 @@
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+
+fn one(iter: usize) -> bool {
+    let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+        .with_heap_pages(8)
+        .with_sync(2, 4, 0);
+    let mut c = Cluster::new(cfg);
+    let ctl = c.alloc_page_aligned(8);
+    let n = 64usize;
+    let data = c.alloc_page_aligned(PAGE_WORDS);
+    let errs = c.alloc_page_aligned(64);
+    let rounds = 6usize;
+    c.run(|p| {
+        let me = p.id();
+        for r in 1..=rounds {
+            if me == 0 {
+                p.write_u64(ctl, 0);
+            }
+            p.barrier(0);
+            loop {
+                p.lock(0);
+                let s = p.read_u64(ctl) as usize;
+                let e = (s + 4).min(n);
+                p.write_u64(ctl, e as u64);
+                p.unlock(0);
+                if s >= n {
+                    break;
+                }
+                for i in s..e {
+                    p.write_u64(data + i, (r * 1000 + i) as u64);
+                }
+            }
+            p.barrier(1);
+            // chunked verification
+            let lo = me * (n / 4);
+            for i in lo..lo + n / 4 {
+                let v = p.read_u64(data + i);
+                if v != (r * 1000 + i) as u64 {
+                    let old = p.read_u64(errs + me * 8);
+                    p.write_u64(errs + me * 8, old + 1);
+                    eprintln!(
+                        "iter? proc {me} round {r} idx {i}: got {v} want {}",
+                        r * 1000 + i
+                    );
+                }
+            }
+            p.barrier(2);
+        }
+    });
+    let total: u64 = (0..4).map(|i| c.read_u64(errs + i * 8)).sum();
+    if total > 0 {
+        eprintln!("== iteration {iter}: {total} errors ==");
+        for l in cashmere_core::engine::dump_trace() {
+            eprintln!("{l}");
+        }
+        return false;
+    }
+    let _ = cashmere_core::engine::dump_trace();
+    true
+}
+
+fn main() {
+    for it in 0..400 {
+        if !one(it) {
+            std::process::exit(1);
+        }
+    }
+    println!("all ok");
+}

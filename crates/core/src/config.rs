@@ -1,0 +1,229 @@
+//! Run configuration: protocol selection, topology, heap, ablation switches.
+
+use cashmere_sim::{CostModel, NodeMap, Topology};
+
+/// Which coherence protocol to run (§2.2, §2.6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Cashmere-2L: two-level, two-way diffing (the paper's contribution).
+    TwoLevel,
+    /// Cashmere-2LS: two-level, TLB-shootdown-style reconciliation.
+    TwoLevelShootdown,
+    /// Cashmere-1LD: one protocol node per processor, twins + outgoing diffs.
+    OneLevelDiff,
+    /// Cashmere-1L: one protocol node per processor, in-line write doubling.
+    OneLevelWrite,
+    /// 1LD with the home-node optimization: processors on a page's home
+    /// *physical* node operate directly on the master copy.
+    OneLevelDiffHome,
+    /// 1L with the home-node optimization.
+    OneLevelWriteHome,
+}
+
+impl ProtocolKind {
+    /// All six variants, in the paper's presentation order.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::TwoLevel,
+        ProtocolKind::TwoLevelShootdown,
+        ProtocolKind::OneLevelDiff,
+        ProtocolKind::OneLevelWrite,
+        ProtocolKind::OneLevelDiffHome,
+        ProtocolKind::OneLevelWriteHome,
+    ];
+
+    /// The four protocols of Figures 6–7 and Table 3.
+    pub const PAPER_FOUR: [ProtocolKind; 4] = [
+        ProtocolKind::TwoLevel,
+        ProtocolKind::TwoLevelShootdown,
+        ProtocolKind::OneLevelDiff,
+        ProtocolKind::OneLevelWrite,
+    ];
+
+    /// Protocol-node mapping: the two-level protocols treat a physical node
+    /// as one protocol node; the one-level protocols treat every processor
+    /// as a separate node.
+    pub fn node_map(self) -> NodeMap {
+        match self {
+            ProtocolKind::TwoLevel | ProtocolKind::TwoLevelShootdown => NodeMap::Physical,
+            _ => NodeMap::PerProcessor,
+        }
+    }
+
+    /// Whether this is one of the two-level protocols.
+    pub fn is_two_level(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::TwoLevel | ProtocolKind::TwoLevelShootdown
+        )
+    }
+
+    /// Whether intra-node reconciliation uses shootdown (2LS) rather than
+    /// two-way diffing (2L). Irrelevant for the one-level protocols, whose
+    /// protocol nodes have a single processor.
+    pub fn uses_shootdown(self) -> bool {
+        matches!(self, ProtocolKind::TwoLevelShootdown)
+    }
+
+    /// Whether stores are written through to the home copy in-line (the 1L
+    /// write-doubling protocols) instead of collected with twins and diffs.
+    pub fn write_through(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::OneLevelWrite | ProtocolKind::OneLevelWriteHome
+        )
+    }
+
+    /// Whether the one-level home-node optimization is enabled: every
+    /// processor on the home *physical* node works directly on the master
+    /// copy. (Inherent in the two-level protocols.)
+    pub fn home_node_opt(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::TwoLevel
+                | ProtocolKind::TwoLevelShootdown
+                | ProtocolKind::OneLevelDiffHome
+                | ProtocolKind::OneLevelWriteHome
+        )
+    }
+
+    /// Short display label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::TwoLevel => "2L",
+            ProtocolKind::TwoLevelShootdown => "2LS",
+            ProtocolKind::OneLevelDiff => "1LD",
+            ProtocolKind::OneLevelWrite => "1L",
+            ProtocolKind::OneLevelDiffHome => "1LD+H",
+            ProtocolKind::OneLevelWriteHome => "1L+H",
+        }
+    }
+}
+
+/// How the global directory and remote write-notice lists are protected
+/// (§3.3.5). `LockFree` is Cashmere-2L's per-node-word design; `GlobalLock`
+/// is the ablation that compresses each entry and serializes access with a
+/// cluster-wide lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryMode {
+    /// One word per node per entry; no locks (the paper's design).
+    #[default]
+    LockFree,
+    /// Compressed entries protected by global locks (the ablation).
+    GlobalLock,
+}
+
+/// Complete configuration for one simulated run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Physical cluster shape.
+    pub topology: Topology,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Directory/write-notice locking discipline.
+    pub directory: DirectoryMode,
+    /// Size of the shared heap in 8 KB pages.
+    pub heap_pages: usize,
+    /// Pages per superpage (home-assignment granularity, §2.3
+    /// "Superpages"). All pages of a superpage share a home node. The paper
+    /// needed multi-page superpages only because of Memory Channel kernel
+    /// table limits; at this reproduction's scaled-down problem sizes a
+    /// multi-page granularity would misplace a large fraction of each
+    /// processor's data (the paper's per-band data is hundreds of pages),
+    /// so the default is per-page first-touch homing.
+    pub pages_per_superpage: usize,
+    /// Whether the first-touch home relocation heuristic runs (§2.3, "Home
+    /// node selection"). When off, homes stay round-robin.
+    pub first_touch: bool,
+    /// Number of application locks.
+    pub locks: usize,
+    /// Number of application barriers.
+    pub barriers: usize,
+    /// Number of application flags.
+    pub flags: usize,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+    /// Fraction of user/compute time added as polling overhead (the paper's
+    /// per-application 0–36% loop-instrumentation cost). Ignored when the
+    /// cost model selects interrupt-based messaging.
+    pub poll_fraction: f64,
+    /// Memory-bus bytes charged per shared access, modeling cache-capacity
+    /// traffic through the node's shared bus (what makes SOR and Gauss
+    /// cluster badly). Applications may override per-phase via
+    /// [`crate::Proc::set_bus_bytes_per_access`].
+    pub bus_bytes_per_access: u64,
+}
+
+impl ClusterConfig {
+    /// A small default configuration: the paper's full 8×4 cluster, the 2L
+    /// protocol, and a 64-page heap.
+    pub fn new(topology: Topology, protocol: ProtocolKind) -> Self {
+        Self {
+            topology,
+            protocol,
+            directory: DirectoryMode::LockFree,
+            heap_pages: 64,
+            pages_per_superpage: 1,
+            first_touch: true,
+            locks: 64,
+            barriers: 8,
+            flags: 0,
+            cost: CostModel::default(),
+            poll_fraction: 0.05,
+            bus_bytes_per_access: 2,
+        }
+    }
+
+    /// Builder-style heap size override.
+    pub fn with_heap_pages(mut self, pages: usize) -> Self {
+        self.heap_pages = pages;
+        self
+    }
+
+    /// Builder-style lock/barrier/flag pool sizing.
+    pub fn with_sync(mut self, locks: usize, barriers: usize, flags: usize) -> Self {
+        self.locks = locks;
+        self.barriers = barriers;
+        self.flags = flags;
+        self
+    }
+
+    /// Number of protocol nodes under this configuration's protocol.
+    pub fn protocol_nodes(&self) -> usize {
+        self.protocol.node_map().protocol_nodes(&self.topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_kind_properties() {
+        use ProtocolKind::*;
+        assert!(TwoLevel.is_two_level() && TwoLevelShootdown.is_two_level());
+        assert!(!OneLevelDiff.is_two_level());
+        assert!(TwoLevelShootdown.uses_shootdown());
+        assert!(!TwoLevel.uses_shootdown());
+        assert!(OneLevelWrite.write_through() && OneLevelWriteHome.write_through());
+        assert!(!OneLevelDiff.write_through());
+        assert!(TwoLevel.home_node_opt(), "inherent in the two-level design");
+        assert!(OneLevelDiffHome.home_node_opt());
+        assert!(!OneLevelDiff.home_node_opt());
+    }
+
+    #[test]
+    fn protocol_node_counts() {
+        let topo = Topology::new(8, 4);
+        let two = ClusterConfig::new(topo, ProtocolKind::TwoLevel);
+        assert_eq!(two.protocol_nodes(), 8);
+        let one = ClusterConfig::new(topo, ProtocolKind::OneLevelDiff);
+        assert_eq!(one.protocol_nodes(), 32);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ProtocolKind::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), ProtocolKind::ALL.len());
+    }
+}

@@ -1,0 +1,407 @@
+//! The replicated global page directory (§2.3).
+//!
+//! Every shared page has a directory entry replicated on each protocol node
+//! through a Memory Channel region (receive mapping everywhere, transmit
+//! mapping everywhere, *no* loop-back — writers double their writes into
+//! their own copy by hand, exactly as the paper describes in Figure 1).
+//!
+//! An entry consists of:
+//!
+//! * **one word per protocol node**, written *only* by that node. The word
+//!   holds the page's loosest permissions on that node, and whether a
+//!   processor on that node holds the page in exclusive mode. Because each
+//!   word has a single writer, no locks are needed — this is the paper's
+//!   key "lock-free structures" design (§2.3, evaluated in §3.3.5).
+//! * **one home word** holding the page's home node, whether a home has been
+//!   assigned, and whether it is still the round-robin default (eligible for
+//!   first-touch relocation). The home word is only written under the global
+//!   home-selection lock, which the paper deems acceptable because
+//!   relocation happens at most once per page.
+//!
+//! [`DirectoryMode::GlobalLock`] switches in the §3.3.5 ablation: entries
+//! are conceptually compressed into a single word, so every modification
+//! must take a cluster-wide lock — modeled by a per-entry virtual-time gate
+//! plus the paper's higher (16 µs vs 5 µs) update cost.
+
+use std::sync::Arc;
+
+use cashmere_memchan::{MemoryChannel, RegionId};
+use cashmere_sim::{Nanos, Resource};
+use cashmere_vmpage::Perm;
+
+use crate::config::DirectoryMode;
+
+/// One protocol node's view of a page, packed into its directory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirWord {
+    /// Loosest permission held by any processor on the node.
+    pub perm: PermBits,
+    /// Whether a processor on the node holds the page exclusively.
+    pub exclusive: bool,
+    /// Cluster-wide processor id of the exclusive holder (valid when
+    /// `exclusive`).
+    pub excl_proc: u16,
+}
+
+/// Permission bits as stored in the directory (mirrors [`Perm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PermBits {
+    /// No mapping on the node.
+    #[default]
+    None,
+    /// At least one read-only mapping.
+    Read,
+    /// At least one read-write mapping.
+    Write,
+}
+
+impl From<Perm> for PermBits {
+    fn from(p: Perm) -> Self {
+        match p {
+            Perm::None => PermBits::None,
+            Perm::Read => PermBits::Read,
+            Perm::Write => PermBits::Write,
+        }
+    }
+}
+
+impl DirWord {
+    /// Packs into the on-wire word.
+    pub fn pack(self) -> u64 {
+        let perm = match self.perm {
+            PermBits::None => 0u64,
+            PermBits::Read => 1,
+            PermBits::Write => 2,
+        };
+        perm | ((self.exclusive as u64) << 4) | ((self.excl_proc as u64) << 8)
+    }
+
+    /// Unpacks from the on-wire word.
+    pub fn unpack(v: u64) -> Self {
+        let perm = match v & 0b11 {
+            0 => PermBits::None,
+            1 => PermBits::Read,
+            _ => PermBits::Write,
+        };
+        Self {
+            perm,
+            exclusive: (v >> 4) & 1 == 1,
+            excl_proc: ((v >> 8) & 0xFFFF) as u16,
+        }
+    }
+
+    /// Whether this node has any mapping (counts as a "copy"/sharer).
+    pub fn has_copy(self) -> bool {
+        !matches!(self.perm, PermBits::None)
+    }
+}
+
+/// The home word of a page's directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeInfo {
+    /// Protocol node that is the page's home.
+    pub pnode: usize,
+    /// True until the first-touch heuristic relocates the page (or forever,
+    /// if first-touch is disabled).
+    pub is_default: bool,
+}
+
+impl HomeInfo {
+    fn pack(self) -> u64 {
+        1 | ((self.is_default as u64) << 1) | ((self.pnode as u64) << 8)
+    }
+
+    fn unpack(v: u64) -> Self {
+        debug_assert!(v & 1 == 1, "home word read before initialization");
+        Self {
+            pnode: ((v >> 8) & 0xFFFF) as usize,
+            is_default: (v >> 1) & 1 == 1,
+        }
+    }
+}
+
+/// The replicated directory.
+pub struct Directory {
+    mc: Arc<MemoryChannel>,
+    region: RegionId,
+    pnodes: usize,
+    pages: usize,
+    mode: DirectoryMode,
+    /// Virtual-time serialization gates for the GlobalLock ablation (one per
+    /// page entry; unused — empty — in LockFree mode).
+    gates: Vec<Resource>,
+}
+
+impl Directory {
+    /// Builds the directory region for `pages` pages over `pnodes` protocol
+    /// nodes and attaches a receive mapping on every node.
+    pub fn new(mc: Arc<MemoryChannel>, pnodes: usize, pages: usize, mode: DirectoryMode) -> Self {
+        let words = pages * (pnodes + 1);
+        let region = mc.create_region(words.max(1), false);
+        for e in 0..pnodes {
+            mc.attach_rx(region, e);
+        }
+        let gates = match mode {
+            DirectoryMode::LockFree => Vec::new(),
+            DirectoryMode::GlobalLock => (0..pages).map(|_| Resource::new()).collect(),
+        };
+        Self {
+            mc,
+            region,
+            pnodes,
+            pages,
+            mode,
+            gates,
+        }
+    }
+
+    fn entry_base(&self, page: usize) -> usize {
+        debug_assert!(page < self.pages);
+        page * (self.pnodes + 1)
+    }
+
+    fn word_idx(&self, page: usize, pnode: usize) -> usize {
+        debug_assert!(pnode < self.pnodes);
+        self.entry_base(page) + pnode
+    }
+
+    fn home_idx(&self, page: usize) -> usize {
+        self.entry_base(page) + self.pnodes
+    }
+
+    /// Per-modification cost under the configured mode (§3.1: 5 µs
+    /// lock-free, 16 µs when a global lock must be acquired).
+    pub fn update_cost(&self) -> Nanos {
+        match self.mode {
+            DirectoryMode::LockFree => self.mc.cost().dir_update,
+            DirectoryMode::GlobalLock => self.mc.cost().dir_update_locked,
+        }
+    }
+
+    /// Reads node `pnode`'s word of `page`'s entry from `reader`'s local
+    /// replica (an ordinary memory read).
+    pub fn read_word(&self, page: usize, pnode: usize, reader: usize) -> DirWord {
+        DirWord::unpack(
+            self.mc
+                .read_local(self.region, reader, self.word_idx(page, pnode)),
+        )
+    }
+
+    /// Writes `me`'s own word of `page`'s entry: broadcast over the Memory
+    /// Channel plus the manual double into the local replica. Returns the
+    /// completion time; under [`DirectoryMode::GlobalLock`] the write also
+    /// serializes through the entry's global-lock gate.
+    pub fn write_my_word(&self, page: usize, me: usize, w: DirWord, now: Nanos) -> Nanos {
+        let start = match self.mode {
+            DirectoryMode::LockFree => now,
+            // Model the global lock's serialization: hold the gate for the
+            // difference between the locked and lock-free update costs.
+            DirectoryMode::GlobalLock => {
+                let hold = self.mc.cost().dir_update_locked - self.mc.cost().dir_update;
+                self.gates[page].acquire(now, hold)
+            }
+        };
+        let idx = self.word_idx(page, me);
+        let done = self.mc.write(self.region, me, idx, w.pack(), start);
+        self.mc.write_local(self.region, me, idx, w.pack());
+        done
+    }
+
+    /// Reads the home word from `reader`'s replica. Returns `None` if no
+    /// home has been assigned yet.
+    pub fn read_home(&self, page: usize, reader: usize) -> Option<HomeInfo> {
+        let v = self.mc.read_local(self.region, reader, self.home_idx(page));
+        if v & 1 == 0 {
+            None
+        } else {
+            Some(HomeInfo::unpack(v))
+        }
+    }
+
+    /// Writes the home word (caller must hold the global home-selection
+    /// lock). Broadcast + local double, as for node words.
+    pub fn write_home(&self, page: usize, me: usize, h: HomeInfo, now: Nanos) -> Nanos {
+        let idx = self.home_idx(page);
+        let done = self.mc.write(self.region, me, idx, h.pack(), now);
+        self.mc.write_local(self.region, me, idx, h.pack());
+        done
+    }
+
+    /// Setup-time home initialization (round-robin assignment before the
+    /// run); writes every replica directly with no cost.
+    pub fn init_home(&self, page: usize, h: HomeInfo) {
+        let idx = self.home_idx(page);
+        for e in 0..self.pnodes {
+            self.mc.write_local(self.region, e, idx, h.pack());
+        }
+    }
+
+    /// Protocol nodes (≠ `exclude`) that currently hold a copy of `page`,
+    /// per `reader`'s replica.
+    pub fn sharers(&self, page: usize, reader: usize, exclude: usize) -> Vec<usize> {
+        (0..self.pnodes)
+            .filter(|&n| n != exclude && self.read_word(page, n, reader).has_copy())
+            .collect()
+    }
+
+    /// Whether any node other than `exclude` holds a copy or the exclusive
+    /// flag for `page`.
+    pub fn shared_by_others(&self, page: usize, reader: usize, exclude: usize) -> bool {
+        (0..self.pnodes).any(|n| {
+            if n == exclude {
+                return false;
+            }
+            let w = self.read_word(page, n, reader);
+            w.has_copy() || w.exclusive
+        })
+    }
+
+    /// The node currently holding `page` in exclusive mode, if any, with the
+    /// holder's cluster-wide processor id.
+    pub fn exclusive_holder(&self, page: usize, reader: usize) -> Option<(usize, u16)> {
+        (0..self.pnodes).find_map(|n| {
+            let w = self.read_word(page, n, reader);
+            w.exclusive.then_some((n, w.excl_proc))
+        })
+    }
+
+    /// Number of protocol nodes.
+    pub fn pnodes(&self) -> usize {
+        self.pnodes
+    }
+
+    /// Number of pages covered.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_sim::CostModel;
+
+    fn dir(pnodes: usize, mode: DirectoryMode) -> Directory {
+        let mc = Arc::new(MemoryChannel::new(
+            (0..pnodes).map(|e| e % 2).collect(),
+            2,
+            CostModel::default(),
+        ));
+        Directory::new(mc, pnodes, 4, mode)
+    }
+
+    #[test]
+    fn dir_word_packs_and_unpacks() {
+        let w = DirWord {
+            perm: PermBits::Write,
+            exclusive: true,
+            excl_proc: 31,
+        };
+        assert_eq!(DirWord::unpack(w.pack()), w);
+        let none = DirWord::default();
+        assert_eq!(DirWord::unpack(none.pack()), none);
+        assert!(!none.has_copy());
+        assert!(w.has_copy());
+    }
+
+    #[test]
+    fn home_info_round_trips() {
+        let h = HomeInfo {
+            pnode: 7,
+            is_default: true,
+        };
+        assert_eq!(HomeInfo::unpack(h.pack()), h);
+    }
+
+    #[test]
+    fn write_is_visible_on_all_replicas_including_writer() {
+        let d = dir(4, DirectoryMode::LockFree);
+        let w = DirWord {
+            perm: PermBits::Read,
+            exclusive: false,
+            excl_proc: 0,
+        };
+        d.write_my_word(2, 1, w, 0);
+        for reader in 0..4 {
+            assert_eq!(d.read_word(2, 1, reader), w, "replica on node {reader}");
+        }
+    }
+
+    #[test]
+    fn sharers_and_exclusive_holder() {
+        let d = dir(4, DirectoryMode::LockFree);
+        d.write_my_word(
+            0,
+            1,
+            DirWord {
+                perm: PermBits::Read,
+                ..Default::default()
+            },
+            0,
+        );
+        d.write_my_word(
+            0,
+            3,
+            DirWord {
+                perm: PermBits::Write,
+                exclusive: true,
+                excl_proc: 12,
+            },
+            0,
+        );
+        assert_eq!(d.sharers(0, 0, usize::MAX), vec![1, 3]);
+        assert_eq!(d.sharers(0, 0, 3), vec![1]);
+        assert!(d.shared_by_others(0, 0, 1));
+        assert!(
+            !d.shared_by_others(1, 0, 0),
+            "untouched page has no sharers"
+        );
+        assert_eq!(d.exclusive_holder(0, 0), Some((3, 12)));
+        assert_eq!(d.exclusive_holder(1, 0), None);
+    }
+
+    #[test]
+    fn home_assignment_and_relocation() {
+        let d = dir(2, DirectoryMode::LockFree);
+        assert_eq!(d.read_home(0, 0), None);
+        d.init_home(
+            0,
+            HomeInfo {
+                pnode: 1,
+                is_default: true,
+            },
+        );
+        assert_eq!(d.read_home(0, 0).unwrap().pnode, 1);
+        assert!(d.read_home(0, 1).unwrap().is_default);
+        d.write_home(
+            0,
+            0,
+            HomeInfo {
+                pnode: 0,
+                is_default: false,
+            },
+            0,
+        );
+        for reader in 0..2 {
+            let h = d.read_home(0, reader).unwrap();
+            assert_eq!(h.pnode, 0);
+            assert!(!h.is_default);
+        }
+    }
+
+    #[test]
+    fn global_lock_mode_serializes_and_costs_more() {
+        let lf = dir(2, DirectoryMode::LockFree);
+        let gl = dir(2, DirectoryMode::GlobalLock);
+        assert!(gl.update_cost() > lf.update_cost());
+        let w = DirWord {
+            perm: PermBits::Read,
+            ..Default::default()
+        };
+        // Two updates to the same entry at the same instant must serialize
+        // through the gate under GlobalLock.
+        let a = gl.write_my_word(0, 0, w, 0);
+        let b = gl.write_my_word(0, 1, w, 0);
+        assert!(b > a, "second global-locked update queues behind the first");
+    }
+}

@@ -1,0 +1,1241 @@
+//! The coherence protocol engine.
+//!
+//! One [`Engine`] instance embodies the whole simulated cluster's protocol
+//! state: the replicated global directory, per-node second-level state
+//! (frames, twins, timestamps, per-processor permission bitmaps), the
+//! write-notice board, home assignment, and the master page copies. The
+//! engine implements *all* of the paper's protocols; [`ProtocolKind`]
+//! selects the behavioral differences:
+//!
+//! * protocol-node granularity (physical node for 2L/2LS, processor for the
+//!   one-level protocols),
+//! * reconciliation of remote updates with concurrent local writers
+//!   (two-way diffing for 2L, shootdown for 2LS — the one-level protocols
+//!   have single-processor nodes and never need either),
+//! * the store path (twins + outgoing diffs, or 1L's in-line write
+//!   doubling),
+//! * the home-node optimization (inherent to 2L/2LS; optional for 1LD/1L).
+//!
+//! The principal operations follow §2.4 of the paper: page faults
+//! ([`Engine::read_fault`] / [`Engine::write_fault`]), releases
+//! ([`Engine::release_actions`]), acquires ([`Engine::acquire_actions`]),
+//! plus exclusive-mode maintenance and the explicit-request paths (page
+//! fetch and exclusive-mode break).
+//!
+//! ### Simulation notes
+//!
+//! Explicit requests are *serviced by the requesting thread* against the
+//! holder's (properly locked) state, charging virtual time as if the remote
+//! processor had polled and serviced them — see DESIGN.md §2.4. Per-page
+//! protocol state is protected by a per-(node, page) mutex; a thread holds
+//! at most one such mutex, except that servicing an exclusive-mode break
+//! takes the *holder's* mutex while holding none of its own.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use cashmere_memchan::MemoryChannel;
+use cashmere_sim::{
+    Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
+};
+use cashmere_vmpage::{
+    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame, PageTable, Perm,
+    Twin, PAGE_BYTES, PAGE_WORDS,
+};
+
+use crate::config::ClusterConfig;
+use crate::directory::{DirWord, Directory, HomeInfo, PermBits};
+use crate::mc_lock::McLock;
+use crate::write_notice::{NleList, NoticeBoard, ProcNoticeList};
+use crate::Addr;
+
+/// Per-processor protocol context. Owned by the processor's [`crate::Proc`]
+/// handle; passed by `&mut` into every engine operation.
+pub struct ProcCtx {
+    /// Cluster-wide processor id.
+    pub id: ProcId,
+    /// Protocol node index.
+    pub pnode: usize,
+    /// Index of this processor within its protocol node.
+    pub local: usize,
+    /// Physical node index (for link/bus charging).
+    pub phys: usize,
+    /// Virtual clock.
+    pub clock: ProcClock,
+    /// Cached page-frame pointers (stable per (pnode, page) once created).
+    pub frames: Vec<Option<Arc<Frame>>>,
+    /// The private dirty list: pages written since the last release (§2.3).
+    pub dirty: Vec<u32>,
+    /// Node-logical time of this processor's most recent acquire.
+    pub acquire_ts: u64,
+    /// Polling-overhead fraction applied to user time.
+    pub poll_fraction: f64,
+    /// Memory-bus bytes charged per shared access.
+    pub bus_bytes: u64,
+    /// Accumulated unsettled bus bytes (settled in batches).
+    pending_bus: u64,
+    /// Accumulated unsettled write-doubling bytes (1L; settled in batches).
+    pending_double: u64,
+}
+
+impl ProcCtx {
+    fn new(id: ProcId, pnode: usize, local: usize, phys: usize, cfg: &ClusterConfig) -> Self {
+        Self {
+            id,
+            pnode,
+            local,
+            phys,
+            clock: ProcClock::new(),
+            frames: vec![None; cfg.heap_pages],
+            dirty: Vec::new(),
+            acquire_ts: 0,
+            poll_fraction: cfg.poll_fraction,
+            bus_bytes: cfg.bus_bytes_per_access,
+            pending_bus: 0,
+            pending_double: 0,
+        }
+    }
+}
+
+/// Per-(protocol node, page) second-level state (§2.3: second-level
+/// directory, twins, timestamps).
+#[derive(Default)]
+struct NodePage {
+    /// The node's local frame, shared by all its processors. `None` until
+    /// first mapped. For home pages this is the master copy itself.
+    frame: Option<Arc<Frame>>,
+    /// The twin (pristine copy), present while a non-home local writer
+    /// exists and the page is not exclusive.
+    twin: Option<Twin>,
+    /// Node-logical time the most recent flush to the home began.
+    ts_flush: u64,
+    /// Node-logical time of the most recent local update (fetch) completion.
+    ts_update: u64,
+    /// Node-logical time the most recent write notice was distributed.
+    ts_wn: u64,
+    /// Local processor holding the page in exclusive mode, if any.
+    excl_local: Option<usize>,
+    /// Bitmap of local processors with read (or better) mappings.
+    readers: u64,
+    /// Bitmap of local processors with write mappings.
+    writers: u64,
+    /// Whether this node acts as the page's home (its frame *is* the
+    /// master); set when the mapping is first established.
+    is_home: bool,
+}
+
+impl NodePage {
+    fn loosest(&self) -> PermBits {
+        if self.writers != 0 {
+            PermBits::Write
+        } else if self.readers != 0 {
+            PermBits::Read
+        } else {
+            PermBits::None
+        }
+    }
+
+    fn dir_word(&self, excl_proc: u16) -> DirWord {
+        DirWord {
+            perm: self.loosest(),
+            exclusive: self.excl_local.is_some(),
+            excl_proc,
+        }
+    }
+}
+
+/// Per-processor protocol-shared state (write-notice and NLE lists, page
+/// table) — shared because *other* local processors post into the lists and
+/// shootdowns downgrade the page table.
+struct LocalProc {
+    wn: ProcNoticeList,
+    nle: NleList,
+    pt: PageTable,
+    /// Cluster-wide id, for directory exclusive-holder words.
+    global: ProcId,
+    /// True while the processor is between its write-permission check and
+    /// the completion of the store. Shootdowns and exclusive-mode breaks
+    /// wait for this to clear after downgrading the page table — the
+    /// simulation's equivalent of the synchronous interrupt a real TLB
+    /// shootdown delivers (an in-flight store finishing after the shooter's
+    /// flush would otherwise be lost).
+    in_write: AtomicBool,
+}
+
+/// Per-protocol-node state.
+struct PNode {
+    /// The node's logical protocol clock (§2.2: incremented on protocol
+    /// events — faults, flushes, acquires, releases).
+    clock: AtomicU64,
+    /// Logical time the most recent release by any local processor began.
+    last_release: AtomicU64,
+    /// Serializes bin-drain + distribution on this node (a node-local lock,
+    /// as in §2.3's "several intra-node data structures … are protected by
+    /// local locks"). Without it, a processor's acquire can complete while
+    /// a sibling's concurrent distribution has drained the bins but not yet
+    /// inserted into this processor's list — losing an invalidation.
+    distribute: Mutex<()>,
+    pages: Vec<Mutex<NodePage>>,
+    procs: Vec<LocalProc>,
+}
+
+/// The protocol engine. One per cluster; shared by all processors.
+pub struct Engine {
+    cfg: ClusterConfig,
+    topo: Topology,
+    map: NodeMap,
+    mc: Arc<MemoryChannel>,
+    dir: Directory,
+    notices: NoticeBoard,
+    /// Master copies, one per page, location-independent (see DESIGN.md:
+    /// page data lives in frames; the Memory Channel region machinery
+    /// carries the directory and locks, and transfers are charged through
+    /// the link model).
+    masters: Vec<OnceLock<Arc<Frame>>>,
+    pnodes: Vec<PNode>,
+    /// The global home-selection lock (§2.3: the only protocol use of
+    /// cluster-wide locks).
+    home_lock: McLock,
+    /// Per-physical-node memory buses.
+    buses: Vec<Resource>,
+    /// Cluster-wide statistics.
+    pub stats: Stats,
+}
+
+/// Whether `CASHMERE_TRACE` protocol tracing is enabled (diagnostics only).
+fn trace_on() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CASHMERE_TRACE").is_some())
+}
+
+/// In-memory trace ring (diagnostics only; populated when `CASHMERE_TRACE`
+/// is set).
+static TRACE_RING: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Dumps and clears the diagnostic trace ring.
+pub fn dump_trace() -> Vec<String> {
+    std::mem::take(&mut *TRACE_RING.lock())
+}
+
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if trace_on() {
+            let mut ring = TRACE_RING.lock();
+            if ring.len() > 100_000 {
+                ring.clear();
+            }
+            ring.push(format!($($arg)*));
+        }
+    };
+}
+
+impl Engine {
+    /// Builds the engine: directory, notice board, per-node state, home
+    /// round-robin assignment.
+    pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        let topo = cfg.topology;
+        let map = cfg.protocol.node_map();
+        let n_pnodes = map.protocol_nodes(&topo);
+        let pages = cfg.heap_pages;
+        let link_of: Vec<usize> = (0..n_pnodes)
+            .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
+            .collect();
+        let mc = Arc::new(MemoryChannel::new(link_of, topo.nodes(), cfg.cost.clone()));
+        let dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
+        let gate_hold = cfg
+            .cost
+            .dir_update_locked
+            .saturating_sub(cfg.cost.dir_update);
+        let notices = NoticeBoard::new(n_pnodes, cfg.directory, gate_hold);
+        let home_lock = McLock::new(Arc::clone(&mc), n_pnodes);
+
+        // Initial round-robin home assignment at superpage granularity,
+        // flagged as default so first touch may relocate (§2.3).
+        let spp = cfg.pages_per_superpage.max(1);
+        for page in 0..pages {
+            let sp = page / spp;
+            dir.init_home(
+                page,
+                HomeInfo {
+                    pnode: sp % n_pnodes,
+                    is_default: true,
+                },
+            );
+        }
+
+        let pnodes = (0..n_pnodes)
+            .map(|pn| PNode {
+                clock: AtomicU64::new(1),
+                last_release: AtomicU64::new(0),
+                distribute: Mutex::new(()),
+                pages: (0..pages)
+                    .map(|_| Mutex::new(NodePage::default()))
+                    .collect(),
+                procs: map
+                    .procs_of(&topo, cashmere_sim::NodeId(pn))
+                    .into_iter()
+                    .map(|p| LocalProc {
+                        wn: ProcNoticeList::new(pages),
+                        nle: NleList::new(),
+                        pt: PageTable::new(pages),
+                        global: p,
+                        in_write: AtomicBool::new(false),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        Arc::new(Self {
+            cfg,
+            topo,
+            map,
+            mc,
+            dir,
+            notices,
+            masters: (0..pages).map(|_| OnceLock::new()).collect(),
+            pnodes,
+            home_lock,
+            buses: (0..topo.nodes()).map(|_| Resource::new()).collect(),
+            stats: Stats::new(),
+        })
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Creates the protocol context for processor `p`.
+    pub fn make_ctx(&self, p: ProcId) -> ProcCtx {
+        let pnode = self.map.pnode_of(&self.topo, p).0;
+        let local = self
+            .map
+            .procs_of(&self.topo, cashmere_sim::NodeId(pnode))
+            .iter()
+            .position(|&q| q == p)
+            .expect("processor not on its protocol node");
+        let phys = self.topo.node_of(p).0;
+        ProcCtx::new(p, pnode, local, phys, &self.cfg)
+    }
+
+    fn master(&self, page: usize) -> &Arc<Frame> {
+        self.masters[page].get_or_init(|| Arc::new(Frame::new()))
+    }
+
+    fn node_now(&self, pnode: usize) -> u64 {
+        self.pnodes[pnode].clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn pt(&self, ctx: &ProcCtx) -> &PageTable {
+        &self.pnodes[ctx.pnode].procs[ctx.local].pt
+    }
+
+    // ------------------------------------------------------------------
+    // Data access fast path
+    // ------------------------------------------------------------------
+
+    /// Reads the 64-bit word at `addr`, faulting if necessary.
+    pub fn read_word(&self, ctx: &mut ProcCtx, addr: Addr) -> u64 {
+        let page = addr / PAGE_WORDS;
+        if self.pt(ctx).read_faults(page) {
+            self.read_fault(ctx, page);
+        } else if ctx.frames[page].is_none() {
+            self.refresh_frame_cache(ctx, page);
+        }
+        self.charge_access(ctx);
+        // The fault path always installs the frame pointer.
+        ctx.frames[page]
+            .as_ref()
+            .expect("fault left no frame")
+            .load(addr % PAGE_WORDS)
+    }
+
+    /// Repopulates a context's cached frame pointer for a page it already
+    /// has permissions on — needed when a fresh [`ProcCtx`] is created for
+    /// a processor whose page-table state persists (e.g. a second
+    /// [`crate::Cluster::run`] on the same cluster).
+    fn refresh_frame_cache(&self, ctx: &mut ProcCtx, page: usize) {
+        let np = self.pnodes[ctx.pnode].pages[page].lock();
+        ctx.frames[page] = Some(Arc::clone(
+            np.frame
+                .as_ref()
+                .expect("permissioned page must have a frame"),
+        ));
+    }
+
+    /// Writes the 64-bit word at `addr`, faulting if necessary. Under the
+    /// write-doubling protocols the store is also sent to the home copy
+    /// in-line.
+    pub fn write_word(&self, ctx: &mut ProcCtx, addr: Addr, val: u64) {
+        let page = addr / PAGE_WORDS;
+        // The in-write flag must cover the permission check and the store
+        // together (SeqCst pairs with the downgrading shooter's check), but
+        // must be clear while the fault handler runs — the shooter spins on
+        // it while holding the node-page lock the handler needs.
+        if ctx.frames[page].is_none() && !self.pt(ctx).write_faults(page) {
+            self.refresh_frame_cache(ctx, page);
+        }
+        let in_write = &self.pnodes[ctx.pnode].procs[ctx.local].in_write;
+        loop {
+            in_write.store(true, Ordering::SeqCst);
+            if !self.pt(ctx).write_faults(page) {
+                break;
+            }
+            in_write.store(false, Ordering::SeqCst);
+            self.write_fault(ctx, page);
+        }
+        self.charge_access(ctx);
+        let off = addr % PAGE_WORDS;
+        let frame = ctx.frames[page].as_ref().expect("fault left no frame");
+        frame.store(off, val);
+        self.pnodes[ctx.pnode].procs[ctx.local]
+            .in_write
+            .store(false, Ordering::Release);
+        if self.cfg.protocol.write_through() {
+            let master = self.master(page);
+            // Home procs write the master directly (frame == master); only
+            // remote copies need the doubled write.
+            if !Arc::ptr_eq(frame, master) {
+                master.store(off, val);
+                ctx.clock.charge(
+                    TimeCategory::WriteDoubling,
+                    self.cfg.cost.write_double_per_store,
+                );
+                ctx.pending_double += 8;
+                self.stats.data_bytes.add(8);
+                if ctx.pending_double >= 512 {
+                    // Settle the doubled bytes through the MC link in bulk
+                    // (the hardware's write buffer coalesces them; the
+                    // writes are posted, so the writer does not block).
+                    let _ = self
+                        .mc
+                        .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
+                    ctx.pending_double = 0;
+                }
+            }
+        }
+    }
+
+    fn charge_access(&self, ctx: &mut ProcCtx) {
+        let c = &self.cfg.cost;
+        ctx.clock.charge(TimeCategory::User, c.shared_access);
+        if self.cfg.cost.messaging == Messaging::Polling && ctx.poll_fraction > 0.0 {
+            let poll = (c.shared_access as f64 * ctx.poll_fraction) as Nanos;
+            ctx.clock.charge(TimeCategory::Polling, poll);
+        }
+        // Cache-capacity traffic through the node's shared bus, settled in
+        // batches to keep contention on the Resource realistic but cheap.
+        ctx.pending_bus += ctx.bus_bytes;
+        if ctx.pending_bus >= 4096 {
+            let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
+            ctx.pending_bus = 0;
+            let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
+            ctx.clock.wait_until(done);
+        }
+    }
+
+    /// Charges `ns` of application compute time (plus polling overhead).
+    pub fn compute(&self, ctx: &mut ProcCtx, ns: Nanos) {
+        ctx.clock.charge(TimeCategory::User, ns);
+        if self.cfg.cost.messaging == Messaging::Polling && ctx.poll_fraction > 0.0 {
+            ctx.clock.charge(
+                TimeCategory::Polling,
+                (ns as f64 * ctx.poll_fraction) as Nanos,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Home assignment (§2.3 "Home node selection", "Superpages")
+    // ------------------------------------------------------------------
+
+    /// Resolves the page's home, running the first-touch relocation
+    /// heuristic on the first fault of a still-default superpage.
+    fn resolve_home(&self, ctx: &mut ProcCtx, page: usize) -> usize {
+        let home = self
+            .dir
+            .read_home(page, ctx.pnode)
+            .expect("home initialized at startup");
+        if !home.is_default || !self.cfg.first_touch {
+            return home.pnode;
+        }
+        // First touch: relocate the whole superpage to us, once, under the
+        // global home-selection lock (the only protocol use of global
+        // locks; "because we only relocate once, the use of locks does not
+        // impact performance").
+        let vt = self
+            .home_lock
+            .acquire(ctx.pnode, ctx.clock.now(), self.lock_cost());
+        ctx.clock.wait_until(vt);
+        ctx.clock
+            .charge(TimeCategory::Protocol, self.cfg.cost.dir_update_locked);
+        let home = self
+            .dir
+            .read_home(page, ctx.pnode)
+            .expect("home initialized");
+        let chosen = if home.is_default {
+            let spp = self.cfg.pages_per_superpage.max(1);
+            let sp_base = page / spp * spp;
+            for p in sp_base..(sp_base + spp).min(self.cfg.heap_pages) {
+                self.dir.write_home(
+                    p,
+                    ctx.pnode,
+                    HomeInfo {
+                        pnode: ctx.pnode,
+                        is_default: false,
+                    },
+                    ctx.clock.now(),
+                );
+                self.stats.directory_updates.inc();
+            }
+            self.stats.home_relocations.inc();
+            ctx.pnode
+        } else {
+            home.pnode
+        };
+        let vt = self.home_lock.release(ctx.pnode, ctx.clock.now());
+        ctx.clock.wait_until(vt);
+        chosen
+    }
+
+    fn lock_cost(&self) -> Nanos {
+        if self.cfg.protocol.is_two_level() {
+            self.cfg.cost.lock_two_level
+        } else {
+            self.cfg.cost.lock_one_level
+        }
+    }
+
+    /// Whether `ctx`'s node acts as home for a page homed at `home_pnode`:
+    /// either it *is* the home protocol node, or the home-node optimization
+    /// extends master access to every processor on the home physical node.
+    fn acts_as_home(&self, ctx: &ProcCtx, home_pnode: usize) -> bool {
+        if ctx.pnode == home_pnode {
+            return true;
+        }
+        self.cfg.protocol.home_node_opt()
+            && !self.cfg.protocol.is_two_level()
+            && self
+                .map
+                .physical_of(&self.topo, cashmere_sim::NodeId(home_pnode))
+                .0
+                == ctx.phys
+    }
+
+    // ------------------------------------------------------------------
+    // Page faults (§2.4.1)
+    // ------------------------------------------------------------------
+
+    /// Handles a read fault on `page` by `ctx` (§2.4.1).
+    pub fn read_fault(&self, ctx: &mut ProcCtx, page: usize) {
+        self.stats.read_faults.inc();
+        self.fault_common(ctx, page, /* write: */ false);
+    }
+
+    /// Handles a write fault on `page` by `ctx` (§2.4.1).
+    pub fn write_fault(&self, ctx: &mut ProcCtx, page: usize) {
+        self.stats.write_faults.inc();
+        self.fault_common(ctx, page, /* write: */ true);
+    }
+
+    fn fault_common(&self, ctx: &mut ProcCtx, page: usize, write: bool) {
+        let c = self.cfg.cost.clone();
+        ctx.clock.charge(TimeCategory::Protocol, c.page_fault);
+        let home = self.resolve_home(ctx, page);
+        let my_home = self.acts_as_home(ctx, home);
+
+        loop {
+            // Cheap pre-check: break a remote exclusive holder before
+            // taking our own per-page lock (we hold none of our own locks
+            // while touching the holder's — lock-ordering discipline).
+            if let Some((holder, hproc)) = self.dir.exclusive_holder(page, ctx.pnode) {
+                if holder != ctx.pnode {
+                    self.break_exclusive(ctx, page, holder, hproc, home);
+                    continue;
+                }
+            }
+
+            let mut np = self.pnodes[ctx.pnode].pages[page].lock();
+            let node_now = self.node_now(ctx.pnode);
+
+            // Establish the frame.
+            if np.frame.is_none() {
+                if my_home {
+                    np.frame = Some(Arc::clone(self.master(page)));
+                    np.is_home = true;
+                } else {
+                    np.frame = Some(Arc::new(Frame::new()));
+                }
+            }
+
+            // Publish our sharing intent in the directory FIRST (§2.4.1:
+            // "a processor first modifies the page's second-level directory
+            // entry … if no other local processor has the same permissions,
+            // the global directory entry is modified as well"). Publishing
+            // before the exclusivity re-check closes the race with a
+            // concurrent exclusive-mode entry: either the enterer's
+            // validation read sees our word, or our re-check below sees its
+            // exclusive flag — standard flag-race reasoning.
+            let bit = 1u64 << ctx.local;
+            let before = np.loosest();
+            np.readers |= bit;
+            if write {
+                np.writers |= bit;
+            }
+            if np.loosest() != before {
+                self.write_dir(ctx, page, &np);
+            }
+
+            // Re-validate exclusivity now that we are visible.
+            if let Some((holder, _)) = self.dir.exclusive_holder(page, ctx.pnode) {
+                if holder != ctx.pnode {
+                    drop(np);
+                    continue;
+                }
+            }
+
+            // Fetch an up-to-date copy if needed (§2.4.1: "if no local copy
+            // exists, or if the local copy's update timestamp precedes its
+            // write notice timestamp or the processor's acquire timestamp,
+            // whichever is earlier").
+            let never_fetched = np.ts_update == 0 && !np.is_home;
+            // §2.4.1: fetch if the update timestamp precedes the write-
+            // notice timestamp or the processor's acquire timestamp,
+            // whichever is earlier. A copy newer than the last distributed
+            // notice is current (pending notices a mapping processor missed
+            // are handled by the self-notice queued below).
+            let stale = np.ts_update < np.ts_wn.min(ctx.acquire_ts);
+            trace!(
+                "FAULT p{} pg{} w={} upd={} wn={} acq={} fetch={} now={}us",
+                ctx.id.0,
+                page,
+                write,
+                np.ts_update,
+                np.ts_wn,
+                ctx.acquire_ts,
+                !np.is_home && (never_fetched || stale) && np.excl_local.is_none(),
+                ctx.clock.now() / 1000
+            );
+            if !np.is_home && (never_fetched || stale) && np.excl_local.is_none() {
+                self.fetch_page(ctx, page, home, &mut np, node_now);
+            }
+
+            // Write faults: exclusive mode or dirty-list + twin (§2.4.1).
+            // If a *local* processor already holds the page exclusively we
+            // simply join under hardware coherence; the NLE mechanism
+            // handles us at break time.
+            if write && np.excl_local.is_none() {
+                let mut entered = false;
+                if !np.is_home && !self.dir.shared_by_others(page, ctx.pnode, ctx.pnode) {
+                    entered = self.try_enter_exclusive(ctx, page, &mut np);
+                }
+                if !entered {
+                    ctx.dirty.push(page as u32);
+                    if !np.is_home && np.twin.is_none() && !self.cfg.protocol.write_through() {
+                        let frame = np.frame.as_ref().unwrap();
+                        np.twin = Some(make_twin(frame));
+                        self.stats.twin_creations.inc();
+                        ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
+                    }
+                }
+            }
+
+            // Install permissions (the simulated mprotect) and cache the
+            // frame pointer.
+            let perm = if write { Perm::Write } else { Perm::Read };
+            self.pt(ctx).set(page, perm);
+            ctx.clock.charge(TimeCategory::Protocol, c.mprotect);
+            ctx.frames[page] = Some(Arc::clone(np.frame.as_ref().unwrap()));
+
+            // If the page has a pending write notice that this fault
+            // legitimately did not act on (our acquire predates the
+            // notice), queue a self-notice: notices are distributed only
+            // to processors with mappings, so a processor that maps the
+            // page *after* the distribution would otherwise carry the
+            // stale copy straight through its next acquire.
+            if !np.is_home && np.ts_update < np.ts_wn {
+                self.pnodes[ctx.pnode].procs[ctx.local]
+                    .wn
+                    .insert(page as u32);
+            }
+            return;
+        }
+    }
+
+    /// Attempts to put the page into exclusive mode (§2.4.1 "Exclusive
+    /// Mode"). Publishes the exclusive claim, then re-validates against the
+    /// other nodes' words; on a race both claimants back off to the shared
+    /// path. Returns whether exclusive mode was entered.
+    fn try_enter_exclusive(&self, ctx: &mut ProcCtx, page: usize, np: &mut NodePage) -> bool {
+        let me = self.pnodes[ctx.pnode].procs[ctx.local].global.0 as u16;
+        np.excl_local = Some(ctx.local);
+        let bit = 1u64 << ctx.local;
+        np.readers |= bit;
+        np.writers |= bit;
+        self.write_dir_with(ctx, page, np.dir_word(me));
+        // Validation read: if anyone else claims a copy or exclusivity, back
+        // off (conservative on races; safe because both racers back off).
+        if self.dir.shared_by_others(page, ctx.pnode, ctx.pnode) {
+            np.excl_local = None;
+            self.write_dir_with(ctx, page, np.dir_word(0));
+            return false;
+        }
+        self.stats.exclusive_transitions.inc();
+        true
+    }
+
+    /// Fetches the current master copy into the node's frame, reconciling
+    /// with concurrent local writers by incoming diff (2L) or shootdown
+    /// (2LS). Called with the node-page lock held.
+    fn fetch_page(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        home: usize,
+        np: &mut NodePage,
+        node_now: u64,
+    ) {
+        let c = &self.cfg.cost;
+        self.stats.page_transfers.inc();
+        self.stats.remote_requests.inc();
+        self.stats.data_bytes.add(PAGE_BYTES as u64);
+
+        let home_phys = self
+            .map
+            .physical_of(&self.topo, cashmere_sim::NodeId(home))
+            .0;
+        if home_phys == ctx.phys {
+            // Same physical node (one-level protocols without the home
+            // optimization): a memory-to-memory copy, no Memory Channel.
+            ctx.clock.charge(TimeCategory::CommWait, c.fetch_local);
+        } else {
+            // Remote fetch: request delivery at the home (polling or
+            // interrupt), fixed protocol cost, and the 8 KB reply
+            // serialized through the home's link.
+            let fixed = if self.cfg.protocol.is_two_level() {
+                c.fetch_remote_fixed_2l
+            } else {
+                c.fetch_remote_fixed_1l
+            };
+            ctx.clock
+                .charge(TimeCategory::CommWait, c.request_delivery() + fixed);
+            let done = self
+                .mc
+                .charge_link(home, PAGE_BYTES as u64, ctx.clock.now());
+            ctx.clock.wait_until(done);
+        }
+
+        let frame = Arc::clone(np.frame.as_ref().expect("frame installed before fetch"));
+        if np.twin.is_some() && self.cfg.protocol.uses_shootdown() {
+            // 2LS: shoot down the other local write mappings, flush their
+            // outstanding changes, and discard the twin (§2.6).
+            self.shootdown_local_writers(ctx, page, home, np, node_now);
+        }
+        let mut incoming = [0u64; PAGE_WORDS];
+        self.master(page).snapshot(&mut incoming);
+        match np.twin.as_mut() {
+            Some(twin) => {
+                // 2L's two-way diffing: remote changes are exactly the words
+                // where the master differs from the twin; apply them to both
+                // the working page and the twin, leaving concurrent local
+                // modifications untouched (§2.2).
+                let applied = apply_incoming_diff(&frame, twin, &incoming);
+                self.stats.incoming_diffs.inc();
+                ctx.clock
+                    .charge(TimeCategory::Protocol, c.diff_in(applied, PAGE_WORDS));
+            }
+            None => frame.fill_from(&incoming),
+        }
+        np.ts_update = node_now;
+    }
+
+    /// 2LS's shootdown: downgrade every *other* local write mapping, flush
+    /// outstanding local changes to the home, and discard the twin. Called
+    /// with the node-page lock held.
+    fn shootdown_local_writers(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        home: usize,
+        np: &mut NodePage,
+        node_now: u64,
+    ) {
+        let c = &self.cfg.cost;
+        let per_proc = match self.cfg.cost.messaging {
+            Messaging::Polling => c.shootdown_polling,
+            Messaging::Interrupt => c.shootdown_interrupt,
+        };
+        let mut shot = 0u64;
+        for (i, lp) in self.pnodes[ctx.pnode].procs.iter().enumerate() {
+            if i != ctx.local && np.writers >> i & 1 == 1 {
+                lp.pt.set(page, Perm::Read);
+                // Wait out any store that already passed its permission
+                // check — the synchronous half of a real TLB shootdown.
+                while lp.in_write.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                np.writers &= !(1u64 << i);
+                shot += 1;
+            }
+        }
+        if shot > 0 {
+            self.stats.shootdowns.add(shot);
+            ctx.clock.charge(TimeCategory::Protocol, per_proc * shot);
+        }
+        // Flush the outstanding local modifications so they aren't lost
+        // when the fresh copy overwrites the frame.
+        if let Some(twin) = np.twin.take() {
+            let frame = np.frame.as_ref().unwrap();
+            let diff = diff_against_twin(frame, &twin);
+            if !diff.is_empty() {
+                self.flush_diff_to_master(ctx, page, home, &diff);
+                np.ts_flush = node_now;
+            }
+        }
+    }
+
+    /// Applies an outgoing diff to the master copy, charging diff cost,
+    /// link occupancy, and byte counts.
+    fn flush_diff_to_master(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        home: usize,
+        diff: &[(u32, u64)],
+    ) {
+        let c = &self.cfg.cost;
+        let master = self.master(page);
+        for &(i, v) in diff {
+            master.store(i as usize, v);
+        }
+        let home_phys = self
+            .map
+            .physical_of(&self.topo, cashmere_sim::NodeId(home))
+            .0;
+        let cost = if home_phys == ctx.phys {
+            c.diff_out_local(diff.len(), PAGE_WORDS)
+        } else {
+            // Posted writes: reserve the link for bandwidth accounting but
+            // do not block the flusher on delivery.
+            let _ = self
+                .mc
+                .charge_link(ctx.pnode, diff.len() as u64 * 12, ctx.clock.now());
+            c.diff_out_remote(diff.len(), PAGE_WORDS)
+        };
+        ctx.clock.charge(TimeCategory::Protocol, cost);
+        self.stats.data_bytes.add(diff.len() as u64 * 12);
+    }
+
+    // ------------------------------------------------------------------
+    // Exclusive-mode break (§2.4.1 "Exclusive Mode")
+    // ------------------------------------------------------------------
+
+    /// Breaks `page` out of exclusive mode on `holder`. In the simulation
+    /// the requesting thread performs the holder-side work against the
+    /// holder's locked state, charging virtual time as if the holder had
+    /// polled and serviced the request (DESIGN.md §2.4).
+    fn break_exclusive(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        holder: usize,
+        holder_proc: u16,
+        home: usize,
+    ) {
+        let c = self.cfg.cost.clone();
+        self.stats.remote_requests.inc();
+        ctx.clock
+            .charge(TimeCategory::CommWait, c.request_delivery());
+
+        let hnode = &self.pnodes[holder];
+        let mut np = hnode.pages[page].lock();
+        let Some(excl_local) = np.excl_local else {
+            return; // Someone else broke it first.
+        };
+        let node_now = self.node_now(holder);
+
+        // Downgrade the responding processor's permissions FIRST and wait
+        // out any in-flight store, so the flush below captures everything
+        // the holder wrote (on real hardware the request handler runs on
+        // the holder itself, giving this synchrony for free).
+        hnode.procs[excl_local].pt.set(page, Perm::Read);
+        while hnode.procs[excl_local].in_write.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+
+        // One snapshot serves both the whole-page flush to the home and the
+        // twin: any concurrent store by a *remaining* local writer then
+        // either made it into both (already flushed) or neither (still
+        // differs from the twin, flushed at that writer's next release).
+        let mut buf = [0u64; PAGE_WORDS];
+        np.frame
+            .as_ref()
+            .expect("exclusive page has a frame")
+            .snapshot(&mut buf);
+
+        if !self.cfg.protocol.write_through() {
+            self.master(page).fill_from(&buf);
+            self.stats.data_bytes.add(PAGE_BYTES as u64);
+            let holder_phys = self
+                .map
+                .physical_of(&self.topo, cashmere_sim::NodeId(holder))
+                .0;
+            let home_phys = self
+                .map
+                .physical_of(&self.topo, cashmere_sim::NodeId(home))
+                .0;
+            if holder_phys != home_phys {
+                // Posted write of the whole page; reserves the holder's link
+                // but does not block the requester beyond the fetch below.
+                let _ = self
+                    .mc
+                    .charge_link(holder, PAGE_BYTES as u64, ctx.clock.now());
+            }
+        }
+        np.ts_flush = node_now;
+
+        // If other local processors hold write mappings, create a twin and
+        // leave no-longer-exclusive notices for them.
+        let other_writers = np.writers & !(1u64 << excl_local);
+        if other_writers != 0 {
+            np.twin = Some(Box::new(buf));
+            self.stats.twin_creations.inc();
+            ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
+            for (i, lp) in hnode.procs.iter().enumerate() {
+                if other_writers >> i & 1 == 1 {
+                    lp.nle.push(page as u32);
+                }
+            }
+        }
+
+        // The page leaves exclusive mode.
+        np.writers &= !(1u64 << excl_local);
+        np.excl_local = None;
+        self.stats.exclusive_transitions.inc();
+        // Update the holder's directory word on its behalf, while its
+        // node-page lock is still held (the holder's own directory writes
+        // all happen under this lock, so this cannot interleave with them).
+        let word = np.dir_word(holder_proc);
+        let done = self.dir.write_my_word(page, holder, word, ctx.clock.now());
+        self.stats.directory_updates.inc();
+        ctx.clock
+            .charge(TimeCategory::Protocol, self.dir.update_cost());
+        ctx.clock.wait_until(done);
+        drop(np);
+    }
+
+    // ------------------------------------------------------------------
+    // Releases (§2.4.3)
+    // ------------------------------------------------------------------
+
+    /// Consistency actions before a release: flush every dirty, non-
+    /// exclusive page to its home and send write notices to the sharers.
+    pub fn release_actions(&self, ctx: &mut ProcCtx) {
+        let release_begin = self.node_now(ctx.pnode);
+        self.pnodes[ctx.pnode]
+            .last_release
+            .fetch_max(release_begin, Ordering::Relaxed);
+
+        let mut pages: Vec<u32> = std::mem::take(&mut ctx.dirty);
+        pages.extend(self.pnodes[ctx.pnode].procs[ctx.local].nle.drain());
+        pages.sort_unstable();
+        pages.dedup();
+
+        for page32 in pages {
+            let page = page32 as usize;
+            let mut np = self.pnodes[ctx.pnode].pages[page].lock();
+
+            // Exclusive pages incur no coherence overhead at releases.
+            if np.excl_local.is_some() {
+                continue;
+            }
+
+            // Skip the flush and the notices if an overlapping release
+            // already flushed this page ("it skips the flush and the
+            // sending of write notices if the [node's last release time]
+            // precedes the [flush timestamp]") — but NOT the permission
+            // downgrade below: the paper downgrades after processing every
+            // dirty page, and keeping the write mapping would let future
+            // stores bypass the dirty list entirely.
+            let home = self
+                .dir
+                .read_home(page, ctx.pnode)
+                .expect("dirty page has a home")
+                .pnode;
+            let mut entered_exclusive = false;
+            if np.ts_flush < release_begin {
+                let node_now = self.node_now(ctx.pnode);
+                np.ts_flush = node_now;
+
+                // Flush local modifications to the home.
+                if !np.is_home && !self.cfg.protocol.write_through() {
+                    if self.cfg.protocol.uses_shootdown() {
+                        // 2LS: shoot down concurrent local writers before
+                        // flushing, then discard the twin (§2.6).
+                        self.shootdown_local_writers(ctx, page, home, &mut np, node_now);
+                    }
+                    if np.twin.is_some() {
+                        let frame = Arc::clone(np.frame.as_ref().unwrap());
+                        let twin = np.twin.as_mut().unwrap();
+                        let diff = diff_against_twin(&frame, twin);
+                        if !diff.is_empty() {
+                            flush_update_twin(twin, &diff);
+                            self.stats.flush_updates.inc();
+                            self.flush_diff_to_master(ctx, page, home, &diff);
+                        }
+                    }
+                }
+                // (Write-through pages and home pages are already current
+                // at the master; only notices remain.)
+
+                // One-level protocols: with no remaining sharers the page
+                // moves to exclusive mode at release (§2.6, Cashmere-1LD).
+                entered_exclusive = !self.cfg.protocol.is_two_level()
+                    && !np.is_home
+                    && !self.dir.shared_by_others(page, ctx.pnode, ctx.pnode)
+                    && self.try_enter_exclusive_at_release(ctx, page, &mut np);
+
+                if !entered_exclusive {
+                    // Send write notices to every other node with a copy,
+                    // excluding the home node (its master was just updated
+                    // directly).
+                    let sharers = self.dir.sharers(page, ctx.pnode, ctx.pnode);
+                    trace!(
+                        "RELEASE p{} pg{} sharers={:?} home={}",
+                        ctx.id.0,
+                        page,
+                        sharers,
+                        home
+                    );
+                    let mut posted = false;
+                    for s in sharers {
+                        if s == home {
+                            continue;
+                        }
+                        let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
+                        ctx.clock.wait_until(done);
+                        self.stats.write_notices.inc();
+                        posted = true;
+                    }
+                    if posted {
+                        // The notice batch for this page rides one remote
+                        // write.
+                        ctx.clock
+                            .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
+                    }
+                }
+            }
+            if entered_exclusive {
+                continue;
+            }
+
+            // Downgrade write permission so future modifications are
+            // trapped, and retire the twin once no local writer remains.
+            if np.writers >> ctx.local & 1 == 1 {
+                self.pt(ctx).set(page, Perm::Read);
+                np.writers &= !(1u64 << ctx.local);
+                ctx.clock
+                    .charge(TimeCategory::Protocol, self.cfg.cost.mprotect);
+                if np.loosest() != PermBits::Write {
+                    self.write_dir(ctx, page, &np);
+                }
+            }
+            // Retire the twin once no local writer remains — but only if
+            // nothing unflushed hides behind it: a processor invalidated at
+            // its own acquire clears its writer bit while its modifications
+            // still sit in the frame, and if our flush above was skipped by
+            // the overlapping-release rule, dropping the twin here would
+            // orphan those words. Flush any residue first.
+            if np.writers == 0 {
+                if let Some(twin) = np.twin.take() {
+                    let frame = Arc::clone(np.frame.as_ref().unwrap());
+                    let diff = diff_against_twin(&frame, &twin);
+                    if !diff.is_empty() {
+                        self.flush_diff_to_master(ctx, page, home, &diff);
+                        self.stats.flush_updates.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_enter_exclusive_at_release(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        np: &mut NodePage,
+    ) -> bool {
+        // Only meaningful when this processor still has the write mapping.
+        if np.writers >> ctx.local & 1 != 1 {
+            return false;
+        }
+        let entered = self.try_enter_exclusive(ctx, page, np);
+        if entered {
+            np.twin = None;
+        }
+        entered
+    }
+
+    // ------------------------------------------------------------------
+    // Acquires (§2.4.2)
+    // ------------------------------------------------------------------
+
+    /// Consistency actions after an acquire: distribute the node's global
+    /// write notices, then invalidate the pages in this processor's list
+    /// whose updates predate their notices.
+    pub fn acquire_actions(&self, ctx: &mut ProcCtx) {
+        // Distribute the global bins to affected local processors. The
+        // drain + distribute is serialized per node so a sibling's acquire
+        // cannot slip between our bin drain and our list inserts.
+        {
+            let _serialize = self.pnodes[ctx.pnode].distribute.lock();
+            let incoming = self.notices.drain(ctx.pnode);
+            // Both this acquire's timestamp and the write-notice timestamp
+            // must be drawn from the same clock read, AFTER the drain: a
+            // sibling's concurrent fault may take a later clock value for
+            // `ts_update` while fetching a copy that predates the noticed
+            // write. Stamping notices (or this acquire) with an earlier
+            // time would rank that stale copy as newer than the notice —
+            // `min(ts_wn, acquire_ts)` in the fetch check would then
+            // suppress the re-fetch and reads after this acquire would see
+            // stale data.
+            let wn_now = self.node_now(ctx.pnode);
+            ctx.acquire_ts = wn_now;
+            for (_from, page32) in incoming {
+                let page = page32 as usize;
+                let mut np = self.pnodes[ctx.pnode].pages[page].lock();
+                np.ts_wn = wn_now;
+                let mapped = np.readers | np.writers;
+                trace!(
+                    "DISTRIB p{} pg{} ts_wn={} mapped={:b}",
+                    ctx.id.0,
+                    page,
+                    wn_now,
+                    mapped
+                );
+                drop(np);
+                ctx.clock.charge(TimeCategory::Protocol, 500);
+                for (i, lp) in self.pnodes[ctx.pnode].procs.iter().enumerate() {
+                    if mapped >> i & 1 == 1 {
+                        lp.wn.insert(page32);
+                    }
+                }
+            }
+        }
+
+        // Process this processor's own list (which may also hold entries
+        // enqueued by other local processors' distributions).
+        for page32 in self.pnodes[ctx.pnode].procs[ctx.local].wn.drain() {
+            let page = page32 as usize;
+            let mut np = self.pnodes[ctx.pnode].pages[page].lock();
+            if np.is_home {
+                continue;
+            }
+            trace!(
+                "WNPROC p{} pg{} upd={} wn={} inval={}",
+                ctx.id.0,
+                page,
+                np.ts_update,
+                np.ts_wn,
+                np.ts_update < np.ts_wn
+            );
+            if np.ts_update < np.ts_wn {
+                // Invalidate our mapping with an mprotect; the twin (if any)
+                // survives so unflushed local modifications keep their
+                // baseline.
+                let bit = 1u64 << ctx.local;
+                if (np.readers | np.writers) & bit != 0 {
+                    let before = np.loosest();
+                    self.pt(ctx).set(page, Perm::None);
+                    np.readers &= !bit;
+                    np.writers &= !bit;
+                    ctx.clock
+                        .charge(TimeCategory::Protocol, self.cfg.cost.mprotect);
+                    if np.loosest() != before {
+                        self.write_dir(ctx, page, &np);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directory helpers
+    // ------------------------------------------------------------------
+
+    fn write_dir(&self, ctx: &mut ProcCtx, page: usize, np: &NodePage) {
+        let excl_proc = np
+            .excl_local
+            .map(|l| self.pnodes[ctx.pnode].procs[l].global.0 as u16)
+            .unwrap_or(0);
+        self.write_dir_with(ctx, page, np.dir_word(excl_proc));
+    }
+
+    fn write_dir_with(&self, ctx: &mut ProcCtx, page: usize, word: DirWord) {
+        // Memory Channel writes are posted: the writer pays the update cost
+        // (and the link reservation models bandwidth for *other* traffic)
+        // but does not block on delivery.
+        let _ = self
+            .dir
+            .write_my_word(page, ctx.pnode, word, ctx.clock.now());
+        self.stats.directory_updates.inc();
+        ctx.clock
+            .charge(TimeCategory::Protocol, self.dir.update_cost());
+    }
+
+    // ------------------------------------------------------------------
+    // Setup / teardown helpers
+    // ------------------------------------------------------------------
+
+    /// Seeds the master copy of `addr` with `val` before the run (models
+    /// pre-parallel-phase initialization without touching the protocol, so
+    /// the first-touch heuristic still sees the parallel phase's accesses).
+    pub fn seed_word(&self, addr: Addr, val: u64) {
+        self.master(addr / PAGE_WORDS).store(addr % PAGE_WORDS, val);
+    }
+
+    /// Reads back the authoritative value of `addr` after a run: the
+    /// exclusive holder's frame if the page is exclusive, the master copy
+    /// otherwise. Intended for verification once all processors have
+    /// finished (every `run` closure gets a final implicit release).
+    pub fn read_back(&self, addr: Addr) -> u64 {
+        let page = addr / PAGE_WORDS;
+        let off = addr % PAGE_WORDS;
+        if let Some((holder, _)) = self.dir.exclusive_holder(page, 0) {
+            let np = self.pnodes[holder].pages[page].lock();
+            if let Some(frame) = np.frame.as_ref() {
+                return frame.load(off);
+            }
+        }
+        self.master(page).load(off)
+    }
+
+    /// Flushes a processor's residual accounting (bus/doubling batches) at
+    /// the end of its run.
+    pub fn settle(&self, ctx: &mut ProcCtx) {
+        if ctx.pending_bus > 0 {
+            let busy = ctx.pending_bus * self.cfg.cost.node_bus_ns_per_byte;
+            ctx.pending_bus = 0;
+            let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
+            ctx.clock.wait_until(done);
+        }
+        if ctx.pending_double > 0 {
+            let _ = self
+                .mc
+                .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
+            ctx.pending_double = 0;
+        }
+    }
+
+    /// The directory (exposed for tests and diagnostics).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Protocol-node count.
+    pub fn protocol_nodes(&self) -> usize {
+        self.pnodes.len()
+    }
+}

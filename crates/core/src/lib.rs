@@ -1,0 +1,63 @@
+//! The Cashmere coherence protocols (SOSP '97).
+//!
+//! This crate implements the paper's primary contribution — the
+//! **Cashmere-2L** two-level software coherent shared memory protocol — plus
+//! every protocol it is evaluated against:
+//!
+//! * **2L** ([`ProtocolKind::TwoLevel`]) — hardware sharing within a node,
+//!   "moderately lazy" release consistency across nodes, multiple concurrent
+//!   writers, home nodes, page-size coherence blocks, directory-based
+//!   sharing sets, *two-way diffing* instead of TLB shootdown, exclusive
+//!   mode, and lock-free (per-node-word) directory and write-notice
+//!   structures.
+//! * **2LS** ([`ProtocolKind::TwoLevelShootdown`]) — identical except that
+//!   races between a faulting/releasing processor and concurrent local
+//!   writers are resolved by shooting down the other write mappings on the
+//!   node (§2.6).
+//! * **1LD** ([`ProtocolKind::OneLevelDiff`]) — every processor is its own
+//!   protocol node; twins and outgoing diffs.
+//! * **1L** ([`ProtocolKind::OneLevelWrite`]) — every processor is its own
+//!   protocol node; in-line *write doubling* to the home copy.
+//! * The **home-node optimization** variants of both one-level protocols
+//!   ([`ProtocolKind::OneLevelDiffHome`], [`ProtocolKind::OneLevelWriteHome`]).
+//! * The **global-lock ablation** of §3.3.5 ([`DirectoryMode::GlobalLock`]).
+//!
+//! The public surface is [`Cluster`] (build a simulated cluster from a
+//! [`ClusterConfig`], allocate shared memory, seed initial data) and
+//! [`Proc`] (the per-processor handle applications use to access shared
+//! memory and synchronize). See the runnable examples in the repository's
+//! `examples/` directory.
+
+pub mod config;
+pub mod directory;
+pub mod engine;
+pub mod mc_lock;
+pub mod proc;
+pub mod report;
+pub mod sync;
+pub mod write_notice;
+
+pub use config::{ClusterConfig, DirectoryMode, ProtocolKind};
+pub use engine::Engine;
+pub use proc::{Cluster, Proc};
+pub use report::Report;
+
+pub use cashmere_sim::{
+    CostModel, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,
+};
+pub use cashmere_vmpage::{PAGE_BYTES, PAGE_WORDS};
+
+/// A word address in the shared heap (index of a 64-bit word).
+pub type Addr = usize;
+
+/// The page containing word address `a`.
+#[inline]
+pub fn page_of(a: Addr) -> usize {
+    a / PAGE_WORDS
+}
+
+/// The offset of word address `a` within its page.
+#[inline]
+pub fn offset_of(a: Addr) -> usize {
+    a % PAGE_WORDS
+}

@@ -1,0 +1,328 @@
+//! The public API: [`Cluster`] (build, allocate, seed, run) and [`Proc`]
+//! (the per-processor handle applications program against).
+//!
+//! A `Cluster` owns the protocol [`Engine`] and the pools of application
+//! synchronization objects. [`Cluster::run`] spawns one OS thread per
+//! simulated processor, hands each a `Proc`, and collects a [`Report`]
+//! (virtual execution time, Figure 6 time breakdown, Table 3 counters) when
+//! all of them finish.
+//!
+//! ```
+//! use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology};
+//!
+//! let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+//! let mut cluster = Cluster::new(cfg);
+//! let counters = cluster.alloc(4);
+//! let report = cluster.run(|p| {
+//!     p.barrier(0);
+//!     p.write_u64(counters + p.id(), p.id() as u64 + 1);
+//!     p.barrier(0);
+//! });
+//! assert_eq!(cluster.read_u64(counters + 3), 4);
+//! assert!(report.exec_ns > 0);
+//! ```
+
+use std::sync::Arc;
+
+use cashmere_sim::{Nanos, ProcId, TimeCategory};
+use cashmere_vmpage::PAGE_WORDS;
+
+use crate::config::ClusterConfig;
+use crate::engine::{Engine, ProcCtx};
+use crate::report::Report;
+use crate::sync::{CarrierBarrier, CarrierFlag, CarrierLock};
+use crate::Addr;
+
+/// Synchronization-object pools shared by all processors.
+struct SyncPools {
+    locks: Vec<CarrierLock>,
+    barriers: Vec<CarrierBarrier>,
+    flags: Vec<CarrierFlag>,
+}
+
+/// A simulated cluster, ready to allocate shared memory and run programs.
+pub struct Cluster {
+    engine: Arc<Engine>,
+    pools: Arc<SyncPools>,
+    next_word: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster for `cfg`.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let pools = Arc::new(SyncPools {
+            locks: (0..cfg.locks).map(|_| CarrierLock::new()).collect(),
+            barriers: (0..cfg.barriers).map(|_| CarrierBarrier::new()).collect(),
+            flags: (0..cfg.flags).map(|_| CarrierFlag::new()).collect(),
+        });
+        Self {
+            engine: Engine::new(cfg),
+            pools,
+            next_word: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        self.engine.config()
+    }
+
+    /// The protocol engine (exposed for tests that drive protocol
+    /// operations deterministically).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Allocates `words` contiguous 64-bit words of shared memory and
+    /// returns the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn alloc(&mut self, words: usize) -> Addr {
+        let base = self.next_word;
+        self.next_word += words;
+        assert!(
+            self.next_word <= self.config().heap_pages * PAGE_WORDS,
+            "shared heap exhausted: need {} words, have {}",
+            self.next_word,
+            self.config().heap_pages * PAGE_WORDS
+        );
+        base
+    }
+
+    /// Allocates `words` of shared memory starting on a fresh page boundary
+    /// (useful to give an array its own pages and control false sharing).
+    pub fn alloc_page_aligned(&mut self, words: usize) -> Addr {
+        if self.next_word % PAGE_WORDS != 0 {
+            let pad = PAGE_WORDS - self.next_word % PAGE_WORDS;
+            self.alloc(pad);
+        }
+        self.alloc(words)
+    }
+
+    /// Seeds initial data into the master copy of `addr` before the run —
+    /// models pre-parallel-phase initialization without perturbing the
+    /// first-touch home heuristic.
+    pub fn seed_u64(&self, addr: Addr, val: u64) {
+        self.engine.seed_word(addr, val);
+    }
+
+    /// Seeds an `f64` (stored via its bit pattern).
+    pub fn seed_f64(&self, addr: Addr, val: f64) {
+        self.engine.seed_word(addr, val.to_bits());
+    }
+
+    /// Reads back the authoritative post-run value at `addr`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.engine.read_back(addr)
+    }
+
+    /// Reads back an `f64`.
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.engine.read_back(addr))
+    }
+
+    /// Runs `f` on every simulated processor (one OS thread each) and
+    /// returns the run's [`Report`]. Each processor gets an implicit final
+    /// release so all its modifications reach the home copies.
+    pub fn run<F>(&self, f: F) -> Report
+    where
+        F: Fn(&mut Proc) + Sync,
+    {
+        let n = self.config().topology.total_procs();
+        let clocks: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|p| {
+                    let engine = Arc::clone(&self.engine);
+                    let pools = Arc::clone(&self.pools);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut proc = Proc::new(engine, pools, ProcId(p));
+                        f(&mut proc);
+                        proc.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulated processor panicked"))
+                .collect()
+        });
+        Report::build(self.engine.config(), &self.engine.stats, &clocks)
+    }
+}
+
+/// A simulated processor's handle: shared-memory accesses, synchronization,
+/// and compute-time accounting. One per processor, owned by its thread.
+pub struct Proc {
+    engine: Arc<Engine>,
+    pools: Arc<SyncPools>,
+    ctx: ProcCtx,
+}
+
+impl Proc {
+    fn new(engine: Arc<Engine>, pools: Arc<SyncPools>, id: ProcId) -> Self {
+        let ctx = engine.make_ctx(id);
+        Self { engine, pools, ctx }
+    }
+
+    /// Cluster-wide processor id, `0..nprocs()`.
+    pub fn id(&self) -> usize {
+        self.ctx.id.0
+    }
+
+    /// Total processors in the run.
+    pub fn nprocs(&self) -> usize {
+        self.engine.config().topology.total_procs()
+    }
+
+    /// Physical node index of this processor.
+    pub fn node(&self) -> usize {
+        self.ctx.phys
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.ctx.clock.now()
+    }
+
+    // --- Shared-memory accesses -------------------------------------
+
+    /// Reads the shared 64-bit word at `addr`.
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        self.engine.read_word(&mut self.ctx, addr)
+    }
+
+    /// Writes the shared 64-bit word at `addr`.
+    pub fn write_u64(&mut self, addr: Addr, val: u64) {
+        self.engine.write_word(&mut self.ctx, addr, val)
+    }
+
+    /// Reads the shared `f64` at `addr`.
+    pub fn read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes the shared `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: Addr, val: f64) {
+        self.write_u64(addr, val.to_bits())
+    }
+
+    /// Charges `ns` of application compute time (private computation that
+    /// touches no shared words).
+    pub fn compute(&mut self, ns: Nanos) {
+        self.engine.compute(&mut self.ctx, ns);
+    }
+
+    // --- Synchronization ---------------------------------------------
+
+    /// Acquires application lock `l`, then performs the protocol's acquire
+    /// consistency actions (§2.4.2).
+    pub fn lock(&mut self, l: usize) {
+        self.engine.stats.lock_acquires.inc();
+        let vt = self.pools.locks[l].acquire_for(self.ctx.clock.now(), self.lock_cost());
+        self.ctx.clock.wait_until(vt);
+        self.engine.acquire_actions(&mut self.ctx);
+    }
+
+    /// Performs the protocol's release consistency actions (§2.4.3), then
+    /// releases application lock `l`.
+    pub fn unlock(&mut self, l: usize) {
+        self.engine.release_actions(&mut self.ctx);
+        self.pools.locks[l].release(self.ctx.clock.now());
+    }
+
+    /// Crosses application barrier `b` (all processors participate): a
+    /// release on arrival, the two-level rendezvous, and an acquire on
+    /// departure (§2.3, §2.4).
+    pub fn barrier(&mut self, b: usize) {
+        let t0 = self.ctx.clock.now();
+        self.engine.release_actions(&mut self.ctx);
+        let t1 = self.ctx.clock.now();
+        let cost = self.barrier_cost();
+        let crossing = self.pools.barriers[b].wait(self.nprocs(), self.ctx.clock.now(), cost);
+        if crossing.was_last {
+            self.engine.stats.barriers.inc();
+        }
+        self.ctx.clock.wait_until(crossing.departure_vt);
+        let t2 = self.ctx.clock.now();
+        self.engine.acquire_actions(&mut self.ctx);
+        fn barrier_debug() -> bool {
+            static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            *ON.get_or_init(|| std::env::var_os("CASHMERE_BARRIER_DEBUG").is_some())
+        }
+        if barrier_debug() {
+            eprintln!(
+                "BAR p{} b{} release={}us wait={}us acq={}us",
+                self.id(),
+                b,
+                (t1 - t0) / 1000,
+                (t2 - t1) / 1000,
+                (self.ctx.clock.now() - t2) / 1000
+            );
+        }
+    }
+
+    /// Sets application flag `fl` (release semantics).
+    pub fn flag_set(&mut self, fl: usize) {
+        self.engine.release_actions(&mut self.ctx);
+        self.pools.flags[fl].set(self.ctx.clock.now());
+    }
+
+    /// Waits for application flag `fl` (acquire semantics).
+    pub fn flag_wait(&mut self, fl: usize) {
+        self.engine.stats.lock_acquires.inc();
+        let vt = self.pools.flags[fl].wait(self.ctx.clock.now());
+        self.ctx.clock.wait_until(vt);
+        self.ctx
+            .clock
+            .charge(TimeCategory::CommWait, self.lock_cost());
+        self.engine.acquire_actions(&mut self.ctx);
+    }
+
+    /// Non-blocking flag check (no consistency actions).
+    pub fn flag_is_set(&self, fl: usize) -> bool {
+        self.pools.flags[fl].is_set()
+    }
+
+    // --- Accounting knobs ---------------------------------------------
+
+    /// Overrides the polling-overhead fraction for this processor (the
+    /// paper's per-application 0–36%).
+    pub fn set_poll_fraction(&mut self, f: f64) {
+        self.ctx.poll_fraction = f;
+    }
+
+    /// Overrides the memory-bus bytes charged per shared access (models an
+    /// application phase's cache-capacity traffic).
+    pub fn set_bus_bytes_per_access(&mut self, b: u64) {
+        self.ctx.bus_bytes = b;
+    }
+
+    fn lock_cost(&self) -> Nanos {
+        let c = &self.engine.config().cost;
+        if self.engine.config().protocol.is_two_level() {
+            c.lock_two_level
+        } else {
+            c.lock_one_level
+        }
+    }
+
+    fn barrier_cost(&self) -> Nanos {
+        let cfg = self.engine.config();
+        if cfg.protocol.is_two_level() {
+            cfg.cost.barrier_two_level(cfg.topology.nodes())
+        } else {
+            cfg.cost.barrier_one_level(cfg.topology.total_procs())
+        }
+    }
+
+    /// Final release + accounting settlement; returns the processor's
+    /// clock. Called automatically at the end of [`Cluster::run`].
+    fn finish(mut self) -> cashmere_sim::ProcClock {
+        self.engine.release_actions(&mut self.ctx);
+        self.engine.settle(&mut self.ctx);
+        self.ctx.clock.clone()
+    }
+}

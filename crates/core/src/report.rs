@@ -1,0 +1,150 @@
+//! Run reports: simulated execution time, the Figure 6 time breakdown, and
+//! the Table 3 counters.
+
+use cashmere_sim::{Nanos, ProcClock, Stats, TimeBreakdown, TimeCategory};
+
+use crate::config::{ClusterConfig, ProtocolKind};
+
+/// Plain-value snapshot of the cluster-wide [`Stats`] counters, in Table 3
+/// terms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Lock and flag acquires.
+    pub lock_acquires: u64,
+    /// Barrier episodes.
+    pub barriers: u64,
+    /// Read page faults.
+    pub read_faults: u64,
+    /// Write page faults.
+    pub write_faults: u64,
+    /// Page transfers from home nodes.
+    pub page_transfers: u64,
+    /// Global directory updates.
+    pub directory_updates: u64,
+    /// Write notices sent.
+    pub write_notices: u64,
+    /// Exclusive-mode transitions (in or out).
+    pub exclusive_transitions: u64,
+    /// Bytes moved across the Memory Channel.
+    pub data_bytes: u64,
+    /// Twins created.
+    pub twin_creations: u64,
+    /// Incoming (two-way) diffs applied.
+    pub incoming_diffs: u64,
+    /// Flush-update operations.
+    pub flush_updates: u64,
+    /// Shootdowns performed.
+    pub shootdowns: u64,
+    /// First-touch home relocations.
+    pub home_relocations: u64,
+    /// Explicit remote requests.
+    pub remote_requests: u64,
+}
+
+impl From<&Stats> for Counters {
+    fn from(s: &Stats) -> Self {
+        Self {
+            lock_acquires: s.lock_acquires.get(),
+            barriers: s.barriers.get(),
+            read_faults: s.read_faults.get(),
+            write_faults: s.write_faults.get(),
+            page_transfers: s.page_transfers.get(),
+            directory_updates: s.directory_updates.get(),
+            write_notices: s.write_notices.get(),
+            exclusive_transitions: s.exclusive_transitions.get(),
+            data_bytes: s.data_bytes.get(),
+            twin_creations: s.twin_creations.get(),
+            incoming_diffs: s.incoming_diffs.get(),
+            flush_updates: s.flush_updates.get(),
+            shootdowns: s.shootdowns.get(),
+            home_relocations: s.home_relocations.get(),
+            remote_requests: s.remote_requests.get(),
+        }
+    }
+}
+
+/// The result of one [`crate::Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Protocol that produced this run.
+    pub protocol: ProtocolKind,
+    /// Processors in the run.
+    pub procs: usize,
+    /// Physical nodes in the run.
+    pub nodes: usize,
+    /// Simulated execution time: the maximum processor virtual time.
+    pub exec_ns: Nanos,
+    /// Per-processor virtual finish times.
+    pub per_proc_ns: Vec<Nanos>,
+    /// Merged per-category time across all processors (Figure 6).
+    pub breakdown: TimeBreakdown,
+    /// Cluster-wide event counters (Table 3).
+    pub counters: Counters,
+}
+
+impl Report {
+    /// Assembles a report from the engine's statistics and the collected
+    /// processor clocks.
+    pub fn build(cfg: &ClusterConfig, stats: &Stats, clocks: &[ProcClock]) -> Self {
+        let mut breakdown = TimeBreakdown::default();
+        let mut per_proc = Vec::with_capacity(clocks.len());
+        for c in clocks {
+            breakdown.merge(c.breakdown());
+            per_proc.push(c.now());
+        }
+        Self {
+            protocol: cfg.protocol,
+            procs: cfg.topology.total_procs(),
+            nodes: cfg.topology.nodes(),
+            exec_ns: per_proc.iter().copied().max().unwrap_or(0),
+            per_proc_ns: per_proc,
+            breakdown,
+            counters: Counters::from(stats),
+        }
+    }
+
+    /// Simulated execution time in seconds.
+    pub fn exec_secs(&self) -> f64 {
+        self.exec_ns as f64 / 1e9
+    }
+
+    /// Speedup relative to a sequential execution time.
+    pub fn speedup(&self, sequential_ns: Nanos) -> f64 {
+        sequential_ns as f64 / self.exec_ns.max(1) as f64
+    }
+
+    /// Fraction of total processor time spent in `cat` (Figure 6's
+    /// normalized components).
+    pub fn fraction(&self, cat: TimeCategory) -> f64 {
+        let total = self.breakdown.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.breakdown.get(cat) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_sim::Topology;
+
+    #[test]
+    fn report_aggregates_clocks() {
+        let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        let stats = Stats::new();
+        stats.page_transfers.add(7);
+        let mut c0 = ProcClock::new();
+        c0.charge(TimeCategory::User, 100);
+        let mut c1 = ProcClock::new();
+        c1.charge(TimeCategory::Protocol, 250);
+        let r = Report::build(&cfg, &stats, &[c0, c1]);
+        assert_eq!(r.exec_ns, 250);
+        assert_eq!(r.per_proc_ns, vec![100, 250]);
+        assert_eq!(r.counters.page_transfers, 7);
+        assert_eq!(r.breakdown.total(), 350);
+        assert!((r.fraction(TimeCategory::User) - 100.0 / 350.0).abs() < 1e-12);
+        assert!((r.speedup(500) - 2.0).abs() < 1e-12);
+    }
+}

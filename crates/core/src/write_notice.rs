@@ -1,0 +1,271 @@
+//! Write-notice lists (§2.3, Figure 4).
+//!
+//! Cashmere-2L uses a **multi-bin, two-level** write-notice structure to
+//! avoid mutual exclusion:
+//!
+//! * Each protocol node owns a globally accessible list with **one bin per
+//!   remote node** (a circular queue in Memory Channel space on the real
+//!   hardware). Because every bin has exactly one writer, no cluster-wide
+//!   lock is needed. Here each bin is a lock-free queue standing in for the
+//!   MC circular buffer; the Memory Channel latency/bandwidth of posting a
+//!   notice is charged by the engine.
+//! * Each *processor* has a second-level list consisting of a **bitmap plus
+//!   a queue**, protected by a cheap node-local lock. The bitmap suppresses
+//!   redundant notices: inserting a page already present is a no-op.
+//!
+//! On an acquire, a processor drains the node's global bins, distributing
+//! each notice to the per-processor lists of the local processors that have
+//! a mapping for the page, then processes its own per-processor list.
+//!
+//! The §3.3.5 ablation ([`DirectoryMode::GlobalLock`]) replaces the per-bin
+//! single-writer discipline with one global-locked list per node, modeled by
+//! serializing posts through a per-node virtual-time gate.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use cashmere_sim::{Nanos, Resource};
+
+use crate::config::DirectoryMode;
+
+/// The global (inter-node) write-notice bins of one protocol node.
+pub struct NodeBins {
+    /// One bin per sender node (the paper's "seven-bin" list on an 8-node
+    /// cluster; sized to the actual node count here). `bins[from]` is
+    /// written only by node `from`.
+    bins: Vec<SegQueue<u32>>,
+    /// Serialization gate for the GlobalLock ablation (`None` when
+    /// lock-free).
+    gate: Option<Resource>,
+}
+
+/// All nodes' global write-notice lists.
+pub struct NoticeBoard {
+    nodes: Vec<NodeBins>,
+    /// Extra virtual time a post spends holding the global lock in the
+    /// ablation mode.
+    gate_hold: Nanos,
+}
+
+impl NoticeBoard {
+    /// Creates bins for `pnodes` nodes.
+    pub fn new(pnodes: usize, mode: DirectoryMode, gate_hold: Nanos) -> Self {
+        let nodes = (0..pnodes)
+            .map(|_| NodeBins {
+                bins: (0..pnodes).map(|_| SegQueue::new()).collect(),
+                gate: match mode {
+                    DirectoryMode::LockFree => None,
+                    DirectoryMode::GlobalLock => Some(Resource::new()),
+                },
+            })
+            .collect();
+        Self { nodes, gate_hold }
+    }
+
+    /// Posts a write notice for `page` from node `from` into node `to`'s
+    /// list. Returns the virtual time at which the post completes (equal to
+    /// `now` in lock-free mode; later if the ablation's global lock had to
+    /// be waited for).
+    pub fn post(&self, to: usize, from: usize, page: u32, now: Nanos) -> Nanos {
+        let node = &self.nodes[to];
+        let done = match &node.gate {
+            None => now,
+            Some(gate) => gate.acquire(now, self.gate_hold),
+        };
+        node.bins[from].push(page);
+        done
+    }
+
+    /// Drains every bin of node `to`, returning `(from, page)` pairs.
+    ///
+    /// Multiple local processors may drain concurrently (the queues are
+    /// lock-free); each notice is delivered to exactly one drainer.
+    pub fn drain(&self, to: usize) -> Vec<(usize, u32)> {
+        let node = &self.nodes[to];
+        let mut out = Vec::new();
+        for (from, bin) in node.bins.iter().enumerate() {
+            while let Some(page) = bin.pop() {
+                out.push((from, page));
+            }
+        }
+        out
+    }
+
+    /// Whether node `to` currently has any pending notices (approximate;
+    /// used only by tests and diagnostics).
+    pub fn is_empty(&self, to: usize) -> bool {
+        self.nodes[to].bins.iter().all(|b| b.is_empty())
+    }
+}
+
+/// A processor's second-level write-notice list: bitmap + queue under a
+/// node-local lock (§2.3, Figure 4).
+pub struct ProcNoticeList {
+    inner: Mutex<ProcListInner>,
+}
+
+struct ProcListInner {
+    bits: Vec<u64>,
+    queue: Vec<u32>,
+}
+
+impl ProcNoticeList {
+    /// Creates an empty list covering `pages` pages.
+    pub fn new(pages: usize) -> Self {
+        Self {
+            inner: Mutex::new(ProcListInner {
+                bits: vec![0; pages.div_ceil(64)],
+                queue: Vec::new(),
+            }),
+        }
+    }
+
+    /// Inserts a notice for `page`. Returns `true` if the page was newly
+    /// queued, `false` if the bitmap already recorded it (the redundant-
+    /// notice suppression of §2.3).
+    pub fn insert(&self, page: u32) -> bool {
+        let mut g = self.inner.lock();
+        let (w, b) = (page as usize / 64, page as usize % 64);
+        if g.bits[w] >> b & 1 == 1 {
+            return false;
+        }
+        g.bits[w] |= 1 << b;
+        g.queue.push(page);
+        true
+    }
+
+    /// Flushes the queue and clears the bitmap, returning the queued pages.
+    pub fn drain(&self) -> Vec<u32> {
+        let mut g = self.inner.lock();
+        for w in g.bits.iter_mut() {
+            *w = 0;
+        }
+        std::mem::take(&mut g.queue)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+/// A processor's no-longer-exclusive (NLE) list: pages broken out of
+/// exclusive mode by a remote request while this processor held a write
+/// mapping; writable by all local processors (§2.3, §2.4.1).
+pub struct NleList {
+    inner: Mutex<Vec<u32>>,
+}
+
+impl NleList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds `page` (duplicates are tolerated; releases handle them).
+    pub fn push(&self, page: u32) {
+        self.inner.lock().push(page);
+    }
+
+    /// Takes all pending entries.
+    pub fn drain(&self) -> Vec<u32> {
+        std::mem::take(&mut self.inner.lock())
+    }
+}
+
+impl Default for NleList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_drain_by_sender_bin() {
+        let b = NoticeBoard::new(3, DirectoryMode::LockFree, 0);
+        b.post(0, 1, 10, 0);
+        b.post(0, 2, 20, 0);
+        b.post(0, 1, 11, 0);
+        let mut got = b.drain(0);
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 10), (1, 11), (2, 20)]);
+        assert!(b.is_empty(0));
+        assert!(b.drain(0).is_empty());
+    }
+
+    #[test]
+    fn bins_are_per_destination() {
+        let b = NoticeBoard::new(2, DirectoryMode::LockFree, 0);
+        b.post(1, 0, 5, 0);
+        assert!(b.is_empty(0));
+        assert_eq!(b.drain(1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn lock_free_posts_cost_nothing_extra() {
+        let b = NoticeBoard::new(2, DirectoryMode::LockFree, 5_000);
+        assert_eq!(b.post(0, 1, 1, 123), 123);
+    }
+
+    #[test]
+    fn global_lock_posts_serialize() {
+        let b = NoticeBoard::new(2, DirectoryMode::GlobalLock, 1_000);
+        let a = b.post(0, 1, 1, 0);
+        let c = b.post(0, 1, 2, 0);
+        assert_eq!(a, 1_000);
+        assert_eq!(c, 2_000, "second post waits for the global lock");
+    }
+
+    #[test]
+    fn proc_list_suppresses_redundant_notices() {
+        let l = ProcNoticeList::new(128);
+        assert!(l.insert(7));
+        assert!(!l.insert(7), "bitmap hit → no duplicate queue entry");
+        assert!(l.insert(64));
+        let mut d = l.drain();
+        d.sort_unstable();
+        assert_eq!(d, vec![7, 64]);
+        // Bitmap cleared by drain: the page can be queued again.
+        assert!(l.insert(7));
+        assert_eq!(l.drain(), vec![7]);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_queue_once() {
+        use std::sync::Arc;
+        let l = Arc::new(ProcNoticeList::new(64));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.insert(3);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            l.drain(),
+            vec![3],
+            "page queued exactly once despite 4000 inserts"
+        );
+    }
+
+    #[test]
+    fn nle_list_accumulates() {
+        let n = NleList::new();
+        n.push(1);
+        n.push(2);
+        assert_eq!(n.drain(), vec![1, 2]);
+        assert!(n.drain().is_empty());
+    }
+}

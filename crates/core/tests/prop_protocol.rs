@@ -1,0 +1,108 @@
+//! Property-based protocol tests: randomly generated data-race-free
+//! programs must produce identical results under every protocol, and the
+//! directory encoding must round-trip.
+
+use proptest::prelude::*;
+
+use cashmere_core::directory::{DirWord, PermBits};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_sim::Resource;
+
+proptest! {
+    /// Directory words round-trip through their wire encoding.
+    #[test]
+    fn dir_word_pack_roundtrip(perm in 0..3u8, exclusive: bool, excl_proc in 0..128u16) {
+        let perm = match perm {
+            0 => PermBits::None,
+            1 => PermBits::Read,
+            _ => PermBits::Write,
+        };
+        let w = DirWord { perm, exclusive, excl_proc };
+        prop_assert_eq!(DirWord::unpack(w.pack()), w);
+    }
+
+    /// Resource grants never overlap and respect request times.
+    #[test]
+    fn resource_grants_are_disjoint(reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..64)) {
+        let r = Resource::new();
+        let mut grants = Vec::new();
+        for &(now, busy) in &reqs {
+            let end = r.acquire(now, busy);
+            prop_assert!(end >= now + busy);
+            grants.push((end - busy, end));
+        }
+        grants.sort_unstable();
+        for pair in grants.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "grants overlap: {pair:?}");
+        }
+    }
+}
+
+/// One step of a random DRF program: each processor owns a stripe of words;
+/// phases alternate "write own stripe as f(round, inputs)" and "read a
+/// rotated stripe", with barriers between. The final memory image must be
+/// identical under every protocol and topology.
+fn drf_program_result(
+    protocol: ProtocolKind,
+    nodes: usize,
+    ppn: usize,
+    rounds: usize,
+    stride: usize,
+    seed: u64,
+) -> Vec<u64> {
+    let procs = nodes * ppn;
+    let words = procs * stride;
+    let cfg = ClusterConfig::new(Topology::new(nodes, ppn), protocol)
+        .with_heap_pages(words.div_ceil(PAGE_WORDS) + 2)
+        .with_sync(1, 2, 0);
+    let mut c = Cluster::new(cfg);
+    let base = c.alloc_page_aligned(words);
+    for i in 0..words {
+        c.seed_u64(base + i, seed.wrapping_mul(i as u64 + 1));
+    }
+    c.run(|p| {
+        let me = p.id();
+        let np = p.nprocs();
+        for r in 0..rounds {
+            // Read a rotated stripe (previous round's values).
+            let victim = (me + r + 1) % np;
+            let mut acc = 0u64;
+            for i in 0..stride {
+                acc = acc.wrapping_add(p.read_u64(base + victim * stride + i));
+            }
+            p.barrier(0);
+            // Write own stripe from what was read.
+            for i in 0..stride {
+                p.write_u64(base + me * stride + i, acc.wrapping_add(i as u64));
+            }
+            p.barrier(1);
+        }
+    });
+    (0..words).map(|i| c.read_u64(base + i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random DRF stripe programs agree across all protocols and shapes.
+    #[test]
+    fn random_drf_programs_agree_across_protocols(
+        rounds in 1usize..5,
+        stride in 1usize..24,
+        seed in 1u64..u64::MAX,
+    ) {
+        let reference =
+            drf_program_result(ProtocolKind::TwoLevel, 4, 1, rounds, stride, seed);
+        for protocol in ProtocolKind::ALL {
+            let got = drf_program_result(protocol, 2, 2, rounds, stride, seed);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "{} at 2x2 (rounds={}, stride={})",
+                protocol.label(),
+                rounds,
+                stride
+            );
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Protocol-level integration tests: release-consistency visibility,
+//! multiple concurrent writers, exclusive mode, two-way diffing, and
+//! cross-protocol agreement.
+
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+
+fn cluster(protocol: ProtocolKind, nodes: usize, ppn: usize) -> Cluster {
+    let cfg = ClusterConfig::new(Topology::new(nodes, ppn), protocol)
+        .with_heap_pages(32)
+        .with_sync(8, 4, 8);
+    Cluster::new(cfg)
+}
+
+#[test]
+fn lock_protected_updates_are_visible_under_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let mut c = cluster(protocol, 2, 2);
+        let counter = c.alloc(1);
+        let report = c.run(|p| {
+            for _ in 0..10 {
+                p.lock(0);
+                let v = p.read_u64(counter);
+                p.write_u64(counter, v + 1);
+                p.unlock(0);
+            }
+        });
+        assert_eq!(
+            c.read_u64(counter),
+            40,
+            "{}: 4 procs × 10 locked increments",
+            protocol.label()
+        );
+        assert!(report.counters.lock_acquires >= 40, "{}", protocol.label());
+    }
+}
+
+#[test]
+fn barrier_ordered_producer_consumer_under_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let mut c = cluster(protocol, 2, 2);
+        let data = c.alloc_page_aligned(64);
+        let sums = c.alloc_page_aligned(8);
+        let report = c.run(|p| {
+            let id = p.id();
+            // Phase 1: each proc writes its own 16-word stripe.
+            for i in 0..16 {
+                p.write_u64(data + id * 16 + i, (id * 100 + i) as u64);
+            }
+            p.barrier(0);
+            // Phase 2: each proc sums a stripe written by another proc.
+            let victim = (id + 1) % 4;
+            let mut sum = 0u64;
+            for i in 0..16 {
+                sum += p.read_u64(data + victim * 16 + i);
+            }
+            p.write_u64(sums + id, sum);
+            p.barrier(1);
+        });
+        for id in 0..4usize {
+            let victim = (id + 1) % 4;
+            let expect: u64 = (0..16).map(|i| (victim * 100 + i) as u64).sum();
+            assert_eq!(
+                c.read_u64(sums + id),
+                expect,
+                "{}: proc {id} read stale stripe",
+                protocol.label()
+            );
+        }
+        assert_eq!(report.counters.barriers, 2, "{}", protocol.label());
+    }
+}
+
+#[test]
+fn false_sharing_multiple_writers_on_one_page() {
+    // Every processor writes a disjoint word of the SAME page between
+    // barriers; afterwards everyone must see everyone's writes. This is the
+    // multiple-writer merge path (outgoing diffs at the home + incoming
+    // diffs or shootdowns locally).
+    for protocol in ProtocolKind::ALL {
+        let mut c = cluster(protocol, 2, 2);
+        let page = c.alloc_page_aligned(PAGE_WORDS);
+        let ok = c.alloc_page_aligned(8);
+        c.run(|p| {
+            let id = p.id();
+            p.write_u64(page + id, id as u64 + 1);
+            p.barrier(0);
+            let mut good = true;
+            for other in 0..4usize {
+                if p.read_u64(page + other) != other as u64 + 1 {
+                    good = false;
+                }
+            }
+            p.write_u64(ok + id, good as u64);
+            p.barrier(1);
+        });
+        for id in 0..4usize {
+            assert_eq!(
+                c.read_u64(ok + id),
+                1,
+                "{}: proc {id} saw stale words",
+                protocol.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_false_sharing_rounds_converge() {
+    // Multiple rounds of write-barrier-read on a falsely shared page; each
+    // round builds on the previous one's values, so any lost update or
+    // stale fetch compounds into a wrong final sum.
+    for protocol in ProtocolKind::PAPER_FOUR {
+        let mut c = cluster(protocol, 2, 2);
+        let page = c.alloc_page_aligned(PAGE_WORDS);
+        c.run(|p| {
+            let id = p.id();
+            for _round in 0..8 {
+                // Read phase (everyone reads last round's values) …
+                let mut sum = 0u64;
+                for other in 0..4usize {
+                    sum += p.read_u64(page + other);
+                }
+                let mine = p.read_u64(page + id);
+                p.barrier(0);
+                // … barrier … write phase (data-race-free: reads and writes
+                // of the same round never overlap).
+                p.write_u64(page + id, mine + sum + 1);
+                p.barrier(1);
+            }
+        });
+        // Compute the expected fixpoint sequentially.
+        let mut vals = [0u64; 4];
+        for _ in 0..8 {
+            let sum: u64 = vals.iter().sum();
+            let new: Vec<u64> = vals.iter().map(|v| v + sum + 1).collect();
+            vals.copy_from_slice(&new);
+        }
+        for id in 0..4usize {
+            assert_eq!(
+                c.read_u64(page + id),
+                vals[id],
+                "{}: proc {id}",
+                protocol.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn private_pages_enter_exclusive_mode_and_reads_break_them() {
+    // Exclusive mode arises when a NON-home node is a page's only accessor.
+    // Proc 0 first-touches page 0 of a superpage (homing the whole
+    // superpage on node 0); proc 3 (node 1) then privately writes page 1 of
+    // that superpage, entering exclusive mode.
+    let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+        .with_heap_pages(32)
+        .with_sync(8, 4, 8);
+    cfg.pages_per_superpage = 4; // exercise the superpage constraint
+    let mut c = Cluster::new(cfg);
+    let sp = c.alloc_page_aligned(4 * PAGE_WORDS); // superpage-aligned (heap base)
+    assert_eq!(sp % (4 * PAGE_WORDS), 0, "test assumes superpage alignment");
+    let out = c.alloc_page_aligned(8);
+    let report = c.run(|p| {
+        if p.id() == 0 {
+            p.write_u64(sp, 42); // first touch: superpage homed on node 0
+        }
+        p.barrier(0);
+        if p.id() == 3 {
+            for i in 0..32 {
+                p.write_u64(sp + PAGE_WORDS + i, i as u64 * 3); // exclusive entry
+            }
+        }
+        p.barrier(1);
+        if p.id() == 0 {
+            // A remote read must break exclusivity and observe the data.
+            let mut sum = 0;
+            for i in 0..32 {
+                sum += p.read_u64(sp + PAGE_WORDS + i);
+            }
+            p.write_u64(out, sum);
+        }
+        p.barrier(2);
+    });
+    let expect: u64 = (0..32u64).map(|i| i * 3).sum();
+    assert_eq!(c.read_u64(out), expect);
+    assert!(
+        report.counters.exclusive_transitions >= 2,
+        "entered and left exclusive mode at least once, got {}",
+        report.counters.exclusive_transitions
+    );
+}
+
+#[test]
+fn exclusive_pages_incur_no_flushes_while_private() {
+    // A non-home processor hammering pages nobody else shares should hold
+    // them exclusive: no twins, no write notices, despite lock releases.
+    let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+        .with_heap_pages(32)
+        .with_sync(8, 4, 8);
+    cfg.pages_per_superpage = 4;
+    let mut c = Cluster::new(cfg);
+    let sp = c.alloc_page_aligned(4 * PAGE_WORDS);
+    let report = c.run(|p| {
+        if p.id() == 0 {
+            p.write_u64(sp, 1); // home the superpage on node 0
+        }
+        p.barrier(0);
+        if p.id() == 3 {
+            for round in 0..5 {
+                p.lock(0);
+                for pg in 1..4 {
+                    p.write_u64(sp + pg * PAGE_WORDS, round);
+                }
+                p.unlock(0);
+            }
+        }
+        p.barrier(1);
+    });
+    assert_eq!(
+        report.counters.write_notices, 0,
+        "private pages produced notices"
+    );
+    assert_eq!(
+        report.counters.twin_creations, 0,
+        "private pages produced twins"
+    );
+    assert!(
+        report.counters.exclusive_transitions >= 3,
+        "three pages entered exclusive mode, got {}",
+        report.counters.exclusive_transitions
+    );
+}
+
+#[test]
+fn two_way_diffing_preserves_concurrent_local_writes() {
+    // Node 0's two processors both write the page (different words); node
+    // 1 writes a third word and releases; a node-0 processor then acquires
+    // and reads node 1's word — the fetch applies an incoming diff that
+    // must not clobber node 0's unflushed local writes.
+    let mut c = cluster(ProtocolKind::TwoLevel, 2, 2);
+    let page = c.alloc_page_aligned(PAGE_WORDS);
+    let result = c.alloc_page_aligned(8);
+    let report = c.run(|p| {
+        match p.id() {
+            0 => {
+                p.write_u64(page, 111);
+                p.barrier(0); // everyone has written
+                p.lock(0);
+                // Acquire → invalidation → fetch with incoming diff.
+                let remote = p.read_u64(page + 2);
+                let mine = p.read_u64(page);
+                let sibling = p.read_u64(page + 1);
+                p.write_u64(result, remote);
+                p.write_u64(result + 1, mine);
+                p.write_u64(result + 2, sibling);
+                p.unlock(0);
+            }
+            1 => {
+                p.write_u64(page + 1, 222);
+                p.barrier(0);
+            }
+            2 => {
+                p.write_u64(page + 2, 333);
+                p.barrier(0);
+            }
+            _ => {
+                p.barrier(0);
+            }
+        }
+        p.barrier(1);
+    });
+    assert_eq!(
+        c.read_u64(result),
+        333,
+        "remote write visible after acquire"
+    );
+    assert_eq!(
+        c.read_u64(result + 1),
+        111,
+        "own unflushed write survived the incoming diff"
+    );
+    assert_eq!(
+        c.read_u64(result + 2),
+        222,
+        "sibling's write survived (hardware coherence)"
+    );
+    assert_eq!(c.read_u64(page), 111);
+    assert_eq!(c.read_u64(page + 1), 222);
+    assert_eq!(c.read_u64(page + 2), 333);
+    assert_eq!(report.counters.shootdowns, 0, "2L never shoots down");
+}
+
+#[test]
+fn shootdown_protocol_reaches_the_same_values() {
+    let mut c = cluster(ProtocolKind::TwoLevelShootdown, 2, 2);
+    let page = c.alloc_page_aligned(PAGE_WORDS);
+    c.run(|p| {
+        let id = p.id();
+        p.write_u64(page + id, (id + 1) as u64 * 7);
+        p.barrier(0);
+        // Everyone re-reads everything under a lock (forcing fetches that
+        // collide with concurrent writers on the same node).
+        p.lock(0);
+        let mut sum = 0;
+        for o in 0..4usize {
+            sum += p.read_u64(page + o);
+        }
+        p.write_u64(page + 8 + id, sum);
+        p.unlock(0);
+        p.barrier(1);
+    });
+    let expect = 7 + 14 + 21 + 28;
+    for id in 0..4usize {
+        assert_eq!(c.read_u64(page + 8 + id), expect);
+    }
+}
+
+#[test]
+fn seed_and_read_back_round_trip() {
+    let mut c = cluster(ProtocolKind::TwoLevel, 2, 2);
+    let arr = c.alloc(16);
+    for i in 0..16 {
+        c.seed_f64(arr + i, i as f64 * 0.5);
+    }
+    let out = c.alloc_page_aligned(1);
+    c.run(|p| {
+        if p.id() == 0 {
+            let mut sum = 0.0;
+            for i in 0..16 {
+                sum += p.read_f64(arr + i);
+            }
+            p.write_f64(out, sum);
+        }
+        p.barrier(0);
+    });
+    let expect: f64 = (0..16).map(|i| i as f64 * 0.5).sum();
+    assert_eq!(c.read_f64(out), expect);
+}
+
+#[test]
+fn first_touch_relocates_homes_once_per_superpage() {
+    let mut c = cluster(ProtocolKind::TwoLevel, 2, 2);
+    let a = c.alloc_page_aligned(8 * PAGE_WORDS);
+    let report = c.run(|p| {
+        // Proc 3 (node 1) touches everything first.
+        if p.id() == 3 {
+            for pg in 0..8 {
+                p.write_u64(a + pg * PAGE_WORDS, 1);
+            }
+        }
+        p.barrier(0);
+    });
+    // 8 pages at 1 page/superpage (the default) = 8 relocations.
+    assert_eq!(report.counters.home_relocations, 8);
+    // And the toucher's node is now home: its subsequent accesses must not
+    // transfer pages.
+    let before = report.counters.page_transfers;
+    assert_eq!(
+        before, 0,
+        "first toucher became home; no transfers expected"
+    );
+}
+
+#[test]
+fn two_level_coalesces_fetches_compared_to_one_level() {
+    // All four processors of one physical node read a remote node's data.
+    // Under 2L they share one frame (one fetch); under 1LD each processor
+    // fetches its own copy.
+    let run = |protocol: ProtocolKind| {
+        let mut c = cluster(protocol, 2, 4);
+        let data = c.alloc_page_aligned(PAGE_WORDS);
+        for i in 0..PAGE_WORDS {
+            c.seed_u64(data + i, i as u64);
+        }
+        let sink = c.alloc_page_aligned(8);
+        let report = c.run(|p| {
+            // Proc 0 (node 0) claims the page so its home lands on node 0.
+            if p.id() == 0 {
+                p.write_u64(data, 0);
+            }
+            p.barrier(0);
+            // All of node 1's processors read it.
+            if p.node() == 1 {
+                let mut sum = 0;
+                for i in 0..64 {
+                    sum += p.read_u64(data + i);
+                }
+                p.write_u64(sink + p.id() % 4, sum);
+            }
+            p.barrier(1);
+        });
+        report.counters.page_transfers
+    };
+    let two = run(ProtocolKind::TwoLevel);
+    let one = run(ProtocolKind::OneLevelDiff);
+    assert!(
+        two < one,
+        "2L must coalesce page fetches within the node: 2L={two}, 1LD={one}"
+    );
+}
+
+#[test]
+fn write_doubling_counts_doubling_bytes() {
+    let mut c = cluster(ProtocolKind::OneLevelWrite, 2, 2);
+    let page = c.alloc_page_aligned(PAGE_WORDS);
+    let report = c.run(|p| {
+        if p.id() == 3 {
+            // Proc 0's node will own nothing; make proc 3 touch first so it
+            // is NOT the home for proc 0's writes below... simply: everyone
+            // writes; non-home writers double.
+        }
+        let id = p.id();
+        p.write_u64(page + id, id as u64);
+        p.barrier(0);
+    });
+    // At least the non-home writers' stores must be doubled (8 bytes each).
+    assert!(report.counters.data_bytes > 0);
+    for id in 0..4usize {
+        assert_eq!(c.read_u64(page + id), id as u64);
+    }
+}
+
+#[test]
+fn migratory_data_under_locks_matches_across_protocols() {
+    // A migratory token bounced between nodes under a lock — the Water
+    // sharing pattern in miniature.
+    let mut finals = Vec::new();
+    for protocol in ProtocolKind::PAPER_FOUR {
+        let mut c = cluster(protocol, 2, 2);
+        let token = c.alloc_page_aligned(4);
+        c.run(|p| {
+            for _ in 0..25 {
+                p.lock(1);
+                let v = p.read_u64(token);
+                p.write_u64(token, v + 1);
+                p.write_u64(token + 1, p.id() as u64);
+                p.unlock(1);
+            }
+        });
+        finals.push(c.read_u64(token));
+    }
+    assert!(
+        finals.iter().all(|&v| v == 100),
+        "all protocols reach 100: {finals:?}"
+    );
+}
+
+#[test]
+fn report_time_breakdown_is_populated() {
+    let mut c = cluster(ProtocolKind::TwoLevel, 2, 2);
+    let a = c.alloc_page_aligned(PAGE_WORDS);
+    let r = c.run(|p| {
+        p.compute(10_000);
+        p.write_u64(a + p.id(), 1);
+        p.barrier(0);
+        let _ = p.read_u64(a + (p.id() + 1) % 4);
+        p.barrier(1);
+    });
+    use cashmere_core::TimeCategory;
+    assert!(r.breakdown.get(TimeCategory::User) > 0);
+    assert!(r.breakdown.get(TimeCategory::Protocol) > 0);
+    assert!(r.breakdown.get(TimeCategory::CommWait) > 0);
+    assert!(r.breakdown.get(TimeCategory::Polling) > 0);
+    assert!(r.exec_ns >= 10_000);
+    assert_eq!(r.procs, 4);
+    assert_eq!(r.nodes, 2);
+}
+
+#[test]
+fn cluster_can_run_multiple_programs_back_to_back() {
+    // A second run creates fresh per-processor contexts while the page
+    // tables persist — the frame caches must repopulate lazily (regression:
+    // this used to panic with "fault left no frame").
+    let mut c = cluster(ProtocolKind::TwoLevel, 2, 2);
+    let a = c.alloc_page_aligned(64);
+    c.run(|p| {
+        p.write_u64(a + p.id(), p.id() as u64 + 1);
+        p.barrier(0);
+    });
+    c.run(|p| {
+        // Reads and writes on pages whose permissions survived run 1.
+        let v = p.read_u64(a + p.id());
+        p.write_u64(a + p.id(), v * 10);
+        p.barrier(0);
+    });
+    for id in 0..4u64 {
+        assert_eq!(c.read_u64(a + id as usize), (id + 1) * 10);
+    }
+}

@@ -1,0 +1,434 @@
+//! A simulation of DEC's Memory Channel remote-write network (§2.1 of the
+//! paper).
+//!
+//! Memory Channel properties reproduced here:
+//!
+//! * **Remote writes only** — a region can be mapped for *transmit* or
+//!   *receive*; writes through a transmit mapping are delivered into the
+//!   receive copies of the same region on every attached node. There is no
+//!   remote read: reading remote data requires the explicit-request protocol
+//!   built on top (in `cashmere-core`).
+//! * **Global write ordering** — two writes to the same region appear in the
+//!   same order in every receive copy. The simulator linearizes deliveries
+//!   with a per-region order lock (the "hub").
+//! * **Loop-back** — normally a node's own receive copy is *not* updated by
+//!   its own transmits; the writer must "double" the write by storing into
+//!   its local copy manually (the paper does this for directory entries).
+//!   With loop-back enabled (used for synchronization objects), the writer's
+//!   own receive copy *is* updated, and the completion time returned by a
+//!   write is the moment the write has been *globally performed* — which is
+//!   how the paper's locks detect that their array-entry write is visible
+//!   everywhere.
+//! * **Latency and bandwidth** — each write charges the 5.2 µs
+//!   process-to-process latency plus `bytes × link-ns-per-byte` serialized
+//!   through the sending node's PCI link ([`cashmere_sim::Resource`]), which
+//!   reproduces the paper's link contention effects.
+//!
+//! Endpoints are *protocol* nodes (the one-level protocols give every
+//! processor its own endpoint); each endpoint is pinned to a *physical* link
+//! for bandwidth accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::{Mutex, RwLock};
+
+use cashmere_sim::{CostModel, Nanos, Resource};
+
+/// Identifies a Memory Channel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub usize);
+
+/// One mapped region: a per-endpoint set of receive buffers plus the hub's
+/// ordering lock.
+struct Region {
+    words: usize,
+    loopback: bool,
+    /// The hub: deliveries to receive copies are linearized under this lock,
+    /// giving the Memory Channel's total write order per region.
+    order: Mutex<()>,
+    /// Receive copies, indexed by endpoint; attached lazily (a mapping
+    /// created after some writes does not see history, as on real hardware).
+    rx: Vec<OnceLock<Box<[AtomicU64]>>>,
+}
+
+impl Region {
+    fn rx_of(&self, endpoint: usize) -> Option<&[AtomicU64]> {
+        self.rx[endpoint].get().map(|b| &b[..])
+    }
+}
+
+/// The simulated network: a set of regions shared by `endpoints` protocol
+/// nodes, with `links` physical PCI links.
+pub struct MemoryChannel {
+    cost: CostModel,
+    /// Physical link index for each endpoint.
+    link_of: Vec<usize>,
+    links: Vec<Resource>,
+    regions: RwLock<Vec<std::sync::Arc<Region>>>,
+}
+
+impl MemoryChannel {
+    /// Creates a network with `endpoints` protocol nodes; endpoint `e` sends
+    /// through physical link `link_of[e]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_of` is empty or names a link ≥ `links`.
+    pub fn new(link_of: Vec<usize>, links: usize, cost: CostModel) -> Self {
+        assert!(!link_of.is_empty(), "need at least one endpoint");
+        assert!(
+            link_of.iter().all(|&l| l < links),
+            "endpoint mapped to nonexistent link"
+        );
+        Self {
+            cost,
+            link_of,
+            links: (0..links).map(|_| Resource::new()).collect(),
+            regions: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.link_of.len()
+    }
+
+    /// Creates a region of `words` 64-bit words. `loopback` selects whether a
+    /// writer's own receive copy is updated by its own transmits.
+    pub fn create_region(&self, words: usize, loopback: bool) -> RegionId {
+        let region = std::sync::Arc::new(Region {
+            words,
+            loopback,
+            order: Mutex::new(()),
+            rx: (0..self.endpoints()).map(|_| OnceLock::new()).collect(),
+        });
+        let mut regions = self.regions.write();
+        regions.push(region);
+        RegionId(regions.len() - 1)
+    }
+
+    fn region(&self, r: RegionId) -> std::sync::Arc<Region> {
+        std::sync::Arc::clone(&self.regions.read()[r.0])
+    }
+
+    /// Maps region `r` for receive on `endpoint` (idempotent). The buffer
+    /// starts zeroed and only observes writes delivered after attachment.
+    pub fn attach_rx(&self, r: RegionId, endpoint: usize) {
+        let region = self.region(r);
+        region.rx[endpoint].get_or_init(|| (0..region.words).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    /// Whether `endpoint` has a receive mapping for `r`.
+    pub fn has_rx(&self, r: RegionId, endpoint: usize) -> bool {
+        self.region(r).rx[endpoint].get().is_some()
+    }
+
+    /// Writes one word through `from`'s transmit mapping.
+    ///
+    /// Delivers `val` to every attached receive copy (skipping `from`'s own
+    /// copy unless the region has loop-back), charges latency plus link
+    /// occupancy starting at `now`, and returns the time at which the write
+    /// has been globally performed.
+    pub fn write(&self, r: RegionId, from: usize, offset: usize, val: u64, now: Nanos) -> Nanos {
+        self.write_block(r, from, offset, std::slice::from_ref(&val), now)
+    }
+
+    /// Writes a contiguous block through `from`'s transmit mapping.
+    ///
+    /// Same semantics as [`write`](Self::write); the block occupies the link
+    /// for `8 × vals.len()` bytes and is delivered atomically with respect to
+    /// the region's write order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past the end of the region.
+    pub fn write_block(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        vals: &[u64],
+        now: Nanos,
+    ) -> Nanos {
+        let region = self.region(r);
+        assert!(
+            offset + vals.len() <= region.words,
+            "write past end of region (offset {offset} + {} > {})",
+            vals.len(),
+            region.words
+        );
+        let bytes = (vals.len() * 8) as Nanos;
+        let link = &self.links[self.link_of[from]];
+        let link_done = link.acquire(now, bytes * self.cost.mc_link_ns_per_byte);
+        let done = link_done + self.cost.mc_write_latency;
+        {
+            let _order = region.order.lock();
+            for (e, slot) in region.rx.iter().enumerate() {
+                if e == from && !region.loopback {
+                    continue;
+                }
+                if let Some(buf) = slot.get() {
+                    for (i, v) in vals.iter().enumerate() {
+                        buf[offset + i].store(*v, Ordering::Release);
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Writes sparse words (index/value pairs) through `from`'s transmit
+    /// mapping — the shape of an outgoing diff. Delivered atomically with
+    /// respect to the region's write order; the link is occupied for the
+    /// diff payload (8 data bytes + 4 index bytes per word).
+    pub fn write_sparse(
+        &self,
+        r: RegionId,
+        from: usize,
+        entries: &[(u32, u64)],
+        now: Nanos,
+    ) -> Nanos {
+        let region = self.region(r);
+        let bytes = (entries.len() * 12) as Nanos;
+        let link = &self.links[self.link_of[from]];
+        let link_done = link.acquire(now, bytes * self.cost.mc_link_ns_per_byte);
+        let done = link_done + self.cost.mc_write_latency;
+        {
+            let _order = region.order.lock();
+            for (e, slot) in region.rx.iter().enumerate() {
+                if e == from && !region.loopback {
+                    continue;
+                }
+                if let Some(buf) = slot.get() {
+                    for &(i, v) in entries {
+                        assert!(
+                            (i as usize) < region.words,
+                            "sparse write past end of region"
+                        );
+                        buf[i as usize].store(v, Ordering::Release);
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Reads a word from `endpoint`'s receive copy (an ordinary local memory
+    /// read on real hardware; free of virtual-time cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` has no receive mapping for `r`.
+    pub fn read_local(&self, r: RegionId, endpoint: usize, offset: usize) -> u64 {
+        let region = self.region(r);
+        let buf = region
+            .rx_of(endpoint)
+            .expect("read_local from endpoint without a receive mapping");
+        buf[offset].load(Ordering::Acquire)
+    }
+
+    /// Stores directly into `endpoint`'s own receive copy — the manual
+    /// "doubling" of writes the paper uses for non-loop-back regions such as
+    /// the global directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` has no receive mapping for `r`.
+    pub fn write_local(&self, r: RegionId, endpoint: usize, offset: usize, val: u64) {
+        let region = self.region(r);
+        let buf = region
+            .rx_of(endpoint)
+            .expect("write_local to endpoint without a receive mapping");
+        buf[offset].store(val, Ordering::Release);
+    }
+
+    /// Direct access to `endpoint`'s receive buffer for region `r`, if
+    /// mapped. Used by the protocol layer when home-node processors operate
+    /// directly on the master copy of a page.
+    pub fn rx_buffer(&self, r: RegionId, endpoint: usize) -> Option<RxBuffer> {
+        let region = self.region(r);
+        region.rx[endpoint].get()?;
+        Some(RxBuffer { region, endpoint })
+    }
+
+    /// Reserves the physical link of endpoint `from` for `bytes` starting at
+    /// `now` without writing data — used for modeled transfers whose payload
+    /// is materialized by other means (e.g. page-fetch replies).
+    pub fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
+        let link = &self.links[self.link_of[from]];
+        link.acquire(now, bytes * self.cost.mc_link_ns_per_byte) + self.cost.mc_write_latency
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+/// A handle to one endpoint's receive buffer of one region.
+///
+/// Reads and writes through the handle are ordinary local memory accesses on
+/// the owning node (used for the home node's master page copies).
+pub struct RxBuffer {
+    region: std::sync::Arc<Region>,
+    endpoint: usize,
+}
+
+impl RxBuffer {
+    /// Number of words in the buffer.
+    pub fn words(&self) -> usize {
+        self.region.words
+    }
+
+    /// Loads word `offset`.
+    #[inline]
+    pub fn load(&self, offset: usize) -> u64 {
+        // The mapping was verified to exist when the handle was created and
+        // attachments are never removed.
+        self.region.rx[self.endpoint].get().unwrap()[offset].load(Ordering::Acquire)
+    }
+
+    /// Stores `val` at word `offset`.
+    #[inline]
+    pub fn store(&self, offset: usize, val: u64) {
+        self.region.rx[self.endpoint].get().unwrap()[offset].store(val, Ordering::Release)
+    }
+
+    /// Copies the whole buffer into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the region size.
+    pub fn copy_to(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.region.words);
+        let buf = self.region.rx[self.endpoint].get().unwrap();
+        for (o, w) in out.iter_mut().zip(buf.iter()) {
+            *o = w.load(Ordering::Acquire);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc2() -> MemoryChannel {
+        // Two endpoints on two physical links.
+        MemoryChannel::new(vec![0, 1], 2, CostModel::default())
+    }
+
+    #[test]
+    fn write_is_delivered_to_attached_receivers_only() {
+        let mc = mc2();
+        let r = mc.create_region(16, false);
+        mc.attach_rx(r, 1);
+        mc.write(r, 0, 3, 42, 0);
+        assert_eq!(mc.read_local(r, 1, 3), 42);
+        assert!(!mc.has_rx(r, 0));
+    }
+
+    #[test]
+    fn no_loopback_means_writer_copy_is_stale_until_doubled() {
+        let mc = mc2();
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 0);
+        mc.attach_rx(r, 1);
+        mc.write(r, 0, 0, 7, 0);
+        assert_eq!(mc.read_local(r, 1, 0), 7, "remote copy updated");
+        assert_eq!(
+            mc.read_local(r, 0, 0),
+            0,
+            "own copy NOT updated without loop-back"
+        );
+        mc.write_local(r, 0, 0, 7);
+        assert_eq!(mc.read_local(r, 0, 0), 7, "manual doubling fixes it");
+    }
+
+    #[test]
+    fn loopback_updates_writer_copy() {
+        let mc = mc2();
+        let r = mc.create_region(8, true);
+        mc.attach_rx(r, 0);
+        mc.attach_rx(r, 1);
+        mc.write(r, 0, 2, 9, 0);
+        assert_eq!(mc.read_local(r, 0, 2), 9);
+        assert_eq!(mc.read_local(r, 1, 2), 9);
+    }
+
+    #[test]
+    fn write_charges_latency_plus_bandwidth() {
+        let mc = mc2();
+        let c = CostModel::default();
+        let r = mc.create_region(2048, false);
+        mc.attach_rx(r, 1);
+        let vals = vec![1u64; 1024]; // a full 8 KB page
+        let done = mc.write_block(r, 0, 0, &vals, 0);
+        assert_eq!(done, 8192 * c.mc_link_ns_per_byte + c.mc_write_latency);
+        // A second transfer on the same link queues behind the first.
+        let done2 = mc.write_block(r, 0, 1024, &vals, 0);
+        assert_eq!(done2, 2 * 8192 * c.mc_link_ns_per_byte + c.mc_write_latency);
+    }
+
+    #[test]
+    fn different_links_do_not_contend() {
+        let mc = mc2();
+        let r = mc.create_region(2048, false);
+        mc.attach_rx(r, 0);
+        mc.attach_rx(r, 1);
+        let vals = vec![1u64; 1024];
+        let a = mc.write_block(r, 0, 0, &vals, 0);
+        let b = mc.write_block(r, 1, 0, &vals, 0);
+        assert_eq!(a, b, "independent links run in parallel in virtual time");
+    }
+
+    #[test]
+    fn sparse_write_applies_diff_entries() {
+        let mc = mc2();
+        let r = mc.create_region(1024, false);
+        mc.attach_rx(r, 1);
+        mc.write_sparse(r, 0, &[(5, 55), (900, 99)], 0);
+        assert_eq!(mc.read_local(r, 1, 5), 55);
+        assert_eq!(mc.read_local(r, 1, 900), 99);
+        assert_eq!(mc.read_local(r, 1, 6), 0);
+    }
+
+    #[test]
+    fn late_attachment_does_not_see_history() {
+        let mc = mc2();
+        let r = mc.create_region(4, false);
+        mc.attach_rx(r, 1);
+        mc.write(r, 0, 0, 1, 0);
+        mc.attach_rx(r, 0);
+        assert_eq!(
+            mc.read_local(r, 0, 0),
+            0,
+            "mapping created after the write sees zeroes"
+        );
+        mc.write(r, 1, 0, 2, 0);
+        assert_eq!(mc.read_local(r, 0, 0), 2);
+    }
+
+    #[test]
+    fn rx_buffer_round_trips() {
+        let mc = mc2();
+        let r = mc.create_region(4, false);
+        mc.attach_rx(r, 0);
+        let buf = mc.rx_buffer(r, 0).unwrap();
+        buf.store(1, 123);
+        assert_eq!(buf.load(1), 123);
+        let mut out = [0u64; 4];
+        buf.copy_to(&mut out);
+        assert_eq!(out, [0, 123, 0, 0]);
+        assert!(mc.rx_buffer(r, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end of region")]
+    fn out_of_bounds_write_panics() {
+        let mc = mc2();
+        let r = mc.create_region(4, false);
+        mc.attach_rx(r, 1);
+        mc.write(r, 0, 4, 1, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulation substrate for the Cashmere-2L reproduction.
+//!
+//! The original Cashmere-2L system ran on an 8-node, 32-processor DEC
+//! AlphaServer cluster. This crate provides the synthetic equivalent of that
+//! hardware platform:
+//!
+//! * [`Topology`] — the cluster shape (physical nodes × processors per node)
+//!   and the *protocol node* mapping (the one-level protocols treat every
+//!   processor as its own node),
+//! * [`ProcClock`] — per-processor virtual time, accumulated in the same
+//!   categories the paper's Figure 6 reports (`User`, `Protocol`, `Polling`,
+//!   `Comm & Wait`, `Write Doubling`),
+//! * [`CostModel`] — every measured constant from §3.1 and Table 1 of the
+//!   paper (page-fault, mprotect, twin, diff, directory, lock, barrier and
+//!   transfer costs),
+//! * [`Resource`] — a serially shared resource in virtual time, used to model
+//!   the per-node Memory Channel PCI link and the per-node memory bus (these
+//!   produce the paper's contention effects: LU's one-level clustering
+//!   collapse and SOR/Gauss's negative clustering),
+//! * [`Stats`] — the aggregate counters of Table 3.
+//!
+//! Nothing in this crate knows about coherence; it is the "hardware".
+
+pub mod cost;
+pub mod resource;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use cost::{CostModel, Messaging};
+pub use resource::Resource;
+pub use stats::{Counter, Stats, TimeBreakdown, TimeCategory};
+pub use time::{Nanos, ProcClock};
+pub use topology::{NodeId, NodeMap, ProcId, Topology};

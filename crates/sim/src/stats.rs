@@ -1,0 +1,241 @@
+//! Run statistics: the counters of Table 3 and the execution-time breakdown
+//! of Figure 6.
+//!
+//! All counters are cluster-wide atomics ("aggregated over all 32
+//! processors", as the paper puts it); the time breakdown is accumulated
+//! per-processor in [`TimeBreakdown`] and merged at the end of a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::Nanos;
+
+/// The execution-time categories of the paper's Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeCategory {
+    /// Application computation (includes cache misses and trap entry, per
+    /// the paper's definition of `User`).
+    User,
+    /// Time in protocol code (fault handlers, diffs, directory updates).
+    Protocol,
+    /// Overhead of compiler-inserted message polls in loops.
+    Polling,
+    /// Communication and wait time (data transfer, lock/barrier waiting).
+    CommWait,
+    /// Overhead of in-line write doubling (the 1L protocol only).
+    WriteDoubling,
+}
+
+impl TimeCategory {
+    /// All categories, in the paper's Figure 6 legend order.
+    pub const ALL: [TimeCategory; 5] = [
+        TimeCategory::User,
+        TimeCategory::Protocol,
+        TimeCategory::Polling,
+        TimeCategory::CommWait,
+        TimeCategory::WriteDoubling,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TimeCategory::User => 0,
+            TimeCategory::Protocol => 1,
+            TimeCategory::Polling => 2,
+            TimeCategory::CommWait => 3,
+            TimeCategory::WriteDoubling => 4,
+        }
+    }
+
+    /// Display label matching the figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::User => "User",
+            TimeCategory::Protocol => "Protocol",
+            TimeCategory::Polling => "Polling",
+            TimeCategory::CommWait => "Comm & Wait",
+            TimeCategory::WriteDoubling => "Write Doubling",
+        }
+    }
+}
+
+/// Per-processor accumulated time by category.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    by_cat: [Nanos; 5],
+}
+
+impl TimeBreakdown {
+    /// Adds `ns` to category `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: TimeCategory, ns: Nanos) {
+        self.by_cat[cat.index()] += ns;
+    }
+
+    /// Accumulated time in `cat`.
+    #[inline]
+    pub fn get(&self, cat: TimeCategory) -> Nanos {
+        self.by_cat[cat.index()]
+    }
+
+    /// Sum across all categories.
+    pub fn total(&self) -> Nanos {
+        self.by_cat.iter().sum()
+    }
+
+    /// Element-wise merge of another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for (a, b) in self.by_cat.iter_mut().zip(other.by_cat.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// The statistics of Table 3 ("Detailed statistics … at 32 processors").
+///
+/// One counter per column, plus the twin-maintenance rows that apply only to
+/// the two-level protocols. All counters are monotone and cluster-wide.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Lock and flag acquires.
+    pub lock_acquires: Counter,
+    /// Barrier episodes (per-program, not per-processor-crossing).
+    pub barriers: Counter,
+    /// Read page faults taken.
+    pub read_faults: Counter,
+    /// Write page faults taken.
+    pub write_faults: Counter,
+    /// Full pages fetched from a home node.
+    pub page_transfers: Counter,
+    /// Global directory entry modifications.
+    pub directory_updates: Counter,
+    /// Write notices sent.
+    pub write_notices: Counter,
+    /// Transitions into or out of exclusive mode.
+    pub exclusive_transitions: Counter,
+    /// Bytes moved across the Memory Channel (page fetches, diffs, write
+    /// doubling, notices).
+    pub data_bytes: Counter,
+    /// Twins created.
+    pub twin_creations: Counter,
+    /// Incoming (two-way) diffs applied (2L only).
+    pub incoming_diffs: Counter,
+    /// Flush-update operations (flushes that also refresh the twin; 2L only).
+    pub flush_updates: Counter,
+    /// Shootdown operations (2LS only).
+    pub shootdowns: Counter,
+    /// Pages relocated by the first-touch home-assignment heuristic.
+    pub home_relocations: Counter,
+    /// Explicit remote requests (page fetch requests + exclusive breaks).
+    pub remote_requests: Counter,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every counter as `(name, value)` pairs, in Table 3 order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lock_acquires", self.lock_acquires.get()),
+            ("barriers", self.barriers.get()),
+            ("read_faults", self.read_faults.get()),
+            ("write_faults", self.write_faults.get()),
+            ("page_transfers", self.page_transfers.get()),
+            ("directory_updates", self.directory_updates.get()),
+            ("write_notices", self.write_notices.get()),
+            ("exclusive_transitions", self.exclusive_transitions.get()),
+            ("data_bytes", self.data_bytes.get()),
+            ("twin_creations", self.twin_creations.get()),
+            ("incoming_diffs", self.incoming_diffs.get()),
+            ("flush_updates", self.flush_updates.get()),
+            ("shootdowns", self.shootdowns.get()),
+            ("home_relocations", self.home_relocations.get()),
+            ("remote_requests", self.remote_requests.get()),
+        ]
+    }
+}
+
+/// A monotone, thread-safe event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn breakdown_merges_categorywise() {
+        let mut a = TimeBreakdown::default();
+        a.add(TimeCategory::User, 10);
+        a.add(TimeCategory::CommWait, 5);
+        let mut b = TimeBreakdown::default();
+        b.add(TimeCategory::User, 1);
+        b.add(TimeCategory::Protocol, 2);
+        a.merge(&b);
+        assert_eq!(a.get(TimeCategory::User), 11);
+        assert_eq!(a.get(TimeCategory::Protocol), 2);
+        assert_eq!(a.get(TimeCategory::CommWait), 5);
+        assert_eq!(a.total(), 18);
+    }
+
+    #[test]
+    fn snapshot_lists_every_counter() {
+        let s = Stats::new();
+        s.write_faults.add(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 15);
+        assert!(snap.contains(&("write_faults", 3)));
+    }
+
+    #[test]
+    fn category_labels_match_figure6_legend() {
+        assert_eq!(TimeCategory::CommWait.label(), "Comm & Wait");
+        assert_eq!(TimeCategory::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-processor virtual time.
+//!
+//! Every simulated processor owns a [`ProcClock`]. Protocol operations,
+//! application compute, and communication all *charge* nanoseconds to the
+//! clock, attributed to one of the categories of the paper's Figure 6
+//! execution-time breakdown. Synchronization operations reconcile clocks
+//! across processors (a lock acquire cannot complete before the previous
+//! release; a barrier departs at the maximum arrival time); the difference
+//! between a processor's arrival time and the reconciled time is recorded as
+//! `Comm & Wait`.
+
+use crate::stats::{TimeBreakdown, TimeCategory};
+
+/// Virtual time in nanoseconds since the start of the run.
+pub type Nanos = u64;
+
+/// A processor's virtual clock plus its per-category time breakdown.
+///
+/// The clock is owned by exactly one simulated processor and is not shared;
+/// cross-processor reconciliation happens through explicit published values
+/// (see the synchronization primitives in `cashmere-core`).
+#[derive(Debug, Clone, Default)]
+pub struct ProcClock {
+    now: Nanos,
+    breakdown: TimeBreakdown,
+}
+
+impl ProcClock {
+    /// Creates a clock at time zero with an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Charges `ns` of virtual time attributed to `cat`.
+    #[inline]
+    pub fn charge(&mut self, cat: TimeCategory, ns: Nanos) {
+        self.now += ns;
+        self.breakdown.add(cat, ns);
+    }
+
+    /// Advances the clock to `target` (no-op if already past it), recording
+    /// the skipped interval as communication/wait time.
+    ///
+    /// Returns the amount of wait time that was charged.
+    #[inline]
+    pub fn wait_until(&mut self, target: Nanos) -> Nanos {
+        if target > self.now {
+            let waited = target - self.now;
+            self.charge(TimeCategory::CommWait, waited);
+            waited
+        } else {
+            0
+        }
+    }
+
+    /// The accumulated per-category breakdown.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+
+    /// Resets the clock to zero and clears the breakdown.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_clock_and_breakdown() {
+        let mut c = ProcClock::new();
+        c.charge(TimeCategory::User, 100);
+        c.charge(TimeCategory::Protocol, 50);
+        assert_eq!(c.now(), 150);
+        assert_eq!(c.breakdown().get(TimeCategory::User), 100);
+        assert_eq!(c.breakdown().get(TimeCategory::Protocol), 50);
+    }
+
+    #[test]
+    fn wait_until_future_records_comm_wait() {
+        let mut c = ProcClock::new();
+        c.charge(TimeCategory::User, 10);
+        let waited = c.wait_until(60);
+        assert_eq!(waited, 50);
+        assert_eq!(c.now(), 60);
+        assert_eq!(c.breakdown().get(TimeCategory::CommWait), 50);
+    }
+
+    #[test]
+    fn wait_until_past_is_noop() {
+        let mut c = ProcClock::new();
+        c.charge(TimeCategory::User, 100);
+        assert_eq!(c.wait_until(40), 0);
+        assert_eq!(c.now(), 100);
+        assert_eq!(c.breakdown().get(TimeCategory::CommWait), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = ProcClock::new();
+        c.charge(TimeCategory::Polling, 7);
+        c.reset();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.breakdown().total(), 0);
+    }
+}

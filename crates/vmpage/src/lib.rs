@@ -1,0 +1,334 @@
+//! Simulated virtual-memory subsystem: page tables, frames, twins, diffs.
+//!
+//! The real Cashmere-2L tracks shared accesses with VM protection (`mprotect`
+//! + SIGSEGV). In this reproduction one address space hosts all eight
+//! simulated nodes, so VM protection is replaced by **software access
+//! checks**: every shared access consults a per-processor [`PageTable`]; an
+//! access with insufficient permission invokes the protocol's fault handler,
+//! exactly as the signal handler would. `mprotect` is a table update whose
+//! 55 µs cost is charged by the protocol layer.
+//!
+//! The coherence unit is the paper's 8 KB page, represented as
+//! [`PAGE_WORDS`] = 1024 64-bit words. The paper's Alphas access memory
+//! atomically at 32-bit granularity; we use 64-bit words (also atomic on
+//! Alpha) so that `f64` application data is a single word. Diffs are
+//! word-granularity, as in the paper.
+//!
+//! [`Frame`] is a node's local copy of a page, shared by all processors of
+//! the node (the heart of the two-level design: "all processors on a node
+//! share the same physical frame"). A [`Twin`] is the pristine copy used to
+//! isolate local from remote modifications; [`diff_against_twin`] computes
+//! outgoing diffs and [`apply_incoming_diff`] implements the paper's novel
+//! *two-way diffing* (§2.2, "Hardware-Software Coherence Interaction").
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Words per coherence page (8 KB / 8-byte words).
+pub const PAGE_WORDS: usize = 1024;
+
+/// Bytes per coherence page.
+pub const PAGE_BYTES: usize = PAGE_WORDS * 8;
+
+/// A processor's access permission for one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Perm {
+    /// No mapping: any access faults.
+    None = 0,
+    /// Read-only: writes fault.
+    Read = 1,
+    /// Read-write.
+    Write = 2,
+}
+
+impl Perm {
+    fn from_u8(v: u8) -> Perm {
+        match v {
+            0 => Perm::None,
+            1 => Perm::Read,
+            2 => Perm::Write,
+            _ => unreachable!("invalid permission encoding {v}"),
+        }
+    }
+
+    /// Whether this permission admits a read.
+    #[inline]
+    pub fn allows_read(self) -> bool {
+        self >= Perm::Read
+    }
+
+    /// Whether this permission admits a write.
+    #[inline]
+    pub fn allows_write(self) -> bool {
+        self == Perm::Write
+    }
+}
+
+/// A per-processor software page table.
+///
+/// Entries are atomic because other processors change them: a shootdown
+/// (Cashmere-2LS) downgrades the write mappings of *other* processors on the
+/// node, and a releaser downgrades its own from protocol code.
+#[derive(Debug)]
+pub struct PageTable {
+    perms: Vec<AtomicU8>,
+}
+
+impl PageTable {
+    /// Creates a table of `pages` entries, all [`Perm::None`].
+    pub fn new(pages: usize) -> Self {
+        Self {
+            perms: (0..pages)
+                .map(|_| AtomicU8::new(Perm::None as u8))
+                .collect(),
+        }
+    }
+
+    /// Number of pages covered.
+    pub fn pages(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Current permission for `page`.
+    #[inline]
+    pub fn get(&self, page: usize) -> Perm {
+        Perm::from_u8(self.perms[page].load(Ordering::Acquire))
+    }
+
+    /// Sets the permission for `page` (the simulated `mprotect`).
+    #[inline]
+    pub fn set(&self, page: usize, perm: Perm) {
+        self.perms[page].store(perm as u8, Ordering::Release);
+    }
+
+    /// True if a read access to `page` would fault.
+    #[inline]
+    pub fn read_faults(&self, page: usize) -> bool {
+        !self.get(page).allows_read()
+    }
+
+    /// True if a write access to `page` would fault.
+    #[inline]
+    pub fn write_faults(&self, page: usize) -> bool {
+        !self.get(page).allows_write()
+    }
+}
+
+/// A node's local frame for one shared page.
+///
+/// Word accesses are relaxed atomics: the applications are data-race-free at
+/// word granularity (the paper's programming model), and release/acquire
+/// ordering across processors is provided by the protocol's synchronization
+/// operations, not by individual data accesses.
+#[derive(Debug)]
+pub struct Frame {
+    words: Box<[AtomicU64]>,
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Frame {
+    /// Allocates a zeroed frame.
+    pub fn new() -> Self {
+        Self {
+            words: (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Loads word `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Stores `v` at word `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        self.words[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Copies the frame contents into `out`.
+    pub fn snapshot(&self, out: &mut [u64; PAGE_WORDS]) {
+        for (o, w) in out.iter_mut().zip(self.words.iter()) {
+            *o = w.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the frame from `src`.
+    pub fn fill_from(&self, src: &[u64; PAGE_WORDS]) {
+        for (w, s) in self.words.iter().zip(src.iter()) {
+            w.store(*s, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A twin: the node's latest view of the home node's master copy (§2.5).
+pub type Twin = Box<[u64; PAGE_WORDS]>;
+
+/// Allocates a twin initialized from the current frame contents.
+pub fn make_twin(frame: &Frame) -> Twin {
+    let mut t: Twin = Box::new([0u64; PAGE_WORDS]);
+    frame.snapshot(&mut t);
+    t
+}
+
+/// Computes an outgoing diff: the words where `frame` differs from `twin`.
+///
+/// These are exactly the modifications made locally since the twin was last
+/// synchronized with the master copy.
+pub fn diff_against_twin(frame: &Frame, twin: &Twin) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for i in 0..PAGE_WORDS {
+        let v = frame.load(i);
+        if v != twin[i] {
+            out.push((i as u32, v));
+        }
+    }
+    out
+}
+
+/// Applies a *flush-update* (§2.5): writes every outgoing-diff word into the
+/// twin, so later releases on this node know those modifications have already
+/// been made globally visible.
+pub fn flush_update_twin(twin: &mut Twin, diff: &[(u32, u64)]) {
+    for &(i, v) in diff {
+        twin[i as usize] = v;
+    }
+}
+
+/// The paper's novel **incoming diff** (two-way diffing, §2.2):
+///
+/// Compares the fetched master-copy contents (`incoming`) to the `twin`; the
+/// words that differ are exactly the modifications made by *remote* nodes
+/// (data-race-freedom guarantees they don't overlap concurrent local
+/// writes). Each such word is written to both the working `frame` and the
+/// `twin`. Local modifications sitting in the frame are untouched, so no
+/// intra-node synchronization (TLB shootdown) is needed.
+///
+/// Returns the number of words applied.
+pub fn apply_incoming_diff(frame: &Frame, twin: &mut Twin, incoming: &[u64; PAGE_WORDS]) -> usize {
+    let mut applied = 0;
+    for i in 0..PAGE_WORDS {
+        if incoming[i] != twin[i] {
+            frame.store(i, incoming[i]);
+            twin[i] = incoming[i];
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_ordering_and_checks() {
+        assert!(Perm::Write.allows_read());
+        assert!(Perm::Write.allows_write());
+        assert!(Perm::Read.allows_read());
+        assert!(!Perm::Read.allows_write());
+        assert!(!Perm::None.allows_read());
+    }
+
+    #[test]
+    fn page_table_transitions() {
+        let pt = PageTable::new(4);
+        assert!(pt.read_faults(0));
+        pt.set(0, Perm::Read);
+        assert!(!pt.read_faults(0));
+        assert!(pt.write_faults(0));
+        pt.set(0, Perm::Write);
+        assert!(!pt.write_faults(0));
+        pt.set(0, Perm::None);
+        assert!(pt.read_faults(0));
+        assert_eq!(pt.pages(), 4);
+    }
+
+    #[test]
+    fn twin_captures_frame_contents() {
+        let f = Frame::new();
+        f.store(10, 99);
+        let twin = make_twin(&f);
+        assert_eq!(twin[10], 99);
+        assert_eq!(twin[11], 0);
+    }
+
+    #[test]
+    fn outgoing_diff_finds_only_local_changes() {
+        let f = Frame::new();
+        let twin = make_twin(&f);
+        f.store(1, 11);
+        f.store(1000, 77);
+        let d = diff_against_twin(&f, &twin);
+        assert_eq!(d, vec![(1, 11), (1000, 77)]);
+    }
+
+    #[test]
+    fn flush_update_makes_later_diffs_empty() {
+        let f = Frame::new();
+        let mut twin = make_twin(&f);
+        f.store(5, 5);
+        let d = diff_against_twin(&f, &twin);
+        flush_update_twin(&mut twin, &d);
+        assert!(diff_against_twin(&f, &twin).is_empty());
+    }
+
+    #[test]
+    fn incoming_diff_preserves_concurrent_local_writes() {
+        // The scenario two-way diffing exists for: a local writer modified
+        // word 3 (not yet flushed); a remote node's modification to word 7
+        // arrives via a fresh copy of the master. The incoming diff must
+        // install word 7 without clobbering word 3.
+        let f = Frame::new();
+        let mut twin = make_twin(&f);
+        f.store(3, 33); // concurrent local write, in frame but not twin
+        let mut incoming = [0u64; PAGE_WORDS];
+        incoming[7] = 77; // remote modification present in master copy
+        let n = apply_incoming_diff(&f, &mut twin, &incoming);
+        assert_eq!(n, 1);
+        assert_eq!(f.load(3), 33, "local modification survived");
+        assert_eq!(f.load(7), 77, "remote modification applied");
+        assert_eq!(twin[7], 77, "twin tracks the master view");
+        assert_eq!(
+            twin[3], 0,
+            "local mod still absent from twin, will flush later"
+        );
+        // The next outgoing diff flushes exactly the local change.
+        assert_eq!(diff_against_twin(&f, &twin), vec![(3, 33)]);
+    }
+
+    #[test]
+    fn frame_fill_and_snapshot_round_trip() {
+        let f = Frame::new();
+        let mut src = [0u64; PAGE_WORDS];
+        src[0] = 1;
+        src[1023] = 2;
+        f.fill_from(&src);
+        let mut out = [0u64; PAGE_WORDS];
+        f.snapshot(&mut out);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn page_table_is_shared_safely_across_threads() {
+        use std::sync::Arc;
+        let pt = Arc::new(PageTable::new(1));
+        let pt2 = Arc::clone(&pt);
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                pt2.set(0, Perm::Write);
+                pt2.set(0, Perm::Read);
+            }
+        });
+        for _ in 0..1000 {
+            let p = pt.get(0);
+            assert!(p == Perm::Read || p == Perm::Write || p == Perm::None);
+        }
+        h.join().unwrap();
+    }
+}

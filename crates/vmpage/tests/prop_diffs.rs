@@ -1,0 +1,104 @@
+//! Property-based tests of the twin/diff machinery — the invariants the
+//! whole multiple-writer protocol rests on.
+
+use proptest::prelude::*;
+
+use cashmere_vmpage::{
+    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame, PAGE_WORDS,
+};
+
+/// A sparse set of (index, value) writes within one page.
+fn writes() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0..PAGE_WORDS, any::<u64>()), 0..64)
+}
+
+proptest! {
+    /// An outgoing diff contains exactly the words that differ from the
+    /// twin, and applying it via flush-update makes the next diff empty.
+    #[test]
+    fn outgoing_diff_roundtrip(ws in writes()) {
+        let frame = Frame::new();
+        let mut twin = make_twin(&frame);
+        for &(i, v) in &ws {
+            frame.store(i, v);
+        }
+        let diff = diff_against_twin(&frame, &twin);
+        // Every diffed word reflects the frame; every non-diffed word
+        // equals the twin.
+        for &(i, v) in &diff {
+            prop_assert_eq!(frame.load(i as usize), v);
+            prop_assert_ne!(twin[i as usize], v);
+        }
+        flush_update_twin(&mut twin, &diff);
+        prop_assert!(diff_against_twin(&frame, &twin).is_empty());
+        for i in 0..PAGE_WORDS {
+            prop_assert_eq!(twin[i], frame.load(i));
+        }
+    }
+
+    /// Two-way diffing: disjoint local and remote writes merge without
+    /// loss — local words stay in the frame (and remain flagged for the
+    /// next outgoing diff), remote words land in both frame and twin.
+    #[test]
+    fn two_way_diff_merges_disjoint_writers(
+        local in writes(),
+        remote in writes(),
+    ) {
+        // Deduplicate indices (last write wins, as in program order) and
+        // make the two write sets disjoint (the data-race-free guarantee).
+        let remote: std::collections::BTreeMap<usize, u64> = remote.into_iter().collect();
+        let local: std::collections::BTreeMap<usize, u64> = local
+            .into_iter()
+            .filter(|(i, _)| !remote.contains_key(i))
+            .collect();
+
+        let frame = Frame::new();
+        let mut twin = make_twin(&frame);
+
+        // Remote node's view: the master copy with the remote writes.
+        let mut incoming = [0u64; PAGE_WORDS];
+        for (&i, &v) in &remote {
+            incoming[i] = v;
+        }
+        // Concurrent local writes, unflushed.
+        for (&i, &v) in &local {
+            frame.store(i, v);
+        }
+
+        apply_incoming_diff(&frame, &mut twin, &incoming);
+
+        // Remote words visible locally; twin tracks the master view.
+        for (&i, &v) in &remote {
+            prop_assert_eq!(frame.load(i), v);
+            prop_assert_eq!(twin[i], v);
+        }
+        // Local words preserved, and exactly they (with nonzero values)
+        // appear in the next outgoing diff.
+        let out = diff_against_twin(&frame, &twin);
+        for (&i, &v) in &local {
+            prop_assert_eq!(frame.load(i), v);
+            if v != 0 {
+                prop_assert!(out.iter().any(|&(j, w)| j as usize == i && w == v));
+            }
+        }
+        for &(i, _) in &out {
+            prop_assert!(local.contains_key(&(i as usize)));
+        }
+    }
+
+    /// Snapshot/fill round-trips arbitrary content.
+    #[test]
+    fn snapshot_fill_roundtrip(ws in writes()) {
+        let a = Frame::new();
+        for &(i, v) in &ws {
+            a.store(i, v);
+        }
+        let mut buf = [0u64; PAGE_WORDS];
+        a.snapshot(&mut buf);
+        let b = Frame::new();
+        b.fill_from(&buf);
+        for i in 0..PAGE_WORDS {
+            prop_assert_eq!(a.load(i), b.load(i));
+        }
+    }
+}

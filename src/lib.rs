@@ -1,0 +1,21 @@
+//! Cashmere-2L: software coherent shared memory on a clustered remote-write
+//! network — a Rust reproduction of the SOSP '97 system.
+//!
+//! This facade crate re-exports the whole public API:
+//!
+//! * [`core`](cashmere_core) — the coherence protocols ([`Cluster`],
+//!   [`Proc`], [`ClusterConfig`], [`ProtocolKind`], …);
+//! * [`apps`](cashmere_apps) — the eight-application benchmark suite;
+//! * the substrates: [`sim`](cashmere_sim) (virtual time, cost model,
+//!   topology), [`memchan`](cashmere_memchan) (the Memory Channel
+//!   simulator), and [`vmpage`](cashmere_vmpage) (page tables, frames,
+//!   twins, diffs).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use cashmere_apps as apps;
+pub use cashmere_core::*;
+pub use cashmere_memchan as memchan;
+pub use cashmere_sim as sim;
+pub use cashmere_vmpage as vmpage;
