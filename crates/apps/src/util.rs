@@ -43,7 +43,7 @@ impl ArrF64 {
     /// Writes element `i` through processor `p`.
     #[inline]
     pub fn set(&self, p: &mut Proc, i: usize, v: f64) {
-        p.write_f64(self.addr(i), v)
+        p.write_f64(self.addr(i), v);
     }
 
     /// Seeds element `i` before the run.
@@ -106,7 +106,7 @@ impl ArrU64 {
     /// Writes element `i` through processor `p`.
     #[inline]
     pub fn set(&self, p: &mut Proc, i: usize, v: u64) {
-        p.write_u64(self.addr(i), v)
+        p.write_u64(self.addr(i), v);
     }
 
     /// Seeds element `i` before the run.

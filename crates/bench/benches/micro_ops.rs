@@ -1,89 +1,101 @@
-//! Criterion micro-benchmarks of the protocol's hot code paths — the
-//! reproduction's counterpart to the paper's §3.1 basic-operation costs.
-//! (Virtual-time costs are model constants; these benches measure the real
-//! execution cost of the simulator's own mechanisms.)
+//! Micro-benchmarks of the protocol's hot code paths — the reproduction's
+//! counterpart to the paper's §3.1 basic-operation costs. (Virtual-time
+//! costs are model constants; these benches measure the real execution cost
+//! of the simulator's own mechanisms.)
+//!
+//! Plain `std::time` harness (`harness = false`): the container has no
+//! registry access, so criterion is unavailable. Run with
+//! `cargo bench -p cashmere-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
 use cashmere_vmpage::{
     apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame,
 };
 
-fn bench_diffs(c: &mut Criterion) {
+/// Times `f` over `iters` iterations after a short warmup and prints the
+/// mean per-iteration cost.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<32} {per:>12} ns/iter   ({iters} iters)");
+}
+
+fn bench_diffs() {
     let frame = Frame::new();
     let mut twin = make_twin(&frame);
     // Dirty 10% of the page, scattered.
     for i in (0..PAGE_WORDS).step_by(10) {
         frame.store(i, i as u64 + 1);
     }
-    c.bench_function("outgoing_diff_10pct", |b| {
-        b.iter(|| black_box(diff_against_twin(&frame, &twin)))
+    bench("outgoing_diff_10pct", 10_000, || {
+        black_box(diff_against_twin(&frame, &twin));
     });
     let diff = diff_against_twin(&frame, &twin);
-    c.bench_function("flush_update_twin_10pct", |b| {
-        b.iter(|| flush_update_twin(&mut twin, black_box(&diff)))
+    bench("flush_update_twin_10pct", 10_000, || {
+        flush_update_twin(&mut twin, black_box(&diff));
     });
     let mut incoming = [0u64; PAGE_WORDS];
     frame.snapshot(&mut incoming);
     for i in (0..PAGE_WORDS).step_by(17) {
         incoming[i] ^= 0xDEAD;
     }
-    c.bench_function("incoming_diff_two_way", |b| {
-        b.iter(|| {
-            let mut t = make_twin(&frame);
-            black_box(apply_incoming_diff(&frame, &mut t, &incoming))
-        })
+    bench("incoming_diff_two_way", 10_000, || {
+        let mut t = make_twin(&frame);
+        black_box(apply_incoming_diff(&frame, &mut t, &incoming));
     });
-    c.bench_function("twin_create", |b| b.iter(|| black_box(make_twin(&frame))));
+    bench("twin_create", 10_000, || {
+        black_box(make_twin(&frame));
+    });
 }
 
-fn bench_shared_access(c: &mut Criterion) {
+fn bench_shared_access() {
     let cfg = ClusterConfig::new(Topology::new(1, 1), ProtocolKind::TwoLevel).with_heap_pages(8);
     let mut cluster = Cluster::new(cfg);
     let a = cluster.alloc_page_aligned(PAGE_WORDS);
     // Steady-state access cost through the software check + frame path
     // (includes the per-run thread spawn, amortized over 256 accesses).
-    c.bench_function("proc_read_write_word_x256", |b| {
-        b.iter(|| {
-            cluster.run(|p| {
-                let mut x = 0u64;
-                for i in 0..256 {
-                    x = x.wrapping_add(p.read_u64(a + (i % 64)));
-                    p.write_u64(a + (i % 64), x);
-                }
-                black_box(x);
-            });
-        })
+    bench("proc_read_write_word_x256", 50, || {
+        cluster.run(|p| {
+            let mut x = 0u64;
+            for i in 0..256 {
+                x = x.wrapping_add(p.read_u64(a + (i % 64)));
+                p.write_u64(a + (i % 64), x);
+            }
+            black_box(x);
+        });
     });
 }
 
-fn bench_protocol_round_trip(c: &mut Criterion) {
-    c.bench_function("lock_release_acquire_cycle_4procs", |b| {
-        b.iter(|| {
-            let cfg =
-                ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel).with_heap_pages(4);
-            let mut cluster = Cluster::new(cfg);
-            let w = cluster.alloc(1);
-            cluster.run(|p| {
-                for _ in 0..5 {
-                    p.lock(0);
-                    let v = p.read_u64(w);
-                    p.write_u64(w, v + 1);
-                    p.unlock(0);
-                }
-            });
-            black_box(cluster.read_u64(w));
-        })
+fn bench_protocol_round_trip() {
+    bench("lock_release_acquire_cycle_4procs", 20, || {
+        let cfg =
+            ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel).with_heap_pages(4);
+        let mut cluster = Cluster::new(cfg);
+        let w = cluster.alloc(1);
+        cluster.run(|p| {
+            for _ in 0..5 {
+                p.lock(0);
+                let v = p.read_u64(w);
+                p.write_u64(w, v + 1);
+                p.unlock(0);
+            }
+        });
+        black_box(cluster.read_u64(w));
     });
 }
 
-criterion_group! {
-    name = benches;
-    // Small sample counts: several benches spawn a simulated cluster
-    // (OS threads) per iteration.
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_diffs, bench_shared_access, bench_protocol_round_trip
+fn main() {
+    bench_diffs();
+    bench_shared_access();
+    bench_protocol_round_trip();
 }
-criterion_main!(benches);

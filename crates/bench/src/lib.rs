@@ -20,8 +20,6 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
-
 use cashmere_apps::{AppOutcome, Benchmark};
 use cashmere_core::{
     Cluster, ClusterConfig, DirectoryMode, Messaging, Nanos, ProtocolKind, Topology,
@@ -108,7 +106,7 @@ pub fn run_best(
 }
 
 /// A machine-readable record of one experiment, written under `results/`.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Record {
     /// Artifact id (`table3`, `fig7`, …).
     pub experiment: &'static str,
@@ -176,6 +174,94 @@ impl Record {
             breakdown,
         }
     }
+
+    /// Serializes the record as one JSON object (no external deps — the
+    /// container has no registry access, so the encoder is hand-rolled).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        json_str(&mut s, "experiment", self.experiment);
+        s.push(',');
+        json_str(&mut s, "app", &self.app);
+        s.push(',');
+        json_str(&mut s, "protocol", &self.protocol);
+        s.push(',');
+        json_str(&mut s, "config", &self.config);
+        s.push(',');
+        json_f64(&mut s, "exec_secs", self.exec_secs);
+        s.push(',');
+        json_f64(&mut s, "speedup", self.speedup);
+        s.push(',');
+        json_key(&mut s, "counters");
+        s.push('{');
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_key(&mut s, k);
+            s.push_str(&v.to_string());
+        }
+        s.push_str("},");
+        json_key(&mut s, "breakdown");
+        s.push('{');
+        for (i, (k, v)) in self.breakdown.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_key(&mut s, k);
+            s.push_str(&fmt_json_f64(*v));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Appends `"key":` with the key JSON-escaped.
+fn json_key(out: &mut String, key: &str) {
+    out.push('"');
+    json_escape_into(out, key);
+    out.push_str("\":");
+}
+
+/// Appends `"key":"value"` with both sides JSON-escaped.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    json_key(out, key);
+    out.push('"');
+    json_escape_into(out, value);
+    out.push('"');
+}
+
+/// Appends `"key":<number>`.
+fn json_f64(out: &mut String, key: &str, value: f64) {
+    json_key(out, key);
+    out.push_str(&fmt_json_f64(value));
+}
+
+/// Formats an f64 as a JSON number (JSON has no NaN/Infinity; map to 0).
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a `.` or `e`.
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escapes a string per RFC 8259 minimal rules.
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 /// Appends records as JSON lines to `results/<experiment>.jsonl`.
@@ -185,8 +271,7 @@ pub fn save_records(experiment: &str, records: &[Record]) {
     let path = dir.join(format!("{experiment}.jsonl"));
     let mut f = std::fs::File::create(&path).expect("create results file");
     for r in records {
-        let line = serde_json::to_string(r).expect("serialize record");
-        writeln!(f, "{line}").expect("write record");
+        writeln!(f, "{}", r.to_json()).expect("write record");
     }
     eprintln!("[saved {} records to {}]", records.len(), path.display());
 }
@@ -249,5 +334,19 @@ mod tests {
         assert_eq!(rec.config, "4:2");
         assert!(rec.speedup > 0.0);
         assert!(rec.counters.contains_key("page_transfers"));
+        let json = rec.to_json();
+        assert!(json.starts_with("{\"experiment\":\"test\""));
+        assert!(json.contains("\"counters\":{"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_escaping_and_nonfinite_floats() {
+        let mut s = String::new();
+        json_str(&mut s, "k", "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"k\":\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(fmt_json_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_json_f64(1.5), "1.5");
+        assert_eq!(fmt_json_f64(2.0), "2.0");
     }
 }

@@ -1,0 +1,1250 @@
+//! Protocol invariant auditor for the Cashmere-2L engine.
+//!
+//! [`audit`] replays a [`TraceEvent`] stream captured by an engine built
+//! with [`cashmere_core::ClusterConfig::audit`] and verifies four invariant
+//! families:
+//!
+//! 1. **Happens-before** — a vector-clock replay of the synchronization
+//!    events (locks, flags, barriers) orders every remote write (a
+//!    [`ProtocolEvent::DiffOut`] word epoch) against every fault that may
+//!    observe it. An *ordered* fault that shows no evidence of having
+//!    re-fetched the page after the write reached the master copy is a
+//!    [`ViolationKind::StaleRead`] — release consistency promised the fresh
+//!    value and the protocol served a stale one. An *unordered* pair is a
+//!    [`Race`] — a property of the application, reported separately from
+//!    protocol violations (data-race-free programs must have none; racy
+//!    programs like TSP's speculative bound read are expected to show some).
+//! 2. **Write-notice conservation** — every drained notice was posted
+//!    ([`ViolationKind::WnFabricated`]), every drained notice is
+//!    distributed ([`ViolationKind::WnDistributeMissing`]), and the
+//!    per-processor bitmap suppression never drops a live notice
+//!    ([`ViolationKind::WnLostNotice`]).
+//! 3. **Directory and exclusive-mode legality** — at most one exclusive
+//!    holder ([`ViolationKind::DupExclusive`]), breaks pair with entries
+//!    ([`ViolationKind::UnpairedExclusiveBreak`]), no fetch from or flush
+//!    to the master while it is stale under exclusivity
+//!    ([`ViolationKind::FetchUnderExclusive`],
+//!    [`ViolationKind::FlushUnderExclusive`]), the exclusive directory bit
+//!    implies write permission ([`ViolationKind::DirPermInvariant`]), and
+//!    homes migrate at most once, under the global lock, before the first
+//!    fetch ([`ViolationKind::DuplicateHomeMigration`],
+//!    [`ViolationKind::HomeMigrationOutsideLock`],
+//!    [`ViolationKind::LateHomeMigration`]).
+//! 4. **Release completeness and clock sanity** — every page a processor
+//!    dirtied before a release is accounted for by that release
+//!    ([`ViolationKind::MissingReleaseFlush`]), two-way diffs never
+//!    overwrite concurrent local writes ([`ViolationKind::DiffInConflict`]),
+//!    barrier episodes pair up ([`ViolationKind::BarrierEpochMismatch`]),
+//!    and per-node logical-clock draws are unique
+//!    ([`ViolationKind::TimestampCollision`] — the invariant that justifies
+//!    the engine's relaxed atomic ordering on the clock).
+//!
+//! The stream's global sequence numbers are a sound linearization because
+//! every emission site follows the discipline documented in
+//! [`cashmere_core::trace`]: producers emit before publication, consumers
+//! after observation.
+//!
+//! ```
+//! use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology};
+//!
+//! let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+//!     .with_audit(true);
+//! let mut cluster = Cluster::new(cfg);
+//! let a = cluster.alloc(4);
+//! cluster.run(|p| {
+//!     p.lock(0);
+//!     let v = p.read_u64(a);
+//!     p.write_u64(a, v + 1);
+//!     p.unlock(0);
+//! });
+//! let report = cashmere_check::audit(&cluster.take_trace());
+//! assert!(report.is_clean(), "{}", report.summary());
+//! assert!(report.races.is_empty(), "program is data-race-free");
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use cashmere_core::{ProtocolEvent, TraceEvent};
+
+/// A hard protocol-invariant violation. Any of these in a trace means the
+/// engine misbehaved (or the trace was tampered with — see the mutation
+/// self-tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// An ordered (happens-before) remote write was observed stale: the
+    /// faulting processor's vector clock dominates the write's, but the
+    /// node never re-fetched the page after the write reached the master.
+    StaleRead,
+    /// A drained write notice was never posted.
+    WnFabricated,
+    /// The per-processor bitmap suppression dropped or duplicated a notice.
+    WnLostNotice,
+    /// A drained notice was never distributed to local processors.
+    WnDistributeMissing,
+    /// Two simultaneous exclusive holders for one page.
+    DupExclusive,
+    /// An exclusive break with no matching holder.
+    UnpairedExclusiveBreak,
+    /// A page fetch from the (stale) master while the page was exclusive.
+    FetchUnderExclusive,
+    /// A diff flush to the master while the page was exclusive elsewhere.
+    FlushUnderExclusive,
+    /// An incoming two-way diff overwrote words a concurrent local writer
+    /// had modified.
+    DiffInConflict,
+    /// A directory word with the exclusive bit but non-write permission.
+    DirPermInvariant,
+    /// A home migration after the page had already been fetched.
+    LateHomeMigration,
+    /// A home migration performed without holding the global MC lock.
+    HomeMigrationOutsideLock,
+    /// A second home migration for the same page.
+    DuplicateHomeMigration,
+    /// A release ended without accounting for a page its processor had
+    /// dirtied before the release began.
+    MissingReleaseFlush,
+    /// A barrier departure reported an episode the arrival ledger does not
+    /// expect.
+    BarrierEpochMismatch,
+    /// Two identical logical-clock draws on one node.
+    TimestampCollision,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One hard violation, anchored at the sequence number of the event that
+/// exposed it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Sequence number of the exposing event (`u64::MAX` for end-of-trace
+    /// accounting checks).
+    pub seq: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// An unordered remote-write/fault pair: a data race in the *application*
+/// (deduplicated per page, word, and writer/reader pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Race {
+    /// Page holding the raced word.
+    pub page: usize,
+    /// Word offset within the page.
+    pub word: usize,
+    /// Node whose flushed write is unordered with the access.
+    pub writer_node: usize,
+    /// Node whose fault observed (or wrote over) it.
+    pub reader_node: usize,
+    /// Cluster-wide id of the faulting processor.
+    pub reader_proc: usize,
+}
+
+/// Everything the replay found.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Hard protocol violations — must be empty for a correct engine.
+    pub violations: Vec<Violation>,
+    /// Happens-before races — a property of the program, not the engine;
+    /// empty for data-race-free programs.
+    pub races: Vec<Race>,
+    /// Number of events replayed.
+    pub events: usize,
+}
+
+impl AuditReport {
+    /// Whether the engine upheld every audited invariant (races are a
+    /// property of the program and do not count).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The distinct violation kinds present.
+    pub fn kinds(&self) -> HashSet<ViolationKind> {
+        self.violations.iter().map(|v| v.kind).collect()
+    }
+
+    /// One line per violation/race, for assertion messages.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} events, {} violations, {} races\n",
+            self.events,
+            self.violations.len(),
+            self.races.len()
+        );
+        for v in &self.violations {
+            s.push_str(&format!("  [{}] seq {}: {}\n", v.kind, v.seq, v.detail));
+        }
+        for r in &self.races {
+            s.push_str(&format!(
+                "  [race] page {} word {}: node {} write vs proc {} (node {})\n",
+                r.page, r.word, r.writer_node, r.reader_proc, r.reader_node
+            ));
+        }
+        s
+    }
+}
+
+/// A vector clock over processors.
+type Vc = Vec<u64>;
+
+fn join(dst: &mut Vc, src: &Vc) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn dominates(big: &Vc, small: &Vc) -> bool {
+    big.iter().zip(small).all(|(b, s)| b >= s)
+}
+
+/// The last flushed remote write of one (page, word).
+struct WordEpoch {
+    node: usize,
+    vc: Vc,
+    seq: u64,
+    /// False when the flush could not be attributed to an open release on
+    /// its node (e.g. a shootdown flush during a remote fetch); such
+    /// epochs are excluded from race and staleness reporting rather than
+    /// risk a mis-attributed clock producing false positives.
+    attributed: bool,
+}
+
+/// An in-progress release (between `ReleaseBegin` and `ReleaseEnd`).
+struct OpenRelease {
+    begin_seq: u64,
+    covered: HashSet<usize>,
+}
+
+/// Replays `events` (as produced by `Cluster::take_trace` /
+/// `TraceRecorder::take`) and reports every invariant violation and
+/// happens-before race found. The stream must be seq-sorted, which `take`
+/// guarantees.
+pub fn audit(events: &[TraceEvent]) -> AuditReport {
+    // Dimensions and the static proc → node map.
+    let mut nprocs = 0usize;
+    let mut node_of: HashMap<usize, usize> = HashMap::new();
+    for e in events {
+        if let Some(p) = event_proc(&e.ev) {
+            nprocs = nprocs.max(p + 1);
+            if let Some(n) = event_pnode(&e.ev) {
+                node_of.entry(p).or_insert(n);
+            }
+        }
+    }
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut races: Vec<Race> = Vec::new();
+
+    // Happens-before state.
+    let mut vc: Vec<Vc> = vec![vec![0; nprocs]; nprocs];
+    let mut lock_vc: HashMap<usize, Vc> = HashMap::new();
+    let mut flag_vc: HashMap<usize, Vc> = HashMap::new();
+    let mut barrier_acc: HashMap<(usize, u64), Vc> = HashMap::new();
+    let mut barrier_next: HashMap<(usize, usize), u64> = HashMap::new();
+
+    // Race / staleness state.
+    let mut epochs: HashMap<(usize, usize), WordEpoch> = HashMap::new();
+    let mut last_fetch: HashMap<(usize, usize), u64> = HashMap::new(); // (pnode, page)
+    let mut raced: HashSet<Race> = HashSet::new();
+
+    // Write-notice conservation.
+    let mut posted: HashMap<(usize, usize, u32), u64> = HashMap::new(); // (to, from, page)
+    let mut undistributed: HashMap<(usize, usize), u64> = HashMap::new(); // (to, page)
+    let mut proc_pending: HashMap<(usize, usize), HashSet<u32>> = HashMap::new();
+
+    // Exclusive mode / directory / homes.
+    let mut excl: HashMap<usize, usize> = HashMap::new(); // page -> holder node
+    let mut homes_written: HashSet<usize> = HashSet::new();
+    let mut fetched_pages: HashSet<usize> = HashSet::new();
+    let mut mc_holder: Option<usize> = None;
+
+    // Release completeness.
+    let mut open_release: HashMap<usize, OpenRelease> = HashMap::new();
+    let mut pending_dirty: HashMap<usize, HashMap<usize, u64>> = HashMap::new(); // proc -> page -> seq
+
+    // Clock sanity.
+    let mut ticks: HashMap<usize, HashSet<u64>> = HashMap::new();
+
+    macro_rules! flag {
+        ($kind:expr, $seq:expr, $($arg:tt)*) => {
+            violations.push(Violation {
+                kind: $kind,
+                seq: $seq,
+                detail: format!($($arg)*),
+            })
+        };
+    }
+
+    for te in events {
+        let seq = te.seq;
+        match &te.ev {
+            // --- Synchronization: happens-before edges -----------------
+            ProtocolEvent::LockAcquire { proc, lock, .. } => {
+                if let Some(l) = lock_vc.get(lock) {
+                    let l = l.clone();
+                    join(&mut vc[*proc], &l);
+                }
+            }
+            ProtocolEvent::LockRelease { proc, lock, .. } => {
+                let l = lock_vc.entry(*lock).or_insert_with(|| vec![0; nprocs]);
+                join(l, &vc[*proc]);
+            }
+            ProtocolEvent::FlagWait { proc, flag: fl, .. } => {
+                if let Some(f) = flag_vc.get(fl) {
+                    let f = f.clone();
+                    join(&mut vc[*proc], &f);
+                }
+            }
+            ProtocolEvent::FlagSet { proc, flag: fl, .. } => {
+                let f = flag_vc.entry(*fl).or_insert_with(|| vec![0; nprocs]);
+                join(f, &vc[*proc]);
+            }
+            ProtocolEvent::BarrierArrive { proc, barrier, .. } => {
+                let epoch = *barrier_next.entry((*barrier, *proc)).or_insert(1);
+                let acc = barrier_acc
+                    .entry((*barrier, epoch))
+                    .or_insert_with(|| vec![0; nprocs]);
+                join(acc, &vc[*proc]);
+            }
+            ProtocolEvent::BarrierDepart {
+                proc,
+                barrier,
+                epoch,
+                ..
+            } => {
+                let expected = barrier_next.entry((*barrier, *proc)).or_insert(1);
+                if *epoch != *expected {
+                    let exp = *expected;
+                    flag!(
+                        ViolationKind::BarrierEpochMismatch,
+                        seq,
+                        "proc {proc} departed barrier {barrier} epoch {epoch}, expected {exp}"
+                    );
+                }
+                *expected = epoch + 1;
+                if let Some(acc) = barrier_acc.get(&(*barrier, *epoch)) {
+                    let acc = acc.clone();
+                    join(&mut vc[*proc], &acc);
+                }
+            }
+            ProtocolEvent::McLockAcquire { pnode } => {
+                mc_holder = Some(*pnode);
+            }
+            ProtocolEvent::McLockRelease { .. } => {
+                mc_holder = None;
+            }
+
+            // --- Clock ------------------------------------------------
+            ProtocolEvent::ClockTick { pnode, ts } => {
+                if !ticks.entry(*pnode).or_default().insert(*ts) {
+                    flag!(
+                        ViolationKind::TimestampCollision,
+                        seq,
+                        "node {pnode} drew logical timestamp {ts} twice"
+                    );
+                }
+            }
+
+            // --- Releases ---------------------------------------------
+            ProtocolEvent::ReleaseBegin { proc, .. } => {
+                vc[*proc][*proc] += 1;
+                open_release.insert(
+                    *proc,
+                    OpenRelease {
+                        begin_seq: seq,
+                        covered: HashSet::new(),
+                    },
+                );
+            }
+            ProtocolEvent::ReleasePage { proc, page, .. } => {
+                if let Some(r) = open_release.get_mut(proc) {
+                    r.covered.insert(*page);
+                }
+            }
+            ProtocolEvent::ReleaseEnd { proc, .. } => {
+                if let Some(r) = open_release.remove(proc) {
+                    if let Some(pending) = pending_dirty.get_mut(proc) {
+                        for (&page, &pseq) in pending.iter() {
+                            if pseq < r.begin_seq && !r.covered.contains(&page) {
+                                flag!(
+                                    ViolationKind::MissingReleaseFlush,
+                                    seq,
+                                    "proc {proc} release skipped dirty page {page} \
+                                     (dirtied at seq {pseq})"
+                                );
+                            }
+                        }
+                        let begin = r.begin_seq;
+                        pending.retain(|page, pseq| *pseq >= begin && !r.covered.contains(page));
+                    }
+                }
+            }
+
+            // --- Faults and data movement -----------------------------
+            ProtocolEvent::Fault {
+                proc,
+                pnode,
+                page,
+                word,
+                fetched,
+                dirtied,
+                is_home,
+                excl: is_excl,
+                ..
+            } => {
+                if *dirtied {
+                    pending_dirty
+                        .entry(*proc)
+                        .or_default()
+                        .entry(*page)
+                        .or_insert(seq);
+                }
+                if let Some(e) = epochs.get(&(*page, *word)) {
+                    if e.node != *pnode && e.attributed {
+                        if dominates(&vc[*proc], &e.vc) {
+                            let fetched_after = *fetched
+                                || last_fetch.get(&(*pnode, *page)).is_some_and(|&f| f > e.seq);
+                            if !is_home && !is_excl && !fetched_after {
+                                flag!(
+                                    ViolationKind::StaleRead,
+                                    seq,
+                                    "proc {proc} (node {pnode}) fault on page {page} word \
+                                     {word} is ordered after node {}'s flush at seq {} but \
+                                     never re-fetched",
+                                    e.node,
+                                    e.seq
+                                );
+                            }
+                        } else {
+                            let race = Race {
+                                page: *page,
+                                word: *word,
+                                writer_node: e.node,
+                                reader_node: *pnode,
+                                reader_proc: *proc,
+                            };
+                            if raced.insert(race) {
+                                races.push(race);
+                            }
+                        }
+                    }
+                }
+            }
+            ProtocolEvent::Fetch { pnode, page } => {
+                fetched_pages.insert(*page);
+                last_fetch.insert((*pnode, *page), seq);
+                if let Some(holder) = excl.get(page) {
+                    flag!(
+                        ViolationKind::FetchUnderExclusive,
+                        seq,
+                        "node {pnode} fetched page {page} while node {holder} held it \
+                         exclusively (master is stale)"
+                    );
+                }
+            }
+            ProtocolEvent::DiffOut { pnode, page, words } => {
+                if let Some(holder) = excl.get(page) {
+                    flag!(
+                        ViolationKind::FlushUnderExclusive,
+                        seq,
+                        "node {pnode} flushed a diff for page {page} while node {holder} \
+                         held it exclusively"
+                    );
+                }
+                // Attribute the flush to the open release(s) on this node;
+                // their joined clock is the write's happens-before position.
+                let mut evc = vec![0; nprocs];
+                let mut attributed = false;
+                for p in open_release.keys() {
+                    if node_of.get(p) == Some(pnode) {
+                        join(&mut evc, &vc[*p]);
+                        attributed = true;
+                    }
+                }
+                for w in words {
+                    epochs.insert(
+                        (*page, *w as usize),
+                        WordEpoch {
+                            node: *pnode,
+                            vc: evc.clone(),
+                            seq,
+                            attributed,
+                        },
+                    );
+                }
+            }
+            ProtocolEvent::DiffIn {
+                pnode,
+                page,
+                conflicts,
+            } => {
+                if *conflicts > 0 {
+                    flag!(
+                        ViolationKind::DiffInConflict,
+                        seq,
+                        "incoming diff for page {page} on node {pnode} overwrote \
+                         {conflicts} concurrently-written word(s)"
+                    );
+                }
+            }
+
+            // --- Exclusive mode ---------------------------------------
+            ProtocolEvent::ExclEnter { proc, pnode, page } => {
+                if let Some(holder) = excl.insert(*page, *pnode) {
+                    flag!(
+                        ViolationKind::DupExclusive,
+                        seq,
+                        "proc {proc} (node {pnode}) entered exclusive mode for page {page} \
+                         already held by node {holder}"
+                    );
+                }
+            }
+            ProtocolEvent::ExclBreak { pnode, page, by } => match excl.remove(page) {
+                Some(h) if h == *pnode => {}
+                other => flag!(
+                    ViolationKind::UnpairedExclusiveBreak,
+                    seq,
+                    "node {by} broke exclusivity of page {page} at node {pnode}, but the \
+                     recorded holder is {other:?}"
+                ),
+            },
+            ProtocolEvent::NlePush { proc, page, .. } => {
+                pending_dirty
+                    .entry(*proc)
+                    .or_default()
+                    .entry(*page)
+                    .or_insert(seq);
+            }
+
+            // --- Directory and homes ----------------------------------
+            ProtocolEvent::DirWrite {
+                pnode,
+                page,
+                perm,
+                exclusive,
+            } => {
+                if *exclusive && *perm != 2 {
+                    flag!(
+                        ViolationKind::DirPermInvariant,
+                        seq,
+                        "node {pnode} published page {page} exclusive with perm {perm} \
+                         (exclusive implies write)"
+                    );
+                }
+            }
+            ProtocolEvent::HomeWrite { pnode, page, to } => {
+                if fetched_pages.contains(page) {
+                    flag!(
+                        ViolationKind::LateHomeMigration,
+                        seq,
+                        "page {page} migrated to node {to} after its first fetch"
+                    );
+                }
+                if mc_holder != Some(*pnode) {
+                    flag!(
+                        ViolationKind::HomeMigrationOutsideLock,
+                        seq,
+                        "node {pnode} migrated page {page} without holding the MC lock \
+                         (holder: {mc_holder:?})"
+                    );
+                }
+                if !homes_written.insert(*page) {
+                    flag!(
+                        ViolationKind::DuplicateHomeMigration,
+                        seq,
+                        "page {page} migrated twice"
+                    );
+                }
+            }
+
+            // --- Write notices ----------------------------------------
+            ProtocolEvent::WnPost { to, from, page } => {
+                *posted.entry((*to, *from, *page)).or_insert(0) += 1;
+            }
+            ProtocolEvent::WnDrain { to, items } => {
+                for (from, page) in items {
+                    match posted.get_mut(&(*to, *from as usize, *page)) {
+                        Some(n) if *n > 0 => *n -= 1,
+                        _ => flag!(
+                            ViolationKind::WnFabricated,
+                            seq,
+                            "node {to} drained a notice for page {page} from node {from} \
+                             that was never posted"
+                        ),
+                    }
+                    *undistributed.entry((*to, *page as usize)).or_insert(0) += 1;
+                }
+            }
+            ProtocolEvent::WnDistribute { pnode, page, .. } => {
+                match undistributed.get_mut(&(*pnode, *page)) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => flag!(
+                        ViolationKind::WnFabricated,
+                        seq,
+                        "node {pnode} distributed a notice for page {page} with no \
+                         matching drain"
+                    ),
+                }
+            }
+            ProtocolEvent::WnInsert {
+                pnode,
+                lproc,
+                page,
+                fresh,
+            } => {
+                let pending = proc_pending.entry((*pnode, *lproc)).or_default();
+                if *fresh {
+                    if !pending.insert(*page) {
+                        flag!(
+                            ViolationKind::WnLostNotice,
+                            seq,
+                            "(node {pnode}, lproc {lproc}) queued page {page} as fresh \
+                             while already pending (duplicate queue entry)"
+                        );
+                    }
+                } else if !pending.contains(page) {
+                    flag!(
+                        ViolationKind::WnLostNotice,
+                        seq,
+                        "(node {pnode}, lproc {lproc}) suppressed a notice for page {page} \
+                         with nothing pending (live notice dropped)"
+                    );
+                }
+            }
+            ProtocolEvent::WnProcDrain {
+                pnode,
+                lproc,
+                pages,
+            } => {
+                let pending = proc_pending.entry((*pnode, *lproc)).or_default();
+                for p in pages {
+                    if !pending.remove(p) {
+                        flag!(
+                            ViolationKind::WnLostNotice,
+                            seq,
+                            "(node {pnode}, lproc {lproc}) drained page {p} that was never \
+                             queued"
+                        );
+                    }
+                }
+                if !pending.is_empty() {
+                    flag!(
+                        ViolationKind::WnLostNotice,
+                        seq,
+                        "(node {pnode}, lproc {lproc}) drain left {} queued page(s) behind: \
+                         {pending:?}",
+                        pending.len()
+                    );
+                    pending.clear();
+                }
+            }
+
+            ProtocolEvent::TwinCreate { .. } => {}
+        }
+    }
+
+    // Every drained notice must have been distributed by the end of the
+    // trace (acquire drains and distributes in one protocol action).
+    for ((to, page), n) in undistributed {
+        if n > 0 {
+            violations.push(Violation {
+                kind: ViolationKind::WnDistributeMissing,
+                seq: u64::MAX,
+                detail: format!(
+                    "node {to} drained {n} notice(s) for page {page} never distributed to \
+                     local processors"
+                ),
+            });
+        }
+    }
+
+    AuditReport {
+        violations,
+        races,
+        events: events.len(),
+    }
+}
+
+/// The cluster-wide processor id an event concerns, if any.
+fn event_proc(ev: &ProtocolEvent) -> Option<usize> {
+    match ev {
+        ProtocolEvent::LockAcquire { proc, .. }
+        | ProtocolEvent::LockRelease { proc, .. }
+        | ProtocolEvent::BarrierArrive { proc, .. }
+        | ProtocolEvent::BarrierDepart { proc, .. }
+        | ProtocolEvent::FlagSet { proc, .. }
+        | ProtocolEvent::FlagWait { proc, .. }
+        | ProtocolEvent::ReleaseBegin { proc, .. }
+        | ProtocolEvent::ReleasePage { proc, .. }
+        | ProtocolEvent::ReleaseEnd { proc, .. }
+        | ProtocolEvent::Fault { proc, .. }
+        | ProtocolEvent::ExclEnter { proc, .. }
+        | ProtocolEvent::NlePush { proc, .. } => Some(*proc),
+        _ => None,
+    }
+}
+
+/// The protocol node an event places its processor on, if it names both.
+fn event_pnode(ev: &ProtocolEvent) -> Option<usize> {
+    match ev {
+        ProtocolEvent::LockAcquire { pnode, .. }
+        | ProtocolEvent::LockRelease { pnode, .. }
+        | ProtocolEvent::BarrierArrive { pnode, .. }
+        | ProtocolEvent::BarrierDepart { pnode, .. }
+        | ProtocolEvent::FlagSet { pnode, .. }
+        | ProtocolEvent::FlagWait { pnode, .. }
+        | ProtocolEvent::ReleaseBegin { pnode, .. }
+        | ProtocolEvent::ReleasePage { pnode, .. }
+        | ProtocolEvent::ReleaseEnd { pnode, .. }
+        | ProtocolEvent::Fault { pnode, .. }
+        | ProtocolEvent::ExclEnter { pnode, .. }
+        | ProtocolEvent::NlePush { pnode, .. } => Some(*pnode),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqd(evs: Vec<ProtocolEvent>) -> Vec<TraceEvent> {
+        evs.into_iter()
+            .enumerate()
+            .map(|(i, ev)| TraceEvent { seq: i as u64, ev })
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let r = audit(&[]);
+        assert!(r.is_clean());
+        assert!(r.races.is_empty());
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn ordered_write_with_refetch_is_clean() {
+        // Node 0 (proc 0) flushes word 3 during a release, hands the lock
+        // to proc 1 (node 1), whose node fetches before faulting: ordered
+        // and fresh.
+        let t = seqd(vec![
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::DiffOut {
+                pnode: 0,
+                page: 7,
+                words: vec![3],
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            ProtocolEvent::LockRelease {
+                proc: 0,
+                pnode: 0,
+                lock: 0,
+            },
+            ProtocolEvent::LockAcquire {
+                proc: 1,
+                pnode: 1,
+                lock: 0,
+            },
+            ProtocolEvent::Fetch { pnode: 1, page: 7 },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 1,
+                page: 7,
+                word: 3,
+                write: false,
+                fetched: true,
+                dirtied: false,
+                is_home: false,
+                excl: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert!(r.races.is_empty(), "{}", r.summary());
+    }
+
+    #[test]
+    fn ordered_write_without_refetch_is_stale_read() {
+        let t = seqd(vec![
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::DiffOut {
+                pnode: 0,
+                page: 7,
+                words: vec![3],
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            ProtocolEvent::LockRelease {
+                proc: 0,
+                pnode: 0,
+                lock: 0,
+            },
+            ProtocolEvent::LockAcquire {
+                proc: 1,
+                pnode: 1,
+                lock: 0,
+            },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 1,
+                page: 7,
+                word: 3,
+                write: false,
+                fetched: false,
+                dirtied: false,
+                is_home: false,
+                excl: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(r.kinds(), HashSet::from([ViolationKind::StaleRead]));
+        assert!(r.races.is_empty());
+    }
+
+    #[test]
+    fn unordered_write_is_a_race_not_a_violation() {
+        // No sync edge between the flush and the fault: a program race.
+        let t = seqd(vec![
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::DiffOut {
+                pnode: 0,
+                page: 7,
+                words: vec![3],
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 1,
+                page: 7,
+                word: 3,
+                write: false,
+                fetched: false,
+                dirtied: false,
+                is_home: false,
+                excl: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].writer_node, 0);
+        assert_eq!(r.races[0].reader_proc, 1);
+    }
+
+    #[test]
+    fn flag_edges_order_like_locks() {
+        let t = seqd(vec![
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::DiffOut {
+                pnode: 0,
+                page: 2,
+                words: vec![0],
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            ProtocolEvent::FlagSet {
+                proc: 0,
+                pnode: 0,
+                flag: 5,
+            },
+            ProtocolEvent::FlagWait {
+                proc: 1,
+                pnode: 1,
+                flag: 5,
+            },
+            ProtocolEvent::Fetch { pnode: 1, page: 2 },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 1,
+                page: 2,
+                word: 0,
+                write: false,
+                fetched: true,
+                dirtied: false,
+                is_home: false,
+                excl: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert!(r.races.is_empty(), "flag edge orders the access");
+    }
+
+    #[test]
+    fn barrier_epochs_pair_arrivals_and_departures() {
+        let t = seqd(vec![
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::DiffOut {
+                pnode: 0,
+                page: 1,
+                words: vec![4],
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            ProtocolEvent::BarrierArrive {
+                proc: 0,
+                pnode: 0,
+                barrier: 0,
+            },
+            ProtocolEvent::BarrierArrive {
+                proc: 1,
+                pnode: 1,
+                barrier: 0,
+            },
+            ProtocolEvent::BarrierDepart {
+                proc: 0,
+                pnode: 0,
+                barrier: 0,
+                epoch: 1,
+            },
+            ProtocolEvent::BarrierDepart {
+                proc: 1,
+                pnode: 1,
+                barrier: 0,
+                epoch: 1,
+            },
+            ProtocolEvent::Fetch { pnode: 1, page: 1 },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 1,
+                page: 1,
+                word: 4,
+                write: false,
+                fetched: true,
+                dirtied: false,
+                is_home: false,
+                excl: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert!(r.races.is_empty(), "barrier orders the access");
+    }
+
+    #[test]
+    fn barrier_epoch_mismatch_is_flagged() {
+        let t = seqd(vec![
+            ProtocolEvent::BarrierArrive {
+                proc: 0,
+                pnode: 0,
+                barrier: 0,
+            },
+            ProtocolEvent::BarrierDepart {
+                proc: 0,
+                pnode: 0,
+                barrier: 0,
+                epoch: 7,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::BarrierEpochMismatch])
+        );
+    }
+
+    #[test]
+    fn notice_conservation_catches_fabrication_and_loss() {
+        // A drain of a never-posted notice, plus a suppression with
+        // nothing pending.
+        let t = seqd(vec![
+            ProtocolEvent::WnDrain {
+                to: 0,
+                items: vec![(1, 9)],
+            },
+            ProtocolEvent::WnDistribute {
+                pnode: 0,
+                page: 9,
+                mapped: 1,
+            },
+            ProtocolEvent::WnInsert {
+                pnode: 0,
+                lproc: 0,
+                page: 9,
+                fresh: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::WnFabricated, ViolationKind::WnLostNotice])
+        );
+    }
+
+    #[test]
+    fn undistributed_drain_is_flagged_at_end_of_trace() {
+        let t = seqd(vec![
+            ProtocolEvent::WnPost {
+                to: 0,
+                from: 1,
+                page: 9,
+            },
+            ProtocolEvent::WnDrain {
+                to: 0,
+                items: vec![(1, 9)],
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::WnDistributeMissing])
+        );
+    }
+
+    #[test]
+    fn healthy_notice_flow_is_clean() {
+        let t = seqd(vec![
+            ProtocolEvent::WnPost {
+                to: 0,
+                from: 1,
+                page: 9,
+            },
+            ProtocolEvent::WnPost {
+                to: 0,
+                from: 1,
+                page: 9,
+            },
+            ProtocolEvent::WnDrain {
+                to: 0,
+                items: vec![(1, 9), (1, 9)],
+            },
+            ProtocolEvent::WnDistribute {
+                pnode: 0,
+                page: 9,
+                mapped: 3,
+            },
+            ProtocolEvent::WnDistribute {
+                pnode: 0,
+                page: 9,
+                mapped: 3,
+            },
+            ProtocolEvent::WnInsert {
+                pnode: 0,
+                lproc: 0,
+                page: 9,
+                fresh: true,
+            },
+            ProtocolEvent::WnInsert {
+                pnode: 0,
+                lproc: 0,
+                page: 9,
+                fresh: false,
+            },
+            ProtocolEvent::WnProcDrain {
+                pnode: 0,
+                lproc: 0,
+                pages: vec![9],
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn exclusive_lifecycle_checks() {
+        let t = seqd(vec![
+            ProtocolEvent::ExclEnter {
+                proc: 2,
+                pnode: 1,
+                page: 4,
+            },
+            // A second holder while the first never broke.
+            ProtocolEvent::ExclEnter {
+                proc: 0,
+                pnode: 0,
+                page: 4,
+            },
+            // A fetch while the page is exclusive.
+            ProtocolEvent::Fetch { pnode: 2, page: 4 },
+            // A flush while the page is exclusive.
+            ProtocolEvent::DiffOut {
+                pnode: 2,
+                page: 4,
+                words: vec![0],
+            },
+            ProtocolEvent::ExclBreak {
+                pnode: 0,
+                page: 4,
+                by: 2,
+            },
+            // And a break with no holder.
+            ProtocolEvent::ExclBreak {
+                pnode: 0,
+                page: 4,
+                by: 2,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([
+                ViolationKind::DupExclusive,
+                ViolationKind::FetchUnderExclusive,
+                ViolationKind::FlushUnderExclusive,
+                ViolationKind::UnpairedExclusiveBreak,
+            ])
+        );
+    }
+
+    #[test]
+    fn home_migration_rules() {
+        let t = seqd(vec![
+            ProtocolEvent::McLockAcquire { pnode: 0 },
+            ProtocolEvent::HomeWrite {
+                pnode: 0,
+                page: 3,
+                to: 1,
+            }, // fine
+            ProtocolEvent::McLockRelease { pnode: 0 },
+            ProtocolEvent::Fetch { pnode: 1, page: 3 },
+            // Second migration, after a fetch, without the lock: 3 kinds.
+            ProtocolEvent::HomeWrite {
+                pnode: 0,
+                page: 3,
+                to: 0,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([
+                ViolationKind::LateHomeMigration,
+                ViolationKind::HomeMigrationOutsideLock,
+                ViolationKind::DuplicateHomeMigration,
+            ])
+        );
+    }
+
+    #[test]
+    fn missing_release_flush_is_flagged() {
+        let t = seqd(vec![
+            ProtocolEvent::Fault {
+                proc: 0,
+                pnode: 0,
+                page: 5,
+                word: 0,
+                write: true,
+                fetched: true,
+                dirtied: true,
+                is_home: false,
+                excl: false,
+            },
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            // No ReleasePage for page 5.
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::MissingReleaseFlush])
+        );
+    }
+
+    #[test]
+    fn covered_release_and_late_dirty_are_clean() {
+        use cashmere_core::ReleaseAction;
+        let t = seqd(vec![
+            ProtocolEvent::Fault {
+                proc: 0,
+                pnode: 0,
+                page: 5,
+                word: 0,
+                write: true,
+                fetched: true,
+                dirtied: true,
+                is_home: false,
+                excl: false,
+            },
+            ProtocolEvent::ReleaseBegin {
+                proc: 0,
+                pnode: 0,
+                ts: 1,
+            },
+            ProtocolEvent::ReleasePage {
+                proc: 0,
+                pnode: 0,
+                page: 5,
+                action: ReleaseAction::Flushed,
+            },
+            ProtocolEvent::ReleaseEnd { proc: 0, pnode: 0 },
+            // Dirtied between Begin and End of someone else's view — the
+            // NEXT release covers it.
+            ProtocolEvent::ReleaseBegin {
+                proc: 1,
+                pnode: 0,
+                ts: 2,
+            },
+            ProtocolEvent::Fault {
+                proc: 1,
+                pnode: 0,
+                page: 6,
+                word: 0,
+                write: true,
+                fetched: false,
+                dirtied: true,
+                is_home: false,
+                excl: false,
+            },
+            ProtocolEvent::ReleaseEnd { proc: 1, pnode: 0 },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn clock_collisions_and_dir_perm() {
+        let t = seqd(vec![
+            ProtocolEvent::ClockTick { pnode: 0, ts: 10 },
+            ProtocolEvent::ClockTick { pnode: 1, ts: 10 }, // other node: fine
+            ProtocolEvent::ClockTick { pnode: 0, ts: 10 }, // duplicate
+            ProtocolEvent::DirWrite {
+                pnode: 0,
+                page: 0,
+                perm: 1,
+                exclusive: true,
+            },
+            ProtocolEvent::DiffIn {
+                pnode: 0,
+                page: 0,
+                conflicts: 2,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([
+                ViolationKind::TimestampCollision,
+                ViolationKind::DirPermInvariant,
+                ViolationKind::DiffInConflict,
+            ])
+        );
+    }
+}

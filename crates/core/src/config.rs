@@ -151,6 +151,11 @@ pub struct ClusterConfig {
     /// cluster badly). Applications may override per-phase via
     /// [`crate::Proc::set_bus_bytes_per_access`].
     pub bus_bytes_per_access: u64,
+    /// Record a [`crate::trace::ProtocolEvent`] stream for the
+    /// `cashmere-check` invariant auditor. Off by default; when off the
+    /// protocol hot path pays only an `Option` discriminant test per
+    /// potential emission.
+    pub audit: bool,
 }
 
 impl ClusterConfig {
@@ -170,7 +175,14 @@ impl ClusterConfig {
             cost: CostModel::default(),
             poll_fraction: 0.05,
             bus_bytes_per_access: 2,
+            audit: false,
         }
+    }
+
+    /// Builder-style protocol-event tracing toggle (the invariant auditor).
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
     }
 
     /// Builder-style heap size override.

@@ -30,6 +30,7 @@ use cashmere_sim::{Nanos, Resource};
 use cashmere_vmpage::Perm;
 
 use crate::config::DirectoryMode;
+use crate::trace::{emit, ProtocolEvent, TraceRecorder};
 
 /// One protocol node's view of a page, packed into its directory word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,6 +131,8 @@ pub struct Directory {
     /// Virtual-time serialization gates for the GlobalLock ablation (one per
     /// page entry; unused — empty — in LockFree mode).
     gates: Vec<Resource>,
+    /// Auditor event stream, when enabled.
+    rec: Option<Arc<TraceRecorder>>,
 }
 
 impl Directory {
@@ -152,7 +155,14 @@ impl Directory {
             pages,
             mode,
             gates,
+            rec: None,
         }
+    }
+
+    /// Attaches the auditor's event recorder.
+    pub fn with_recorder(mut self, rec: Arc<TraceRecorder>) -> Self {
+        self.rec = Some(rec);
+        self
     }
 
     fn entry_base(&self, page: usize) -> usize {
@@ -201,6 +211,18 @@ impl Directory {
                 self.gates[page].acquire(now, hold)
             }
         };
+        // Producer: emit before the write so any read that observes the new
+        // word is sequenced after it.
+        emit(&self.rec, || ProtocolEvent::DirWrite {
+            pnode: me,
+            page,
+            perm: match w.perm {
+                PermBits::None => 0,
+                PermBits::Read => 1,
+                PermBits::Write => 2,
+            },
+            exclusive: w.exclusive,
+        });
         let idx = self.word_idx(page, me);
         let done = self.mc.write(self.region, me, idx, w.pack(), start);
         self.mc.write_local(self.region, me, idx, w.pack());
@@ -221,6 +243,11 @@ impl Directory {
     /// Writes the home word (caller must hold the global home-selection
     /// lock). Broadcast + local double, as for node words.
     pub fn write_home(&self, page: usize, me: usize, h: HomeInfo, now: Nanos) -> Nanos {
+        emit(&self.rec, || ProtocolEvent::HomeWrite {
+            pnode: me,
+            page,
+            to: h.pnode,
+        });
         let idx = self.home_idx(page);
         let done = self.mc.write(self.region, me, idx, h.pack(), now);
         self.mc.write_local(self.region, me, idx, h.pack());

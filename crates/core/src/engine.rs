@@ -48,6 +48,7 @@ use cashmere_vmpage::{
 use crate::config::ClusterConfig;
 use crate::directory::{DirWord, Directory, HomeInfo, PermBits};
 use crate::mc_lock::McLock;
+use crate::trace::{emit, ProtocolEvent, ReleaseAction, TraceRecorder};
 use crate::write_notice::{NleList, NoticeBoard, ProcNoticeList};
 use crate::Addr;
 
@@ -127,10 +128,18 @@ struct NodePage {
 }
 
 impl NodePage {
-    fn loosest(&self) -> PermBits {
+    /// The permission this node must advertise in the directory. Beyond the
+    /// loosest mapped permission, a node with **no** mapped processors but a
+    /// live twin still claims Read: the twin marks unflushed local
+    /// modifications (a processor invalidated at its own acquire leaves its
+    /// writes in the frame until a later release's residue flush), and the
+    /// claim keeps remote nodes from entering exclusive mode — whose break
+    /// would fill the master from the holder's whole frame — while those
+    /// words have yet to reach the master.
+    fn effective_perm(&self) -> PermBits {
         if self.writers != 0 {
             PermBits::Write
-        } else if self.readers != 0 {
+        } else if self.readers != 0 || self.twin.is_some() {
             PermBits::Read
         } else {
             PermBits::None
@@ -139,7 +148,7 @@ impl NodePage {
 
     fn dir_word(&self, excl_proc: u16) -> DirWord {
         DirWord {
-            perm: self.loosest(),
+            perm: self.effective_perm(),
             exclusive: self.excl_local.is_some(),
             excl_proc,
         }
@@ -200,6 +209,8 @@ pub struct Engine {
     home_lock: McLock,
     /// Per-physical-node memory buses.
     buses: Vec<Resource>,
+    /// Auditor event stream (`Some` only when [`ClusterConfig::audit`]).
+    rec: Option<Arc<TraceRecorder>>,
     /// Cluster-wide statistics.
     pub stats: Stats,
 }
@@ -243,13 +254,19 @@ impl Engine {
             .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
             .collect();
         let mc = Arc::new(MemoryChannel::new(link_of, topo.nodes(), cfg.cost.clone()));
-        let dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
+        let rec = cfg.audit.then(|| Arc::new(TraceRecorder::new()));
+        let mut dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
         let gate_hold = cfg
             .cost
             .dir_update_locked
             .saturating_sub(cfg.cost.dir_update);
-        let notices = NoticeBoard::new(n_pnodes, cfg.directory, gate_hold);
-        let home_lock = McLock::new(Arc::clone(&mc), n_pnodes);
+        let mut notices = NoticeBoard::new(n_pnodes, cfg.directory, gate_hold);
+        let mut home_lock = McLock::new(Arc::clone(&mc), n_pnodes);
+        if let Some(r) = &rec {
+            dir = dir.with_recorder(Arc::clone(r));
+            notices = notices.with_recorder(Arc::clone(r));
+            home_lock = home_lock.with_recorder(Arc::clone(r));
+        }
 
         // Initial round-robin home assignment at superpage granularity,
         // flagged as default so first touch may relocate (§2.3).
@@ -276,8 +293,14 @@ impl Engine {
                 procs: map
                     .procs_of(&topo, cashmere_sim::NodeId(pn))
                     .into_iter()
-                    .map(|p| LocalProc {
-                        wn: ProcNoticeList::new(pages),
+                    .enumerate()
+                    .map(|(li, p)| LocalProc {
+                        wn: match &rec {
+                            Some(r) => {
+                                ProcNoticeList::new(pages).with_identity(pn, li, Arc::clone(r))
+                            }
+                            None => ProcNoticeList::new(pages),
+                        },
                         nle: NleList::new(),
                         pt: PageTable::new(pages),
                         global: p,
@@ -298,8 +321,14 @@ impl Engine {
             pnodes,
             home_lock,
             buses: (0..topo.nodes()).map(|_| Resource::new()).collect(),
+            rec,
             stats: Stats::new(),
         })
+    }
+
+    /// The auditor's event recorder, when [`ClusterConfig::audit`] is set.
+    pub fn recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.rec.as_ref()
     }
 
     /// The configuration this engine runs.
@@ -325,7 +354,17 @@ impl Engine {
     }
 
     fn node_now(&self, pnode: usize) -> u64 {
-        self.pnodes[pnode].clock.fetch_add(1, Ordering::Relaxed)
+        // Relaxed suffices here: the only property the protocol needs from
+        // the clock is that draws on one node are distinct and allocated
+        // monotonically, which `fetch_add` guarantees through the atomic's
+        // modification order under *any* memory ordering. No consumer reads
+        // a timestamp outside the per-(node, page) mutex that stored it, so
+        // the mutex's acquire/release edges order all surrounding state.
+        // The auditor's TimestampCollision check verifies the per-node
+        // uniqueness invariant on every audited run.
+        let ts = self.pnodes[pnode].clock.fetch_add(1, Ordering::Relaxed);
+        emit(&self.rec, || ProtocolEvent::ClockTick { pnode, ts });
+        ts
     }
 
     fn pt(&self, ctx: &ProcCtx) -> &PageTable {
@@ -340,7 +379,8 @@ impl Engine {
     pub fn read_word(&self, ctx: &mut ProcCtx, addr: Addr) -> u64 {
         let page = addr / PAGE_WORDS;
         if self.pt(ctx).read_faults(page) {
-            self.read_fault(ctx, page);
+            self.stats.read_faults.inc();
+            self.fault_common(ctx, page, addr % PAGE_WORDS, /* write: */ false);
         } else if ctx.frames[page].is_none() {
             self.refresh_frame_cache(ctx, page);
         }
@@ -384,7 +424,8 @@ impl Engine {
                 break;
             }
             in_write.store(false, Ordering::SeqCst);
-            self.write_fault(ctx, page);
+            self.stats.write_faults.inc();
+            self.fault_common(ctx, page, addr % PAGE_WORDS, /* write: */ true);
         }
         self.charge_access(ctx);
         let off = addr % PAGE_WORDS;
@@ -531,16 +572,16 @@ impl Engine {
     /// Handles a read fault on `page` by `ctx` (§2.4.1).
     pub fn read_fault(&self, ctx: &mut ProcCtx, page: usize) {
         self.stats.read_faults.inc();
-        self.fault_common(ctx, page, /* write: */ false);
+        self.fault_common(ctx, page, 0, /* write: */ false);
     }
 
     /// Handles a write fault on `page` by `ctx` (§2.4.1).
     pub fn write_fault(&self, ctx: &mut ProcCtx, page: usize) {
         self.stats.write_faults.inc();
-        self.fault_common(ctx, page, /* write: */ true);
+        self.fault_common(ctx, page, 0, /* write: */ true);
     }
 
-    fn fault_common(&self, ctx: &mut ProcCtx, page: usize, write: bool) {
+    fn fault_common(&self, ctx: &mut ProcCtx, page: usize, word: usize, write: bool) {
         let c = self.cfg.cost.clone();
         ctx.clock.charge(TimeCategory::Protocol, c.page_fault);
         let home = self.resolve_home(ctx, page);
@@ -579,12 +620,12 @@ impl Engine {
             // validation read sees our word, or our re-check below sees its
             // exclusive flag — standard flag-race reasoning.
             let bit = 1u64 << ctx.local;
-            let before = np.loosest();
+            let before = np.effective_perm();
             np.readers |= bit;
             if write {
                 np.writers |= bit;
             }
-            if np.loosest() != before {
+            if np.effective_perm() != before {
                 self.write_dir(ctx, page, &np);
             }
 
@@ -618,14 +659,17 @@ impl Engine {
                 !np.is_home && (never_fetched || stale) && np.excl_local.is_none(),
                 ctx.clock.now() / 1000
             );
+            let mut fetched = false;
             if !np.is_home && (never_fetched || stale) && np.excl_local.is_none() {
                 self.fetch_page(ctx, page, home, &mut np, node_now);
+                fetched = true;
             }
 
             // Write faults: exclusive mode or dirty-list + twin (§2.4.1).
             // If a *local* processor already holds the page exclusively we
             // simply join under hardware coherence; the NLE mechanism
             // handles us at break time.
+            let mut dirtied = false;
             if write && np.excl_local.is_none() {
                 let mut entered = false;
                 if !np.is_home && !self.dir.shared_by_others(page, ctx.pnode, ctx.pnode) {
@@ -633,9 +677,14 @@ impl Engine {
                 }
                 if !entered {
                     ctx.dirty.push(page as u32);
+                    dirtied = true;
                     if !np.is_home && np.twin.is_none() && !self.cfg.protocol.write_through() {
                         let frame = np.frame.as_ref().unwrap();
                         np.twin = Some(make_twin(frame));
+                        emit(&self.rec, || ProtocolEvent::TwinCreate {
+                            pnode: ctx.pnode,
+                            page,
+                        });
                         self.stats.twin_creations.inc();
                         ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
                     }
@@ -660,6 +709,19 @@ impl Engine {
                     .wn
                     .insert(page as u32);
             }
+            // Emitted while the node-page lock is still held, so the fault
+            // is sequenced before any later protocol action on this page.
+            emit(&self.rec, || ProtocolEvent::Fault {
+                proc: ctx.id.0,
+                pnode: ctx.pnode,
+                page,
+                word,
+                write,
+                fetched,
+                dirtied,
+                is_home: np.is_home,
+                excl: np.excl_local.is_some(),
+            });
             return;
         }
     }
@@ -669,6 +731,15 @@ impl Engine {
     /// other nodes' words; on a race both claimants back off to the shared
     /// path. Returns whether exclusive mode was entered.
     fn try_enter_exclusive(&self, ctx: &mut ProcCtx, page: usize, np: &mut NodePage) -> bool {
+        // A node must not enter exclusive mode on a copy that a pending
+        // write notice has already superseded: notices for an exclusive
+        // page invalidate the mapping but the exclusivity suppresses the
+        // re-fetch, and the eventual break would fill the master from the
+        // holder's stale frame. `ts_wn > ts_update` means exactly that a
+        // distributed notice postdates our copy.
+        if np.ts_wn > np.ts_update {
+            return false;
+        }
         let me = self.pnodes[ctx.pnode].procs[ctx.local].global.0 as u16;
         np.excl_local = Some(ctx.local);
         let bit = 1u64 << ctx.local;
@@ -677,11 +748,34 @@ impl Engine {
         self.write_dir_with(ctx, page, np.dir_word(me));
         // Validation read: if anyone else claims a copy or exclusivity, back
         // off (conservative on races; safe because both racers back off).
-        if self.dir.shared_by_others(page, ctx.pnode, ctx.pnode) {
+        //
+        // Passing validation also implies no *future* notice can target our
+        // copy unseen: a poster's directory word stays set from before its
+        // post until its own later acquire-time invalidation, so a post not
+        // yet visible below would have left its word visible instead.
+        let mut ok = !self.dir.shared_by_others(page, ctx.pnode, ctx.pnode);
+        if ok {
+            // Undrained-notice gate: a notice already in our global bins
+            // (or mid-distribution) may be for this page, superseding the
+            // copy we are about to pin. `try_lock` is mandatory — we hold
+            // the node-page mutex, and the distribution loop takes node-
+            // page mutexes while holding `distribute`, so blocking here
+            // would deadlock; a held `distribute` conservatively refuses.
+            ok = match self.pnodes[ctx.pnode].distribute.try_lock() {
+                Some(_guard) => self.notices.is_empty(ctx.pnode),
+                None => false,
+            };
+        }
+        if !ok {
             np.excl_local = None;
             self.write_dir_with(ctx, page, np.dir_word(0));
             return false;
         }
+        emit(&self.rec, || ProtocolEvent::ExclEnter {
+            proc: ctx.id.0,
+            pnode: ctx.pnode,
+            page,
+        });
         self.stats.exclusive_transitions.inc();
         true
     }
@@ -735,12 +829,32 @@ impl Engine {
         }
         let mut incoming = [0u64; PAGE_WORDS];
         self.master(page).snapshot(&mut incoming);
+        // Consumer: the snapshot observed the master, so the fetch is
+        // sequenced after every flush it saw.
+        emit(&self.rec, || ProtocolEvent::Fetch {
+            pnode: ctx.pnode,
+            page,
+        });
         match np.twin.as_mut() {
             Some(twin) => {
                 // 2L's two-way diffing: remote changes are exactly the words
                 // where the master differs from the twin; apply them to both
                 // the working page and the twin, leaving concurrent local
                 // modifications untouched (§2.2).
+                if let Some(r) = &self.rec {
+                    // A conflict word is one both sides modified: incoming
+                    // differs from the twin (a remote write) while the frame
+                    // also differs (an unflushed local write the apply below
+                    // will overwrite). Zero for data-race-free programs.
+                    let conflicts = (0..PAGE_WORDS)
+                        .filter(|&i| incoming[i] != twin[i] && frame.load(i) != twin[i])
+                        .count() as u32;
+                    r.emit(ProtocolEvent::DiffIn {
+                        pnode: ctx.pnode,
+                        page,
+                        conflicts,
+                    });
+                }
                 let applied = apply_incoming_diff(&frame, twin, &incoming);
                 self.stats.incoming_diffs.inc();
                 ctx.clock
@@ -806,6 +920,13 @@ impl Engine {
         diff: &[(u32, u64)],
     ) {
         let c = &self.cfg.cost;
+        // Producer: emit before the master stores so any fetch that sees
+        // these words is sequenced after this flush.
+        emit(&self.rec, || ProtocolEvent::DiffOut {
+            pnode: ctx.pnode,
+            page,
+            words: diff.iter().map(|&(i, _)| i).collect(),
+        });
         let master = self.master(page);
         for &(i, v) in diff {
             master.store(i as usize, v);
@@ -855,6 +976,13 @@ impl Engine {
             return; // Someone else broke it first.
         };
         let node_now = self.node_now(holder);
+        // Producer: the break publishes the holder's frame to the master
+        // and clears the exclusive claim; emit before either is visible.
+        emit(&self.rec, || ProtocolEvent::ExclBreak {
+            pnode: holder,
+            page,
+            by: ctx.pnode,
+        });
 
         // Downgrade the responding processor's permissions FIRST and wait
         // out any in-flight store, so the flush below captures everything
@@ -901,10 +1029,19 @@ impl Engine {
         let other_writers = np.writers & !(1u64 << excl_local);
         if other_writers != 0 {
             np.twin = Some(Box::new(buf));
+            emit(&self.rec, || ProtocolEvent::TwinCreate {
+                pnode: holder,
+                page,
+            });
             self.stats.twin_creations.inc();
             ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
             for (i, lp) in hnode.procs.iter().enumerate() {
                 if other_writers >> i & 1 == 1 {
+                    emit(&self.rec, || ProtocolEvent::NlePush {
+                        proc: lp.global.0,
+                        pnode: holder,
+                        page,
+                    });
                     lp.nle.push(page as u32);
                 }
             }
@@ -934,9 +1071,20 @@ impl Engine {
     /// exclusive page to its home and send write notices to the sharers.
     pub fn release_actions(&self, ctx: &mut ProcCtx) {
         let release_begin = self.node_now(ctx.pnode);
+        // Relaxed suffices: `last_release` is monotonic bookkeeping that no
+        // protocol path currently reads (the overlapping-release skip below
+        // compares the per-page `ts_flush` against this release's own
+        // `release_begin` instead); `fetch_max` on one atomic is coherent
+        // under any ordering. Retained as the node's release horizon for
+        // diagnostics.
         self.pnodes[ctx.pnode]
             .last_release
             .fetch_max(release_begin, Ordering::Relaxed);
+        emit(&self.rec, || ProtocolEvent::ReleaseBegin {
+            proc: ctx.id.0,
+            pnode: ctx.pnode,
+            ts: release_begin,
+        });
 
         let mut pages: Vec<u32> = std::mem::take(&mut ctx.dirty);
         pages.extend(self.pnodes[ctx.pnode].procs[ctx.local].nle.drain());
@@ -949,6 +1097,12 @@ impl Engine {
 
             // Exclusive pages incur no coherence overhead at releases.
             if np.excl_local.is_some() {
+                emit(&self.rec, || ProtocolEvent::ReleasePage {
+                    proc: ctx.id.0,
+                    pnode: ctx.pnode,
+                    page,
+                    action: ReleaseAction::ExclusiveSkip,
+                });
                 continue;
             }
 
@@ -965,9 +1119,11 @@ impl Engine {
                 .expect("dirty page has a home")
                 .pnode;
             let mut entered_exclusive = false;
+            let mut action = ReleaseAction::OverlapSkip;
             if np.ts_flush < release_begin {
                 let node_now = self.node_now(ctx.pnode);
                 np.ts_flush = node_now;
+                action = ReleaseAction::Clean;
 
                 // Flush local modifications to the home.
                 if !np.is_home && !self.cfg.protocol.write_through() {
@@ -984,6 +1140,7 @@ impl Engine {
                             flush_update_twin(twin, &diff);
                             self.stats.flush_updates.inc();
                             self.flush_diff_to_master(ctx, page, home, &diff);
+                            action = ReleaseAction::Flushed;
                         }
                     }
                 }
@@ -1028,6 +1185,12 @@ impl Engine {
                 }
             }
             if entered_exclusive {
+                emit(&self.rec, || ProtocolEvent::ReleasePage {
+                    proc: ctx.id.0,
+                    pnode: ctx.pnode,
+                    page,
+                    action: ReleaseAction::EnteredExclusive,
+                });
                 continue;
             }
 
@@ -1038,7 +1201,7 @@ impl Engine {
                 np.writers &= !(1u64 << ctx.local);
                 ctx.clock
                     .charge(TimeCategory::Protocol, self.cfg.cost.mprotect);
-                if np.loosest() != PermBits::Write {
+                if np.effective_perm() != PermBits::Write {
                     self.write_dir(ctx, page, &np);
                 }
             }
@@ -1047,18 +1210,55 @@ impl Engine {
             // its own acquire clears its writer bit while its modifications
             // still sit in the frame, and if our flush above was skipped by
             // the overlapping-release rule, dropping the twin here would
-            // orphan those words. Flush any residue first.
+            // orphan those words. Flush any residue first, *with* the full
+            // flush protocol: stamp `ts_flush` and post write notices to
+            // the sharers — the residue words are as-yet-unannounced
+            // modifications, and sharers that skip a re-fetch because no
+            // notice arrived would read stale data.
             if np.writers == 0 {
+                let before = np.effective_perm();
                 if let Some(twin) = np.twin.take() {
                     let frame = Arc::clone(np.frame.as_ref().unwrap());
                     let diff = diff_against_twin(&frame, &twin);
                     if !diff.is_empty() {
                         self.flush_diff_to_master(ctx, page, home, &diff);
                         self.stats.flush_updates.inc();
+                        np.ts_flush = self.node_now(ctx.pnode);
+                        action = ReleaseAction::Flushed;
+                        let mut posted = false;
+                        for s in self.dir.sharers(page, ctx.pnode, ctx.pnode) {
+                            if s == home {
+                                continue;
+                            }
+                            let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
+                            ctx.clock.wait_until(done);
+                            self.stats.write_notices.inc();
+                            posted = true;
+                        }
+                        if posted {
+                            ctx.clock
+                                .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
+                        }
                     }
                 }
+                // Retiring the twin may drop the residue-sharer Read claim
+                // (see `NodePage::effective_perm`): with no mapped local
+                // processor left, publish the now-empty word.
+                if np.effective_perm() != before {
+                    self.write_dir(ctx, page, &np);
+                }
             }
+            emit(&self.rec, || ProtocolEvent::ReleasePage {
+                proc: ctx.id.0,
+                pnode: ctx.pnode,
+                page,
+                action,
+            });
         }
+        emit(&self.rec, || ProtocolEvent::ReleaseEnd {
+            proc: ctx.id.0,
+            pnode: ctx.pnode,
+        });
     }
 
     fn try_enter_exclusive_at_release(
@@ -1115,6 +1315,13 @@ impl Engine {
                     wn_now,
                     mapped
                 );
+                // Producer: emitted under the node-page lock, before the
+                // per-processor inserts below.
+                emit(&self.rec, || ProtocolEvent::WnDistribute {
+                    pnode: ctx.pnode,
+                    page,
+                    mapped,
+                });
                 drop(np);
                 ctx.clock.charge(TimeCategory::Protocol, 500);
                 for (i, lp) in self.pnodes[ctx.pnode].procs.iter().enumerate() {
@@ -1147,13 +1354,18 @@ impl Engine {
                 // baseline.
                 let bit = 1u64 << ctx.local;
                 if (np.readers | np.writers) & bit != 0 {
-                    let before = np.loosest();
+                    // `effective_perm` (not the raw mapped bits) drives the
+                    // directory update: when a twin with unflushed residue
+                    // survives this invalidation, the node keeps claiming
+                    // Read so no remote node can enter exclusive mode until
+                    // a release's residue flush retires the twin.
+                    let before = np.effective_perm();
                     self.pt(ctx).set(page, Perm::None);
                     np.readers &= !bit;
                     np.writers &= !bit;
                     ctx.clock
                         .charge(TimeCategory::Protocol, self.cfg.cost.mprotect);
-                    if np.loosest() != before {
+                    if np.effective_perm() != before {
                         self.write_dir(ctx, page, &np);
                     }
                 }

@@ -35,12 +35,14 @@ pub mod mc_lock;
 pub mod proc;
 pub mod report;
 pub mod sync;
+pub mod trace;
 pub mod write_notice;
 
 pub use config::{ClusterConfig, DirectoryMode, ProtocolKind};
 pub use engine::Engine;
 pub use proc::{Cluster, Proc};
 pub use report::Report;
+pub use trace::{ProtocolEvent, ReleaseAction, TraceEvent, TraceRecorder};
 
 pub use cashmere_sim::{
     CostModel, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,

@@ -23,6 +23,8 @@ use std::sync::Arc;
 use cashmere_memchan::{MemoryChannel, RegionId};
 use cashmere_sim::Nanos;
 
+use crate::trace::{emit, ProtocolEvent, TraceRecorder};
+
 /// One Memory Channel lock: the loop-back array plus per-node `ll/sc` flags.
 pub struct McLock {
     mc: Arc<MemoryChannel>,
@@ -36,6 +38,8 @@ pub struct McLock {
     /// simulated cost does not depend on real-machine scheduling of the
     /// spin attempts.
     release_vt: AtomicU64,
+    /// Auditor event stream, when enabled.
+    rec: Option<Arc<TraceRecorder>>,
 }
 
 impl McLock {
@@ -52,7 +56,14 @@ impl McLock {
             node_flags: (0..pnodes).map(|_| AtomicBool::new(false)).collect(),
             pnodes,
             release_vt: AtomicU64::new(0),
+            rec: None,
         }
+    }
+
+    /// Attaches the auditor's event recorder.
+    pub fn with_recorder(mut self, rec: Arc<TraceRecorder>) -> Self {
+        self.rec = Some(rec);
+        self
     }
 
     /// Acquires the lock on behalf of a processor on protocol node `me`.
@@ -79,6 +90,9 @@ impl McLock {
             let others_set =
                 (0..self.pnodes).any(|n| n != me && self.mc.read_local(self.region, me, n) == 1);
             if !others_set {
+                // Consumer: the win is an observation of the previous
+                // holder's release; emit after it.
+                emit(&self.rec, || ProtocolEvent::McLockAcquire { pnode: me });
                 // Virtual cost: one uncontended acquire. The cost is NOT
                 // reconciled against the previous holder's clock: real
                 // hardware would grant the lock in virtual-time order, but
@@ -98,6 +112,9 @@ impl McLock {
 
     /// Releases the lock held by node `me` at virtual time `vt`.
     pub fn release(&self, me: usize, vt: Nanos) -> Nanos {
+        // Producer: emit before clearing the entry, so the next acquirer's
+        // event is sequenced after this one.
+        emit(&self.rec, || ProtocolEvent::McLockRelease { pnode: me });
         let done = self.mc.write(self.region, me, me, 0, vt);
         self.release_vt.fetch_max(vt, Ordering::AcqRel);
         self.node_flags[me].store(false, Ordering::Release);

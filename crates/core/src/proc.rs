@@ -31,6 +31,7 @@ use crate::config::ClusterConfig;
 use crate::engine::{Engine, ProcCtx};
 use crate::report::Report;
 use crate::sync::{CarrierBarrier, CarrierFlag, CarrierLock};
+use crate::trace::{ProtocolEvent, TraceEvent};
 use crate::Addr;
 
 /// Synchronization-object pools shared by all processors.
@@ -94,7 +95,7 @@ impl Cluster {
     /// Allocates `words` of shared memory starting on a fresh page boundary
     /// (useful to give an array its own pages and control false sharing).
     pub fn alloc_page_aligned(&mut self, words: usize) -> Addr {
-        if self.next_word % PAGE_WORDS != 0 {
+        if !self.next_word.is_multiple_of(PAGE_WORDS) {
             let pad = PAGE_WORDS - self.next_word % PAGE_WORDS;
             self.alloc(pad);
         }
@@ -121,6 +122,13 @@ impl Cluster {
     /// Reads back an `f64`.
     pub fn read_f64(&self, addr: Addr) -> f64 {
         f64::from_bits(self.engine.read_back(addr))
+    }
+
+    /// Takes the protocol event trace accumulated so far (empty unless the
+    /// cluster was built with [`ClusterConfig::audit`] set). Feed it to
+    /// `cashmere_check::audit` to verify the run's coherence invariants.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.engine.recorder().map(|r| r.take()).unwrap_or_default()
     }
 
     /// Runs `f` on every simulated processor (one OS thread each) and
@@ -196,7 +204,7 @@ impl Proc {
 
     /// Writes the shared 64-bit word at `addr`.
     pub fn write_u64(&mut self, addr: Addr, val: u64) {
-        self.engine.write_word(&mut self.ctx, addr, val)
+        self.engine.write_word(&mut self.ctx, addr, val);
     }
 
     /// Reads the shared `f64` at `addr`.
@@ -206,7 +214,7 @@ impl Proc {
 
     /// Writes the shared `f64` at `addr`.
     pub fn write_f64(&mut self, addr: Addr, val: f64) {
-        self.write_u64(addr, val.to_bits())
+        self.write_u64(addr, val.to_bits());
     }
 
     /// Charges `ns` of application compute time (private computation that
@@ -217,12 +225,26 @@ impl Proc {
 
     // --- Synchronization ---------------------------------------------
 
+    /// Emits a synchronization event when auditing is enabled.
+    fn trace(&self, ev: impl FnOnce() -> ProtocolEvent) {
+        if let Some(r) = self.engine.recorder() {
+            r.emit(ev());
+        }
+    }
+
     /// Acquires application lock `l`, then performs the protocol's acquire
     /// consistency actions (§2.4.2).
     pub fn lock(&mut self, l: usize) {
         self.engine.stats.lock_acquires.inc();
         let vt = self.pools.locks[l].acquire_for(self.ctx.clock.now(), self.lock_cost());
         self.ctx.clock.wait_until(vt);
+        // Consumer: emitted after the carrier grant, so it is sequenced
+        // after the previous holder's LockRelease.
+        self.trace(|| ProtocolEvent::LockAcquire {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            lock: l,
+        });
         self.engine.acquire_actions(&mut self.ctx);
     }
 
@@ -230,6 +252,13 @@ impl Proc {
     /// releases application lock `l`.
     pub fn unlock(&mut self, l: usize) {
         self.engine.release_actions(&mut self.ctx);
+        // Producer: emitted after the consistency actions but before the
+        // carrier hand-off, so the next holder's LockAcquire follows it.
+        self.trace(|| ProtocolEvent::LockRelease {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            lock: l,
+        });
         self.pools.locks[l].release(self.ctx.clock.now());
     }
 
@@ -240,11 +269,26 @@ impl Proc {
         let t0 = self.ctx.clock.now();
         self.engine.release_actions(&mut self.ctx);
         let t1 = self.ctx.clock.now();
+        // Producer: arrival is the release half of the crossing; emit before
+        // the rendezvous so every departure is sequenced after it.
+        self.trace(|| ProtocolEvent::BarrierArrive {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            barrier: b,
+        });
         let cost = self.barrier_cost();
         let crossing = self.pools.barriers[b].wait(self.nprocs(), self.ctx.clock.now(), cost);
         if crossing.was_last {
             self.engine.stats.barriers.inc();
         }
+        // Consumer: emitted after the rendezvous completes; `epoch` lets the
+        // auditor pair every departure with its episode's arrivals.
+        self.trace(|| ProtocolEvent::BarrierDepart {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            barrier: b,
+            epoch: crossing.epoch,
+        });
         self.ctx.clock.wait_until(crossing.departure_vt);
         let t2 = self.ctx.clock.now();
         self.engine.acquire_actions(&mut self.ctx);
@@ -267,6 +311,13 @@ impl Proc {
     /// Sets application flag `fl` (release semantics).
     pub fn flag_set(&mut self, fl: usize) {
         self.engine.release_actions(&mut self.ctx);
+        // Producer: emitted before the carrier set, so waiters' FlagWait
+        // events are sequenced after it.
+        self.trace(|| ProtocolEvent::FlagSet {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            flag: fl,
+        });
         self.pools.flags[fl].set(self.ctx.clock.now());
     }
 
@@ -274,6 +325,12 @@ impl Proc {
     pub fn flag_wait(&mut self, fl: usize) {
         self.engine.stats.lock_acquires.inc();
         let vt = self.pools.flags[fl].wait(self.ctx.clock.now());
+        // Consumer: emitted after the wait observed the set.
+        self.trace(|| ProtocolEvent::FlagWait {
+            proc: self.ctx.id.0,
+            pnode: self.ctx.pnode,
+            flag: fl,
+        });
         self.ctx.clock.wait_until(vt);
         self.ctx
             .clock

@@ -118,6 +118,9 @@ pub struct BarrierCrossing {
     pub departure_vt: Nanos,
     /// Whether this caller was the last arriver (used to count episodes).
     pub was_last: bool,
+    /// The barrier episode this crossing completed (1-based). All
+    /// participants of one rendezvous report the same epoch.
+    pub epoch: u64,
 }
 
 impl CarrierBarrier {
@@ -142,11 +145,13 @@ impl CarrierBarrier {
             g.arrived = 0;
             g.max_vt = 0;
             g.epoch += 1;
+            let epoch = g.epoch;
             drop(g);
             self.cv.notify_all();
             BarrierCrossing {
                 departure_vt: departure,
                 was_last: true,
+                epoch,
             }
         } else {
             let epoch = g.epoch;
@@ -156,6 +161,7 @@ impl CarrierBarrier {
             BarrierCrossing {
                 departure_vt: g.departure_vt,
                 was_last: false,
+                epoch: epoch + 1,
             }
         }
     }

@@ -21,12 +21,15 @@
 //! single-writer discipline with one global-locked list per node, modeled by
 //! serializing posts through a per-node virtual-time gate.
 
+use std::sync::Arc;
+
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
 use cashmere_sim::{Nanos, Resource};
 
 use crate::config::DirectoryMode;
+use crate::trace::{emit, ProtocolEvent, TraceRecorder};
 
 /// The global (inter-node) write-notice bins of one protocol node.
 pub struct NodeBins {
@@ -45,6 +48,8 @@ pub struct NoticeBoard {
     /// Extra virtual time a post spends holding the global lock in the
     /// ablation mode.
     gate_hold: Nanos,
+    /// Auditor event stream, when enabled.
+    rec: Option<Arc<TraceRecorder>>,
 }
 
 impl NoticeBoard {
@@ -59,7 +64,17 @@ impl NoticeBoard {
                 },
             })
             .collect();
-        Self { nodes, gate_hold }
+        Self {
+            nodes,
+            gate_hold,
+            rec: None,
+        }
+    }
+
+    /// Attaches the auditor's event recorder.
+    pub fn with_recorder(mut self, rec: Arc<TraceRecorder>) -> Self {
+        self.rec = Some(rec);
+        self
     }
 
     /// Posts a write notice for `page` from node `from` into node `to`'s
@@ -72,6 +87,9 @@ impl NoticeBoard {
             None => now,
             Some(gate) => gate.acquire(now, self.gate_hold),
         };
+        // Producer: emit before the push so any drain that pops this notice
+        // is sequenced after the post.
+        emit(&self.rec, || ProtocolEvent::WnPost { to, from, page });
         node.bins[from].push(page);
         done
     }
@@ -88,11 +106,25 @@ impl NoticeBoard {
                 out.push((from, page));
             }
         }
+        // Consumer: emit after the pops.
+        if !out.is_empty() {
+            emit(&self.rec, || ProtocolEvent::WnDrain {
+                to,
+                items: out.iter().map(|&(f, p)| (f as u32, p)).collect(),
+            });
+        }
         out
     }
 
-    /// Whether node `to` currently has any pending notices (approximate;
-    /// used only by tests and diagnostics).
+    /// Whether node `to` currently has any pending notices.
+    ///
+    /// Protocol-load-bearing: the exclusive-mode entry gate in
+    /// `Engine::try_enter_exclusive` refuses entry while notices are
+    /// pending (a queued notice is a remote write this node has not yet
+    /// applied). The gate holds the node's distribute lock across this
+    /// check, freezing drains; posts that could still race the check are
+    /// ruled out by the gate's placement after its directory validation
+    /// read (see the comment there).
     pub fn is_empty(&self, to: usize) -> bool {
         self.nodes[to].bins.iter().all(|b| b.is_empty())
     }
@@ -102,6 +134,8 @@ impl NoticeBoard {
 /// node-local lock (§2.3, Figure 4).
 pub struct ProcNoticeList {
     inner: Mutex<ProcListInner>,
+    /// `(pnode, lproc)` identity plus the auditor stream, when enabled.
+    ident: Option<(usize, usize, Arc<TraceRecorder>)>,
 }
 
 struct ProcListInner {
@@ -117,7 +151,15 @@ impl ProcNoticeList {
                 bits: vec![0; pages.div_ceil(64)],
                 queue: Vec::new(),
             }),
+            ident: None,
         }
+    }
+
+    /// Attaches the auditor's event recorder, tagging this list as
+    /// belonging to local processor `lproc` of protocol node `pnode`.
+    pub fn with_identity(mut self, pnode: usize, lproc: usize, rec: Arc<TraceRecorder>) -> Self {
+        self.ident = Some((pnode, lproc, rec));
+        self
     }
 
     /// Inserts a notice for `page`. Returns `true` if the page was newly
@@ -126,7 +168,18 @@ impl ProcNoticeList {
     pub fn insert(&self, page: u32) -> bool {
         let mut g = self.inner.lock();
         let (w, b) = (page as usize / 64, page as usize % 64);
-        if g.bits[w] >> b & 1 == 1 {
+        let fresh = g.bits[w] >> b & 1 == 0;
+        // Emitted inside the list mutex so inserts and drains of the same
+        // list are sequenced consistently with their real order.
+        if let Some((pnode, lproc, rec)) = &self.ident {
+            rec.emit(ProtocolEvent::WnInsert {
+                pnode: *pnode,
+                lproc: *lproc,
+                page,
+                fresh,
+            });
+        }
+        if !fresh {
             return false;
         }
         g.bits[w] |= 1 << b;
@@ -137,10 +190,20 @@ impl ProcNoticeList {
     /// Flushes the queue and clears the bitmap, returning the queued pages.
     pub fn drain(&self) -> Vec<u32> {
         let mut g = self.inner.lock();
-        for w in g.bits.iter_mut() {
+        for w in &mut g.bits {
             *w = 0;
         }
-        std::mem::take(&mut g.queue)
+        let pages = std::mem::take(&mut g.queue);
+        if let Some((pnode, lproc, rec)) = &self.ident {
+            if !pages.is_empty() {
+                rec.emit(ProtocolEvent::WnProcDrain {
+                    pnode: *pnode,
+                    lproc: *lproc,
+                    pages: pages.clone(),
+                });
+            }
+        }
+        pages
     }
 
     /// Whether the list is empty.
@@ -267,5 +330,128 @@ mod tests {
         n.push(2);
         assert_eq!(n.drain(), vec![1, 2]);
         assert!(n.drain().is_empty());
+    }
+
+    #[test]
+    fn bins_preserve_per_sender_fifo_order() {
+        // Each bin has a single writer; a drain must return that writer's
+        // notices in post order (the paper's circular-queue semantics).
+        let b = NoticeBoard::new(2, DirectoryMode::LockFree, 0);
+        for page in [9u32, 3, 7, 3] {
+            b.post(0, 1, page, 0);
+        }
+        let from_one: Vec<u32> = b
+            .drain(0)
+            .into_iter()
+            .filter(|&(f, _)| f == 1)
+            .map(|(_, p)| p)
+            .collect();
+        assert_eq!(from_one, vec![9, 3, 7, 3], "per-bin FIFO violated");
+    }
+
+    #[test]
+    fn concurrent_posts_and_drains_lose_nothing() {
+        use std::collections::HashMap;
+        // Single-writer bins + concurrent drains: every posted notice is
+        // delivered exactly once, across 3 sender threads and 2 drainers.
+        let b = Arc::new(NoticeBoard::new(4, DirectoryMode::LockFree, 0));
+        let posters: Vec<_> = (1..4usize)
+            .map(|from| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        b.post(0, from, i, 0);
+                    }
+                })
+            })
+            .collect();
+        let drainers: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..2000 {
+                        got.extend(b.drain(0));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in posters {
+            h.join().unwrap();
+        }
+        let mut all: Vec<(usize, u32)> = Vec::new();
+        for h in drainers {
+            all.extend(h.join().unwrap());
+        }
+        all.extend(b.drain(0));
+        let mut counts: HashMap<(usize, u32), usize> = HashMap::new();
+        for k in all {
+            *counts.entry(k).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 3 * 500, "every notice delivered");
+        assert!(
+            counts.values().all(|&c| c == 1),
+            "each notice delivered exactly once"
+        );
+    }
+
+    #[test]
+    fn recorder_sequences_post_before_drain() {
+        use crate::trace::ProtocolEvent as E;
+        let rec = Arc::new(TraceRecorder::new());
+        let b = NoticeBoard::new(2, DirectoryMode::LockFree, 0).with_recorder(Arc::clone(&rec));
+        b.post(0, 1, 42, 0);
+        b.drain(0);
+        let evs = rec.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0].ev,
+            E::WnPost {
+                to: 0,
+                from: 1,
+                page: 42
+            }
+        );
+        assert_eq!(
+            evs[1].ev,
+            E::WnDrain {
+                to: 0,
+                items: vec![(1, 42)]
+            }
+        );
+    }
+
+    #[test]
+    fn proc_list_records_suppression_and_drain() {
+        use crate::trace::ProtocolEvent as E;
+        let rec = Arc::new(TraceRecorder::new());
+        let l = ProcNoticeList::new(128).with_identity(1, 2, Arc::clone(&rec));
+        assert!(l.insert(7));
+        assert!(!l.insert(7));
+        assert_eq!(l.drain(), vec![7]);
+        let evs: Vec<_> = rec.take().into_iter().map(|e| e.ev).collect();
+        assert_eq!(
+            evs,
+            vec![
+                E::WnInsert {
+                    pnode: 1,
+                    lproc: 2,
+                    page: 7,
+                    fresh: true
+                },
+                E::WnInsert {
+                    pnode: 1,
+                    lproc: 2,
+                    page: 7,
+                    fresh: false
+                },
+                E::WnProcDrain {
+                    pnode: 1,
+                    lproc: 2,
+                    pages: vec![7]
+                },
+            ]
+        );
     }
 }

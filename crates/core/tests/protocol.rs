@@ -135,10 +135,10 @@ fn repeated_false_sharing_rounds_converge() {
             let new: Vec<u64> = vals.iter().map(|v| v + sum + 1).collect();
             vals.copy_from_slice(&new);
         }
-        for id in 0..4usize {
+        for (id, val) in vals.iter().enumerate() {
             assert_eq!(
                 c.read_u64(page + id),
-                vals[id],
+                *val,
                 "{}: proc {id}",
                 protocol.label()
             );

@@ -292,7 +292,7 @@ impl RxBuffer {
     /// Stores `val` at word `offset`.
     #[inline]
     pub fn store(&self, offset: usize, val: u64) {
-        self.region.rx[self.endpoint].get().unwrap()[offset].store(val, Ordering::Release)
+        self.region.rx[self.endpoint].get().unwrap()[offset].store(val, Ordering::Release);
     }
 
     /// Copies the whole buffer into `out`.

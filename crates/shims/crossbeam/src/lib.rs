@@ -1,0 +1,115 @@
+//! In-tree stand-in for the `crossbeam` API subset this workspace uses.
+//!
+//! The build environment has no crates.io access. The only piece of
+//! crossbeam the workspace consumes is `queue::SegQueue` — the stand-in for
+//! the Memory Channel's circular notice buffers — so that is all this crate
+//! provides. The real `SegQueue` is lock-free; this one is a
+//! mutex-protected `VecDeque`, which preserves the semantics the protocol
+//! relies on (MPMC, FIFO per producer, every pushed element popped exactly
+//! once) at simulation-acceptable cost. The *virtual-time* cost of notice
+//! posts is charged by the engine's cost model either way, so protocol
+//! timing results are unaffected.
+
+/// Concurrent queues.
+pub mod queue {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+
+    /// An unbounded MPMC FIFO queue with the `crossbeam` `SegQueue`
+    /// interface.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().push_back(value);
+        }
+
+        /// Removes the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+
+        /// Current element count.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        q.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..2000 {
+                        if let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        while let Some(v) = q.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..1000u64).map(move |i| t * 1000 + i))
+            .collect();
+        assert_eq!(all, expect, "every element popped exactly once");
+    }
+}

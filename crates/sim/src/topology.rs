@@ -64,7 +64,7 @@ impl Topology {
     /// Returns `None` if `total` is not divisible by `per_node` or either is
     /// zero.
     pub fn from_paper_config(total: usize, per_node: usize) -> Option<Self> {
-        if total == 0 || per_node == 0 || total % per_node != 0 {
+        if total == 0 || per_node == 0 || !total.is_multiple_of(per_node) {
             return None;
         }
         Some(Self::new(total / per_node, per_node))

@@ -1,7 +1,7 @@
 //! Simulated virtual-memory subsystem: page tables, frames, twins, diffs.
 //!
-//! The real Cashmere-2L tracks shared accesses with VM protection (`mprotect`
-//! + SIGSEGV). In this reproduction one address space hosts all eight
+//! The real Cashmere-2L tracks shared accesses with VM protection
+//! (`mprotect` and SIGSEGV). In this reproduction one address space hosts all
 //! simulated nodes, so VM protection is replaced by **software access
 //! checks**: every shared access consults a per-processor [`PageTable`]; an
 //! access with insufficient permission invokes the protocol's fault handler,

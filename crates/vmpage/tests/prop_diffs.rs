@@ -1,22 +1,45 @@
 //! Property-based tests of the twin/diff machinery — the invariants the
-//! whole multiple-writer protocol rests on.
+//! whole multiple-writer protocol rests on. Randomized deterministically
+//! with a local SplitMix64 (the container has no registry access, so
+//! proptest is unavailable); every case is reproducible from its seed.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use cashmere_vmpage::{
     apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame, PAGE_WORDS,
 };
 
-/// A sparse set of (index, value) writes within one page.
-fn writes() -> impl Strategy<Value = Vec<(usize, u64)>> {
-    prop::collection::vec((0..PAGE_WORDS, any::<u64>()), 0..64)
+/// SplitMix64: tiny, high-quality, stateless-seedable PRNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-proptest! {
-    /// An outgoing diff contains exactly the words that differ from the
-    /// twin, and applying it via flush-update makes the next diff empty.
-    #[test]
-    fn outgoing_diff_roundtrip(ws in writes()) {
+/// A sparse set of (index, value) writes within one page: up to 64 writes,
+/// indices uniform over the page, values uniform u64 (zero included).
+fn writes(state: &mut u64) -> Vec<(usize, u64)> {
+    let n = (splitmix64(state) % 64) as usize;
+    (0..n)
+        .map(|_| {
+            let i = (splitmix64(state) % PAGE_WORDS as u64) as usize;
+            let v = splitmix64(state);
+            (i, v)
+        })
+        .collect()
+}
+
+const CASES: u64 = 200;
+
+/// An outgoing diff contains exactly the words that differ from the twin,
+/// and applying it via flush-update makes the next diff empty.
+#[test]
+fn outgoing_diff_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = seed.wrapping_mul(0xA076_1D64_78BD_642F);
+        let ws = writes(&mut rng);
         let frame = Frame::new();
         let mut twin = make_twin(&frame);
         for &(i, v) in &ws {
@@ -26,28 +49,30 @@ proptest! {
         // Every diffed word reflects the frame; every non-diffed word
         // equals the twin.
         for &(i, v) in &diff {
-            prop_assert_eq!(frame.load(i as usize), v);
-            prop_assert_ne!(twin[i as usize], v);
+            assert_eq!(frame.load(i as usize), v, "seed {seed}");
+            assert_ne!(twin[i as usize], v, "seed {seed}");
         }
         flush_update_twin(&mut twin, &diff);
-        prop_assert!(diff_against_twin(&frame, &twin).is_empty());
+        assert!(diff_against_twin(&frame, &twin).is_empty(), "seed {seed}");
         for i in 0..PAGE_WORDS {
-            prop_assert_eq!(twin[i], frame.load(i));
+            assert_eq!(twin[i], frame.load(i), "seed {seed} word {i}");
         }
     }
+}
 
-    /// Two-way diffing: disjoint local and remote writes merge without
-    /// loss — local words stay in the frame (and remain flagged for the
-    /// next outgoing diff), remote words land in both frame and twin.
-    #[test]
-    fn two_way_diff_merges_disjoint_writers(
-        local in writes(),
-        remote in writes(),
-    ) {
+/// Two-way diffing: disjoint local and remote writes merge without loss —
+/// local words stay in the frame (and remain flagged for the next outgoing
+/// diff), remote words land in both frame and twin.
+#[test]
+fn two_way_diff_merges_disjoint_writers() {
+    for seed in 0..CASES {
+        let mut rng = seed.wrapping_mul(0xE703_7ED1_A0B4_28DB) ^ 1;
+        let local_ws = writes(&mut rng);
+        let remote_ws = writes(&mut rng);
         // Deduplicate indices (last write wins, as in program order) and
         // make the two write sets disjoint (the data-race-free guarantee).
-        let remote: std::collections::BTreeMap<usize, u64> = remote.into_iter().collect();
-        let local: std::collections::BTreeMap<usize, u64> = local
+        let remote: BTreeMap<usize, u64> = remote_ws.into_iter().collect();
+        let local: BTreeMap<usize, u64> = local_ws
             .into_iter()
             .filter(|(i, _)| !remote.contains_key(i))
             .collect();
@@ -69,26 +94,36 @@ proptest! {
 
         // Remote words visible locally; twin tracks the master view.
         for (&i, &v) in &remote {
-            prop_assert_eq!(frame.load(i), v);
-            prop_assert_eq!(twin[i], v);
+            assert_eq!(frame.load(i), v, "seed {seed}");
+            assert_eq!(twin[i], v, "seed {seed}");
         }
         // Local words preserved, and exactly they (with nonzero values)
         // appear in the next outgoing diff.
         let out = diff_against_twin(&frame, &twin);
         for (&i, &v) in &local {
-            prop_assert_eq!(frame.load(i), v);
+            assert_eq!(frame.load(i), v, "seed {seed}");
             if v != 0 {
-                prop_assert!(out.iter().any(|&(j, w)| j as usize == i && w == v));
+                assert!(
+                    out.iter().any(|&(j, w)| j as usize == i && w == v),
+                    "seed {seed}: local write {i} missing from outgoing diff"
+                );
             }
         }
         for &(i, _) in &out {
-            prop_assert!(local.contains_key(&(i as usize)));
+            assert!(
+                local.contains_key(&(i as usize)),
+                "seed {seed}: spurious diff word {i}"
+            );
         }
     }
+}
 
-    /// Snapshot/fill round-trips arbitrary content.
-    #[test]
-    fn snapshot_fill_roundtrip(ws in writes()) {
+/// Snapshot/fill round-trips arbitrary content.
+#[test]
+fn snapshot_fill_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = seed.wrapping_mul(0xD192_ED03_AC35_EE4D) ^ 2;
+        let ws = writes(&mut rng);
         let a = Frame::new();
         for &(i, v) in &ws {
             a.store(i, v);
@@ -98,7 +133,7 @@ proptest! {
         let b = Frame::new();
         b.fill_from(&buf);
         for i in 0..PAGE_WORDS {
-            prop_assert_eq!(a.load(i), b.load(i));
+            assert_eq!(a.load(i), b.load(i), "seed {seed} word {i}");
         }
     }
 }

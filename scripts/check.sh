@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene + correctness gate. Everything runs offline.
+#
+#   fmt    — no diffs allowed
+#   clippy — workspace lints (Cargo.toml [workspace.lints]) as hard errors,
+#            across every target (libs, bins, tests, benches, examples)
+#   test   — the full workspace suite; note `--workspace`: a bare
+#            `cargo test` at the root only tests the facade package
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo test --workspace --offline -q

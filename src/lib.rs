@@ -6,6 +6,8 @@
 //! * [`core`](cashmere_core) — the coherence protocols ([`Cluster`],
 //!   [`Proc`], [`ClusterConfig`], [`ProtocolKind`], …);
 //! * [`apps`](cashmere_apps) — the eight-application benchmark suite;
+//! * [`check`](cashmere_check) — the protocol invariant auditor
+//!   (vector-clock happens-before replay over audit traces);
 //! * the substrates: [`sim`](cashmere_sim) (virtual time, cost model,
 //!   topology), [`memchan`](cashmere_memchan) (the Memory Channel
 //!   simulator), and [`vmpage`](cashmere_vmpage) (page tables, frames,
@@ -15,6 +17,7 @@
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured results.
 
 pub use cashmere_apps as apps;
+pub use cashmere_check as check;
 pub use cashmere_core::*;
 pub use cashmere_memchan as memchan;
 pub use cashmere_sim as sim;

@@ -104,6 +104,32 @@ fn two_level_moves_less_data_than_one_level() {
     }
 }
 
+/// Every application run leaves an audit trace the protocol invariant
+/// auditor certifies clean: no happens-before/staleness violations, no
+/// lost or fabricated write notices, legal exclusive-mode and home
+/// transitions, complete releases. (The exhaustive all-protocols sweep
+/// and the mutation self-tests live in `crates/check/tests/`.)
+#[test]
+fn suite_audit_traces_are_clean() {
+    use cashmere::Cluster;
+    for app in suite(Scale::Test) {
+        for protocol in [ProtocolKind::TwoLevel, ProtocolKind::TwoLevelShootdown] {
+            let mut cfg = ClusterConfig::new(Topology::new(2, 4), protocol).with_audit(true);
+            app.configure(&mut cfg);
+            let mut cluster = Cluster::new(cfg);
+            app.execute(&mut cluster);
+            let report = cashmere::check::audit(&cluster.take_trace());
+            assert!(
+                report.is_clean(),
+                "{} under {}:\n{}",
+                app.name(),
+                protocol.label(),
+                report.summary()
+            );
+        }
+    }
+}
+
 /// Reports carry consistent accounting: per-processor times sum into the
 /// breakdown, counters are monotone, exec time is the max processor time.
 #[test]
