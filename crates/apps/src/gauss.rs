@@ -72,18 +72,26 @@ impl Benchmark for Gauss {
         }
 
         let flop = self.flop_ns;
+        // Row segments are contiguous, so the inner loops below go through
+        // the run accessors: identical access counts, pages, and
+        // per-element arithmetic as the word-at-a-time loops, grouped into
+        // whole-row reads and writes.
         let report = cluster.run(|p| {
             let np = p.nprocs();
             let me = p.id();
+            let mut row = vec![0.0f64; w];
+            let mut piv = vec![0.0f64; w];
             // Forward elimination, rows distributed cyclically.
             for k in 0..n {
+                let len = w - k;
                 if k % np == me {
                     // Normalize the pivot row and publish it.
                     let pivot = a.get(p, k * w + k);
-                    for j in k..w {
-                        let v = a.get(p, k * w + j) / pivot;
-                        a.set(p, k * w + j, v);
+                    a.get_run(p, k * w + k, &mut row[..len]);
+                    for v in &mut row[..len] {
+                        *v /= pivot;
                     }
+                    a.set_run(p, k * w + k, &row[..len]);
                     p.compute(flop * (w - k) as u64);
                     p.flag_set(k);
                 } else {
@@ -95,10 +103,12 @@ impl Benchmark for Gauss {
                     if i > k {
                         let m = a.get(p, i * w + k);
                         if m != 0.0 {
-                            for j in k..w {
-                                let v = a.get(p, i * w + j) - m * a.get(p, k * w + j);
-                                a.set(p, i * w + j, v);
+                            a.get_run(p, i * w + k, &mut row[..len]);
+                            a.get_run(p, k * w + k, &mut piv[..len]);
+                            for j in 0..len {
+                                row[j] -= m * piv[j];
                             }
+                            a.set_run(p, i * w + k, &row[..len]);
                             p.compute(flop * (w - k) as u64);
                         }
                     }
@@ -111,8 +121,11 @@ impl Benchmark for Gauss {
             if me == 0 {
                 for k in (0..n).rev() {
                     let mut v = a.get(p, k * w + n);
-                    for j in (k + 1)..n {
-                        v -= a.get(p, k * w + j) * x.get(p, j);
+                    let tail = n - k - 1;
+                    a.get_run(p, k * w + k + 1, &mut row[..tail]);
+                    x.get_run(p, k + 1, &mut piv[..tail]);
+                    for j in 0..tail {
+                        v -= row[j] * piv[j];
                     }
                     // The pivot row was normalized, so A[k][k] == 1.
                     x.set(p, k, v);

@@ -61,17 +61,27 @@ impl Lu {
     }
 
     /// Factors the diagonal block `k` in place (unblocked LU, no pivoting).
+    ///
+    /// The row updates below go through the run accessors: the same
+    /// accesses as the word-at-a-time loop (reads of rows `i` and `r`,
+    /// writes of row `i` — same counts, same pages, same faults, same
+    /// per-element arithmetic), grouped into three contiguous runs.
     fn factor_diag(&self, p: &mut Proc, a: ArrF64, k: usize) {
         let b = self.block;
+        let mut row_i = vec![0.0f64; b];
+        let mut row_r = vec![0.0f64; b];
         for r in 0..b {
             let pivot = a.get(p, self.idx(k, k, r, r));
+            let len = b - r - 1;
             for i in (r + 1)..b {
                 let l = a.get(p, self.idx(k, k, i, r)) / pivot;
                 a.set(p, self.idx(k, k, i, r), l);
-                for j in (r + 1)..b {
-                    let v = a.get(p, self.idx(k, k, i, j)) - l * a.get(p, self.idx(k, k, r, j));
-                    a.set(p, self.idx(k, k, i, j), v);
+                a.get_run(p, self.idx(k, k, i, r + 1), &mut row_i[..len]);
+                a.get_run(p, self.idx(k, k, r, r + 1), &mut row_r[..len]);
+                for j in 0..len {
+                    row_i[j] -= l * row_r[j];
                 }
+                a.set_run(p, self.idx(k, k, i, r + 1), &row_i[..len]);
                 p.compute(self.flop_ns * (b - r) as u64);
             }
         }
@@ -80,13 +90,17 @@ impl Lu {
     /// Updates a row-perimeter block (k, bj): solve L(k,k) · X = A(k, bj).
     fn update_row_block(&self, p: &mut Proc, a: ArrF64, k: usize, bj: usize) {
         let b = self.block;
+        let mut row_i = vec![0.0f64; b];
+        let mut row_r = vec![0.0f64; b];
         for r in 0..b {
             for i in (r + 1)..b {
                 let l = a.get(p, self.idx(k, k, i, r));
+                a.get_run(p, self.idx(k, bj, i, 0), &mut row_i);
+                a.get_run(p, self.idx(k, bj, r, 0), &mut row_r);
                 for j in 0..b {
-                    let v = a.get(p, self.idx(k, bj, i, j)) - l * a.get(p, self.idx(k, bj, r, j));
-                    a.set(p, self.idx(k, bj, i, j), v);
+                    row_i[j] -= l * row_r[j];
                 }
+                a.set_run(p, self.idx(k, bj, i, 0), &row_i);
                 p.compute(self.flop_ns * b as u64);
             }
         }
@@ -95,15 +109,20 @@ impl Lu {
     /// Updates a column-perimeter block (bi, k): X · U(k,k) = A(bi, k).
     fn update_col_block(&self, p: &mut Proc, a: ArrF64, k: usize, bi: usize) {
         let b = self.block;
+        let mut row_i = vec![0.0f64; b];
+        let mut row_r = vec![0.0f64; b];
         for r in 0..b {
             let pivot = a.get(p, self.idx(k, k, r, r));
+            let len = b - r - 1;
             for i in 0..b {
                 let l = a.get(p, self.idx(bi, k, i, r)) / pivot;
                 a.set(p, self.idx(bi, k, i, r), l);
-                for j in (r + 1)..b {
-                    let v = a.get(p, self.idx(bi, k, i, j)) - l * a.get(p, self.idx(k, k, r, j));
-                    a.set(p, self.idx(bi, k, i, j), v);
+                a.get_run(p, self.idx(bi, k, i, r + 1), &mut row_i[..len]);
+                a.get_run(p, self.idx(k, k, r, r + 1), &mut row_r[..len]);
+                for j in 0..len {
+                    row_i[j] -= l * row_r[j];
                 }
+                a.set_run(p, self.idx(bi, k, i, r + 1), &row_i[..len]);
                 p.compute(self.flop_ns * b as u64);
             }
         }
@@ -112,15 +131,18 @@ impl Lu {
     /// Interior update: A(bi, bj) -= A(bi, k) · A(k, bj).
     fn update_interior(&self, p: &mut Proc, a: ArrF64, k: usize, bi: usize, bj: usize) {
         let b = self.block;
+        let mut row_i = vec![0.0f64; b];
+        let mut row_r = vec![0.0f64; b];
         for i in 0..b {
             for r in 0..b {
                 let l = a.get(p, self.idx(bi, k, i, r));
                 if l != 0.0 {
+                    a.get_run(p, self.idx(bi, bj, i, 0), &mut row_i);
+                    a.get_run(p, self.idx(k, bj, r, 0), &mut row_r);
                     for j in 0..b {
-                        let v =
-                            a.get(p, self.idx(bi, bj, i, j)) - l * a.get(p, self.idx(k, bj, r, j));
-                        a.set(p, self.idx(bi, bj, i, j), v);
+                        row_i[j] -= l * row_r[j];
                     }
+                    a.set_run(p, self.idx(bi, bj, i, 0), &row_i);
                 }
                 p.compute(self.flop_ns * b as u64);
             }

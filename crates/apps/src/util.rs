@@ -46,6 +46,22 @@ impl ArrF64 {
         p.write_f64(self.addr(i), v);
     }
 
+    /// Reads elements `i..i + out.len()` as one run (contiguous elements
+    /// share pages, so this costs one fault check per page, not per word;
+    /// virtual time is identical to an element-at-a-time loop).
+    #[inline]
+    pub fn get_run(&self, p: &mut Proc, i: usize, out: &mut [f64]) {
+        debug_assert!(i + out.len() <= self.len);
+        p.read_run_f64(self.base + i, out);
+    }
+
+    /// Writes `vals` to elements `i..i + vals.len()` as one run.
+    #[inline]
+    pub fn set_run(&self, p: &mut Proc, i: usize, vals: &[f64]) {
+        debug_assert!(i + vals.len() <= self.len);
+        p.write_run_f64(self.base + i, vals);
+    }
+
     /// Seeds element `i` before the run.
     pub fn seed(&self, c: &Cluster, i: usize, v: f64) {
         c.seed_f64(self.addr(i), v);
@@ -56,13 +72,28 @@ impl ArrF64 {
         c.read_f64(self.addr(i))
     }
 
-    /// Bitwise checksum over the final contents.
+    /// Bitwise checksum over the final contents (block read-back; the fold
+    /// over raw bit patterns matches the old per-element version exactly).
     pub fn checksum(&self, c: &Cluster) -> u64 {
-        (0..self.len).fold(0u64, |acc, i| {
-            acc.wrapping_mul(31)
-                .wrapping_add(c.read_f64(self.addr(i)).to_bits())
-        })
+        checksum_words(c, self.base, self.len)
     }
+}
+
+/// Page-blocked bitwise checksum shared by [`ArrF64`] and [`ArrU64`]:
+/// `acc = acc * 31 + word` over `len` words starting at `base`.
+fn checksum_words(c: &Cluster, base: Addr, len: usize) -> u64 {
+    let mut buf = [0u64; 1024];
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < len {
+        let n = (len - i).min(buf.len());
+        c.read_back_run(base + i, &mut buf[..n]);
+        for &w in &buf[..n] {
+            acc = acc.wrapping_mul(31).wrapping_add(w);
+        }
+        i += n;
+    }
+    acc
 }
 
 /// A typed view of a shared `u64` array.
@@ -109,6 +140,21 @@ impl ArrU64 {
         p.write_u64(self.addr(i), v);
     }
 
+    /// Reads elements `i..i + out.len()` as one run (see
+    /// [`ArrF64::get_run`]).
+    #[inline]
+    pub fn get_run(&self, p: &mut Proc, i: usize, out: &mut [u64]) {
+        debug_assert!(i + out.len() <= self.len);
+        p.read_run_u64(self.base + i, out);
+    }
+
+    /// Writes `vals` to elements `i..i + vals.len()` as one run.
+    #[inline]
+    pub fn set_run(&self, p: &mut Proc, i: usize, vals: &[u64]) {
+        debug_assert!(i + vals.len() <= self.len);
+        p.write_run_u64(self.base + i, vals);
+    }
+
     /// Seeds element `i` before the run.
     pub fn seed(&self, c: &Cluster, i: usize, v: u64) {
         c.seed_u64(self.addr(i), v);
@@ -119,11 +165,9 @@ impl ArrU64 {
         c.read_u64(self.addr(i))
     }
 
-    /// Bitwise checksum over the final contents.
+    /// Bitwise checksum over the final contents (block read-back).
     pub fn checksum(&self, c: &Cluster) -> u64 {
-        (0..self.len).fold(0u64, |acc, i| {
-            acc.wrapping_mul(31).wrapping_add(c.read_u64(self.addr(i)))
-        })
+        checksum_words(c, self.base, self.len)
     }
 }
 

@@ -217,14 +217,14 @@ impl Record {
 }
 
 /// Appends `"key":` with the key JSON-escaped.
-fn json_key(out: &mut String, key: &str) {
+pub fn json_key(out: &mut String, key: &str) {
     out.push('"');
     json_escape_into(out, key);
     out.push_str("\":");
 }
 
 /// Appends `"key":"value"` with both sides JSON-escaped.
-fn json_str(out: &mut String, key: &str, value: &str) {
+pub fn json_str(out: &mut String, key: &str, value: &str) {
     json_key(out, key);
     out.push('"');
     json_escape_into(out, value);
@@ -232,13 +232,13 @@ fn json_str(out: &mut String, key: &str, value: &str) {
 }
 
 /// Appends `"key":<number>`.
-fn json_f64(out: &mut String, key: &str, value: f64) {
+pub fn json_f64(out: &mut String, key: &str, value: f64) {
     json_key(out, key);
     out.push_str(&fmt_json_f64(value));
 }
 
 /// Formats an f64 as a JSON number (JSON has no NaN/Infinity; map to 0).
-fn fmt_json_f64(v: f64) -> String {
+pub fn fmt_json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{:?}` round-trips f64 exactly and always includes a `.` or `e`.
         format!("{v:?}")

@@ -41,8 +41,8 @@ use cashmere_sim::{
     Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
 };
 use cashmere_vmpage::{
-    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame, PageTable, Perm,
-    Twin, PAGE_BYTES, PAGE_WORDS,
+    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, DiffRuns, Frame,
+    PageTable, Perm, Twin, PAGE_BYTES, PAGE_WORDS,
 };
 
 use crate::config::ClusterConfig;
@@ -75,6 +75,17 @@ pub struct ProcCtx {
     pub poll_fraction: f64,
     /// Memory-bus bytes charged per shared access.
     pub bus_bytes: u64,
+    /// This processor's page table — the same object as its
+    /// `LocalProc::pt`, cached here so the access fast path skips the
+    /// pnodes→procs pointer chase on every read and write.
+    pt: Arc<PageTable>,
+    /// Per-shared-access polling charge, precomputed from `poll_fraction`
+    /// (zero when interrupt messaging is selected or the fraction is zero),
+    /// so the fast path avoids an f64 multiply + cast per access.
+    poll_access_ns: Nanos,
+    /// Pages this context has ever held in exclusive mode (sticky; see
+    /// `Engine::write_word` for the in-write-flag gating it permits).
+    excl_held: Vec<bool>,
     /// Accumulated unsettled bus bytes (settled in batches).
     pending_bus: u64,
     /// Accumulated unsettled write-doubling bytes (1L; settled in batches).
@@ -82,8 +93,16 @@ pub struct ProcCtx {
 }
 
 impl ProcCtx {
-    fn new(id: ProcId, pnode: usize, local: usize, phys: usize, cfg: &ClusterConfig) -> Self {
-        Self {
+    fn new(
+        id: ProcId,
+        pnode: usize,
+        local: usize,
+        phys: usize,
+        pt: Arc<PageTable>,
+        excl_held: Vec<bool>,
+        cfg: &ClusterConfig,
+    ) -> Self {
+        let mut ctx = Self {
             id,
             pnode,
             local,
@@ -94,9 +113,25 @@ impl ProcCtx {
             acquire_ts: 0,
             poll_fraction: cfg.poll_fraction,
             bus_bytes: cfg.bus_bytes_per_access,
+            pt,
+            poll_access_ns: 0,
+            excl_held,
             pending_bus: 0,
             pending_double: 0,
-        }
+        };
+        ctx.set_poll_fraction(cfg.poll_fraction, cfg);
+        ctx
+    }
+
+    /// Sets the polling-overhead fraction and rederives the per-access
+    /// polling charge from it.
+    pub(crate) fn set_poll_fraction(&mut self, f: f64, cfg: &ClusterConfig) {
+        self.poll_fraction = f;
+        self.poll_access_ns = if cfg.cost.messaging == Messaging::Polling && f > 0.0 {
+            (cfg.cost.shared_access as f64 * f) as Nanos
+        } else {
+            0
+        };
     }
 }
 
@@ -161,7 +196,7 @@ impl NodePage {
 struct LocalProc {
     wn: ProcNoticeList,
     nle: NleList,
-    pt: PageTable,
+    pt: Arc<PageTable>,
     /// Cluster-wide id, for directory exclusive-holder words.
     global: ProcId,
     /// True while the processor is between its write-permission check and
@@ -209,6 +244,11 @@ pub struct Engine {
     home_lock: McLock,
     /// Per-physical-node memory buses.
     buses: Vec<Resource>,
+    /// Whether *any* page has ever entered exclusive mode on this engine.
+    /// While false, [`Engine::make_ctx`] can skip the per-page scan that
+    /// seeds the sticky `excl_held` bitmap (a fresh cluster takes
+    /// `procs × pages` node-page locks otherwise).
+    any_exclusive: AtomicBool,
     /// Auditor event stream (`Some` only when [`ClusterConfig::audit`]).
     rec: Option<Arc<TraceRecorder>>,
     /// Cluster-wide statistics.
@@ -302,7 +342,7 @@ impl Engine {
                             None => ProcNoticeList::new(pages),
                         },
                         nle: NleList::new(),
-                        pt: PageTable::new(pages),
+                        pt: Arc::new(PageTable::new(pages)),
                         global: p,
                         in_write: AtomicBool::new(false),
                     })
@@ -321,6 +361,7 @@ impl Engine {
             pnodes,
             home_lock,
             buses: (0..topo.nodes()).map(|_| Resource::new()).collect(),
+            any_exclusive: AtomicBool::new(false),
             rec,
             stats: Stats::new(),
         })
@@ -346,7 +387,21 @@ impl Engine {
             .position(|&q| q == p)
             .expect("processor not on its protocol node");
         let phys = self.topo.node_of(p).0;
-        ProcCtx::new(p, pnode, local, phys, &self.cfg)
+        let pt = Arc::clone(&self.pnodes[pnode].procs[local].pt);
+        // Seed the sticky exclusive-held bitmap from current protocol state:
+        // page-table state persists across `Cluster::run` calls on the same
+        // cluster, so a fresh context for a processor still registered as a
+        // page's exclusive holder must start with that page's bit set. On an
+        // engine where no page has ever gone exclusive (Acquire pairs with
+        // the Release in `try_enter_exclusive`) the scan is skipped.
+        let excl_held = if self.any_exclusive.load(Ordering::Acquire) {
+            (0..self.cfg.heap_pages)
+                .map(|page| self.pnodes[pnode].pages[page].lock().excl_local == Some(local))
+                .collect()
+        } else {
+            vec![false; self.cfg.heap_pages]
+        };
+        ProcCtx::new(p, pnode, local, phys, pt, excl_held, &self.cfg)
     }
 
     fn master(&self, page: usize) -> &Arc<Frame> {
@@ -367,8 +422,10 @@ impl Engine {
         ts
     }
 
-    fn pt(&self, ctx: &ProcCtx) -> &PageTable {
-        &self.pnodes[ctx.pnode].procs[ctx.local].pt
+    fn pt<'a>(&self, ctx: &'a ProcCtx) -> &'a PageTable {
+        // Same object as `self.pnodes[ctx.pnode].procs[ctx.local].pt`,
+        // reached without the two-level indexing on every access.
+        ctx.pt.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -410,20 +467,37 @@ impl Engine {
     /// in-line.
     pub fn write_word(&self, ctx: &mut ProcCtx, addr: Addr, val: u64) {
         let page = addr / PAGE_WORDS;
+        if ctx.frames[page].is_none() && !self.pt(ctx).write_faults(page) {
+            self.refresh_frame_cache(ctx, page);
+        }
         // The in-write flag must cover the permission check and the store
         // together (SeqCst pairs with the downgrading shooter's check), but
         // must be clear while the fault handler runs — the shooter spins on
         // it while holding the node-page lock the handler needs.
-        if ctx.frames[page].is_none() && !self.pt(ctx).write_faults(page) {
-            self.refresh_frame_cache(ctx, page);
-        }
-        let in_write = &self.pnodes[ctx.pnode].procs[ctx.local].in_write;
+        //
+        // Only two downgraders ever race with a write in flight: a 2LS
+        // shootdown (which consults every local writer's flag) and an
+        // exclusive-mode break (which consults only the registered holder's
+        // flag). So unless this protocol shoots down, or this context has
+        // ever held the page exclusively, no other thread can revoke our
+        // write permission mid-store — the flag and the re-check loop are
+        // provably unnecessary and the fast path skips both SeqCst stores.
+        let shootdown = self.cfg.protocol.uses_shootdown();
+        let mut guarded;
         loop {
-            in_write.store(true, Ordering::SeqCst);
-            if !self.pt(ctx).write_faults(page) {
+            // Recomputed per iteration: a fault below can enter exclusive
+            // mode, flipping this context's `excl_held` bit mid-loop.
+            guarded = shootdown || ctx.excl_held[page];
+            if guarded {
+                let in_write = &self.pnodes[ctx.pnode].procs[ctx.local].in_write;
+                in_write.store(true, Ordering::SeqCst);
+                if !self.pt(ctx).write_faults(page) {
+                    break;
+                }
+                in_write.store(false, Ordering::SeqCst);
+            } else if !self.pt(ctx).write_faults(page) {
                 break;
             }
-            in_write.store(false, Ordering::SeqCst);
             self.stats.write_faults.inc();
             self.fault_common(ctx, page, addr % PAGE_WORDS, /* write: */ true);
         }
@@ -431,9 +505,11 @@ impl Engine {
         let off = addr % PAGE_WORDS;
         let frame = ctx.frames[page].as_ref().expect("fault left no frame");
         frame.store(off, val);
-        self.pnodes[ctx.pnode].procs[ctx.local]
-            .in_write
-            .store(false, Ordering::Release);
+        if guarded {
+            self.pnodes[ctx.pnode].procs[ctx.local]
+                .in_write
+                .store(false, Ordering::Release);
+        }
         if self.cfg.protocol.write_through() {
             let master = self.master(page);
             // Home procs write the master directly (frame == master); only
@@ -462,9 +538,11 @@ impl Engine {
     fn charge_access(&self, ctx: &mut ProcCtx) {
         let c = &self.cfg.cost;
         ctx.clock.charge(TimeCategory::User, c.shared_access);
-        if self.cfg.cost.messaging == Messaging::Polling && ctx.poll_fraction > 0.0 {
-            let poll = (c.shared_access as f64 * ctx.poll_fraction) as Nanos;
-            ctx.clock.charge(TimeCategory::Polling, poll);
+        if ctx.poll_access_ns > 0 {
+            // Precomputed in `ProcCtx::set_poll_fraction` — identical to
+            // `(shared_access as f64 * poll_fraction) as Nanos` but without
+            // the per-access float multiply.
+            ctx.clock.charge(TimeCategory::Polling, ctx.poll_access_ns);
         }
         // Cache-capacity traffic through the node's shared bus, settled in
         // batches to keep contention on the Resource realistic but cheap.
@@ -474,6 +552,199 @@ impl Engine {
             ctx.pending_bus = 0;
             let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
             ctx.clock.wait_until(done);
+        }
+    }
+
+    /// Charges `n` shared accesses in bulk, *bit-identically* to `n` calls
+    /// of [`Self::charge_access`]. The per-access charges are constants, so
+    /// `k` of them sum to `k × constant` regardless of grouping; the only
+    /// ordering-sensitive step is the bus settle, which the scalar path
+    /// performs after exactly the access that pushes `pending_bus` to the
+    /// 4096-byte threshold. The loop below replays each settle at the same
+    /// access index (the same clock value, since the intervening charges
+    /// are pure additions), so bus `Resource` acquisitions happen at
+    /// identical virtual times.
+    fn charge_accesses(&self, ctx: &mut ProcCtx, mut n: u64) {
+        if n == 0 {
+            return;
+        }
+        let c = &self.cfg.cost;
+        if ctx.bus_bytes == 0 {
+            ctx.clock.charge(TimeCategory::User, c.shared_access * n);
+            if ctx.poll_access_ns > 0 {
+                ctx.clock
+                    .charge(TimeCategory::Polling, ctx.poll_access_ns * n);
+            }
+            return;
+        }
+        while n > 0 {
+            // Accesses until the batch crosses the settle threshold
+            // (`charge_access` keeps `pending_bus < 4096` between calls).
+            let to_settle = 4096u64
+                .saturating_sub(ctx.pending_bus)
+                .div_ceil(ctx.bus_bytes)
+                .max(1);
+            let k = to_settle.min(n);
+            ctx.clock.charge(TimeCategory::User, c.shared_access * k);
+            if ctx.poll_access_ns > 0 {
+                ctx.clock
+                    .charge(TimeCategory::Polling, ctx.poll_access_ns * k);
+            }
+            ctx.pending_bus += ctx.bus_bytes * k;
+            if ctx.pending_bus >= 4096 {
+                let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
+                ctx.pending_bus = 0;
+                let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
+                ctx.clock.wait_until(done);
+            }
+            n -= k;
+        }
+    }
+
+    /// Reads a run of consecutive words starting at `addr`, faulting
+    /// page-by-page exactly as a word-at-a-time loop would. Virtual time is
+    /// charged through [`Self::charge_accesses`] (bit-identical to the
+    /// scalar loop); values match the scalar loop because read permission,
+    /// once present, is only ever revoked by this processor's *own*
+    /// acquire — which cannot run mid-call.
+    pub fn read_run(&self, ctx: &mut ProcCtx, addr: Addr, out: &mut [u64]) {
+        let total = out.len();
+        let mut done = 0;
+        while done < total {
+            let page = (addr + done) / PAGE_WORDS;
+            let off = (addr + done) % PAGE_WORDS;
+            let n = (total - done).min(PAGE_WORDS - off);
+            if self.pt(ctx).read_faults(page) {
+                self.stats.read_faults.inc();
+                self.fault_common(ctx, page, off, /* write: */ false);
+            } else if ctx.frames[page].is_none() {
+                self.refresh_frame_cache(ctx, page);
+            }
+            self.charge_accesses(ctx, n as u64);
+            ctx.frames[page]
+                .as_ref()
+                .expect("fault left no frame")
+                .load_run(off, &mut out[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Writes a run of consecutive words starting at `addr`, faulting
+    /// page-by-page. Under a guarded page (shootdown protocols or a page
+    /// this context has held exclusively) the in-write flag is raised over
+    /// the whole page sub-run: the mutual-exclusion argument of
+    /// [`Self::write_word`] is unchanged (no lock is held while storing; a
+    /// concurrent shooter merely waits for the full sub-run, and its flush
+    /// then captures every word of it). Under the write-doubling protocols
+    /// the per-page charges go through [`Self::charge_doubled_stores`],
+    /// which replays the scalar loop's charge/settle sequence exactly.
+    pub fn write_run(&self, ctx: &mut ProcCtx, addr: Addr, vals: &[u64]) {
+        let write_through = self.cfg.protocol.write_through();
+        let total = vals.len();
+        let mut done = 0;
+        while done < total {
+            let page = (addr + done) / PAGE_WORDS;
+            let off = (addr + done) % PAGE_WORDS;
+            let n = (total - done).min(PAGE_WORDS - off);
+            if ctx.frames[page].is_none() && !self.pt(ctx).write_faults(page) {
+                self.refresh_frame_cache(ctx, page);
+            }
+            let shootdown = self.cfg.protocol.uses_shootdown();
+            let mut guarded;
+            loop {
+                // Recomputed per iteration — see `write_word`.
+                guarded = shootdown || ctx.excl_held[page];
+                if guarded {
+                    let in_write = &self.pnodes[ctx.pnode].procs[ctx.local].in_write;
+                    in_write.store(true, Ordering::SeqCst);
+                    if !self.pt(ctx).write_faults(page) {
+                        break;
+                    }
+                    in_write.store(false, Ordering::SeqCst);
+                } else if !self.pt(ctx).write_faults(page) {
+                    break;
+                }
+                self.stats.write_faults.inc();
+                self.fault_common(ctx, page, off, /* write: */ true);
+            }
+            let frame = ctx.frames[page].as_ref().expect("fault left no frame");
+            frame.store_run(off, &vals[done..done + n]);
+            let doubled = write_through && {
+                let master = self.master(page);
+                if Arc::ptr_eq(frame, master) {
+                    false
+                } else {
+                    master.store_run(off, &vals[done..done + n]);
+                    true
+                }
+            };
+            if doubled {
+                self.charge_doubled_stores(ctx, n as u64);
+            } else {
+                self.charge_accesses(ctx, n as u64);
+            }
+            if guarded {
+                self.pnodes[ctx.pnode].procs[ctx.local]
+                    .in_write
+                    .store(false, Ordering::Release);
+            }
+            done += n;
+        }
+    }
+
+    /// Charges `n` write-doubled stores in bulk, bit-identically to `n`
+    /// iterations of [`Self::write_word`]'s write-through tail (access
+    /// charge + doubling charge + the 4096-byte bus and 512-byte link
+    /// settles). Both settle counters advance by a constant per store, so
+    /// each settle fires after the same store index — at the same clock
+    /// value — as in the scalar loop; within a batch the charges are pure
+    /// additions and commute. The one ordering quirk preserved below: the
+    /// store that trips the bus settle charges its own doubling cost
+    /// *after* the bus wait, exactly as the scalar sequence does.
+    fn charge_doubled_stores(&self, ctx: &mut ProcCtx, mut n: u64) {
+        let c = &self.cfg.cost;
+        let wd = c.write_double_per_store;
+        self.stats.data_bytes.add(8 * n);
+        while n > 0 {
+            let k_bus = if ctx.bus_bytes == 0 {
+                u64::MAX
+            } else {
+                4096u64
+                    .saturating_sub(ctx.pending_bus)
+                    .div_ceil(ctx.bus_bytes)
+                    .max(1)
+            };
+            // `pending_double` stays a multiple of 8 below 512.
+            let k_dbl = (512u64.saturating_sub(ctx.pending_double))
+                .div_ceil(8)
+                .max(1);
+            let k = k_bus.min(k_dbl).min(n);
+            ctx.clock.charge(TimeCategory::User, c.shared_access * k);
+            if ctx.poll_access_ns > 0 {
+                ctx.clock
+                    .charge(TimeCategory::Polling, ctx.poll_access_ns * k);
+            }
+            ctx.pending_bus += ctx.bus_bytes * k;
+            if ctx.pending_bus >= 4096 {
+                if k > 1 {
+                    ctx.clock.charge(TimeCategory::WriteDoubling, wd * (k - 1));
+                }
+                let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
+                ctx.pending_bus = 0;
+                let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
+                ctx.clock.wait_until(done);
+                ctx.clock.charge(TimeCategory::WriteDoubling, wd);
+            } else {
+                ctx.clock.charge(TimeCategory::WriteDoubling, wd * k);
+            }
+            ctx.pending_double += 8 * k;
+            if ctx.pending_double >= 512 {
+                let _ = self
+                    .mc
+                    .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
+                ctx.pending_double = 0;
+            }
+            n -= k;
         }
     }
 
@@ -776,6 +1047,11 @@ impl Engine {
             pnode: ctx.pnode,
             page,
         });
+        // Sticky: an exclusive break downgrades this holder's page table
+        // from another thread, so from now on this context's writes to the
+        // page must always raise the in-write flag (see `write_word`).
+        ctx.excl_held[page] = true;
+        self.any_exclusive.store(true, Ordering::Release);
         self.stats.exclusive_transitions.inc();
         true
     }
@@ -887,8 +1163,11 @@ impl Engine {
                 lp.pt.set(page, Perm::Read);
                 // Wait out any store that already passed its permission
                 // check — the synchronous half of a real TLB shootdown.
+                // Yield rather than spin: the writer may not be scheduled
+                // (the simulator oversubscribes cores), and a burned
+                // quantum here stalls the whole node-page lock.
                 while lp.in_write.load(Ordering::SeqCst) {
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 }
                 np.writers &= !(1u64 << i);
                 shot += 1;
@@ -911,42 +1190,38 @@ impl Engine {
     }
 
     /// Applies an outgoing diff to the master copy, charging diff cost,
-    /// link occupancy, and byte counts.
-    fn flush_diff_to_master(
-        &self,
-        ctx: &mut ProcCtx,
-        page: usize,
-        home: usize,
-        diff: &[(u32, u64)],
-    ) {
+    /// link occupancy, and byte counts. Every cost below is a function of
+    /// the dirty-word count (`diff.words()`), so the run-length
+    /// representation cannot perturb virtual time.
+    fn flush_diff_to_master(&self, ctx: &mut ProcCtx, page: usize, home: usize, diff: &DiffRuns) {
         let c = &self.cfg.cost;
         // Producer: emit before the master stores so any fetch that sees
         // these words is sequenced after this flush.
         emit(&self.rec, || ProtocolEvent::DiffOut {
             pnode: ctx.pnode,
             page,
-            words: diff.iter().map(|&(i, _)| i).collect(),
+            words: diff.iter_words().map(|(i, _)| i).collect(),
         });
         let master = self.master(page);
-        for &(i, v) in diff {
-            master.store(i as usize, v);
+        for (start, vals) in diff.runs() {
+            master.store_run(start as usize, vals);
         }
         let home_phys = self
             .map
             .physical_of(&self.topo, cashmere_sim::NodeId(home))
             .0;
         let cost = if home_phys == ctx.phys {
-            c.diff_out_local(diff.len(), PAGE_WORDS)
+            c.diff_out_local(diff.words(), PAGE_WORDS)
         } else {
             // Posted writes: reserve the link for bandwidth accounting but
             // do not block the flusher on delivery.
             let _ = self
                 .mc
-                .charge_link(ctx.pnode, diff.len() as u64 * 12, ctx.clock.now());
-            c.diff_out_remote(diff.len(), PAGE_WORDS)
+                .charge_link(ctx.pnode, diff.words() as u64 * 12, ctx.clock.now());
+            c.diff_out_remote(diff.words(), PAGE_WORDS)
         };
         ctx.clock.charge(TimeCategory::Protocol, cost);
-        self.stats.data_bytes.add(diff.len() as u64 * 12);
+        self.stats.data_bytes.add(diff.words() as u64 * 12);
     }
 
     // ------------------------------------------------------------------
@@ -989,8 +1264,11 @@ impl Engine {
         // the holder wrote (on real hardware the request handler runs on
         // the holder itself, giving this synchrony for free).
         hnode.procs[excl_local].pt.set(page, Perm::Read);
+        // Yield, not spin: the holder may be descheduled mid-store (see
+        // `shootdown_local_writers`), and it may now be storing a whole
+        // page run under the flag.
         while hnode.procs[excl_local].in_write.load(Ordering::SeqCst) {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
 
         // One snapshot serves both the whole-page flush to the home and the
@@ -1422,6 +1700,31 @@ impl Engine {
             }
         }
         self.master(page).load(off)
+    }
+
+    /// Bulk [`Self::read_back`]: one directory exclusive-holder lookup (and
+    /// at most one node-page lock) per page instead of per word.
+    pub fn read_back_run(&self, addr: Addr, out: &mut [u64]) {
+        let total = out.len();
+        let mut done = 0;
+        while done < total {
+            let page = (addr + done) / PAGE_WORDS;
+            let off = (addr + done) % PAGE_WORDS;
+            let n = (total - done).min(PAGE_WORDS - off);
+            let dst = &mut out[done..done + n];
+            let mut from_holder = false;
+            if let Some((holder, _)) = self.dir.exclusive_holder(page, 0) {
+                let np = self.pnodes[holder].pages[page].lock();
+                if let Some(frame) = np.frame.as_ref() {
+                    frame.load_run(off, dst);
+                    from_holder = true;
+                }
+            }
+            if !from_holder {
+                self.master(page).load_run(off, dst);
+            }
+            done += n;
+        }
     }
 
     /// Flushes a processor's residual accounting (bus/doubling batches) at

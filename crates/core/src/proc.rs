@@ -119,6 +119,12 @@ impl Cluster {
         self.engine.read_back(addr)
     }
 
+    /// Reads back a run of consecutive words (bulk [`Self::read_u64`]; one
+    /// directory lookup per page instead of per word).
+    pub fn read_back_run(&self, addr: Addr, out: &mut [u64]) {
+        self.engine.read_back_run(addr, out);
+    }
+
     /// Reads back an `f64`.
     pub fn read_f64(&self, addr: Addr) -> f64 {
         f64::from_bits(self.engine.read_back(addr))
@@ -167,12 +173,19 @@ pub struct Proc {
     engine: Arc<Engine>,
     pools: Arc<SyncPools>,
     ctx: ProcCtx,
+    /// Reusable bit-pattern buffer for the `f64` run accessors.
+    scratch: Vec<u64>,
 }
 
 impl Proc {
     fn new(engine: Arc<Engine>, pools: Arc<SyncPools>, id: ProcId) -> Self {
         let ctx = engine.make_ctx(id);
-        Self { engine, pools, ctx }
+        Self {
+            engine,
+            pools,
+            ctx,
+            scratch: Vec::new(),
+        }
     }
 
     /// Cluster-wide processor id, `0..nprocs()`.
@@ -215,6 +228,37 @@ impl Proc {
     /// Writes the shared `f64` at `addr`.
     pub fn write_f64(&mut self, addr: Addr, val: f64) {
         self.write_u64(addr, val.to_bits());
+    }
+
+    /// Reads `out.len()` consecutive shared words starting at `addr`.
+    /// Virtual time and values are identical to the equivalent
+    /// [`Self::read_u64`] loop; the wall cost is one fault check and one
+    /// bulk charge per page touched.
+    pub fn read_run_u64(&mut self, addr: Addr, out: &mut [u64]) {
+        self.engine.read_run(&mut self.ctx, addr, out);
+    }
+
+    /// Writes `vals` to consecutive shared words starting at `addr`
+    /// (run-granular [`Self::write_u64`]; virtual time identical).
+    pub fn write_run_u64(&mut self, addr: Addr, vals: &[u64]) {
+        self.engine.write_run(&mut self.ctx, addr, vals);
+    }
+
+    /// [`Self::read_run_u64`] for `f64` values.
+    pub fn read_run_f64(&mut self, addr: Addr, out: &mut [f64]) {
+        self.scratch.clear();
+        self.scratch.resize(out.len(), 0);
+        self.engine.read_run(&mut self.ctx, addr, &mut self.scratch);
+        for (o, &w) in out.iter_mut().zip(&self.scratch) {
+            *o = f64::from_bits(w);
+        }
+    }
+
+    /// [`Self::write_run_u64`] for `f64` values.
+    pub fn write_run_f64(&mut self, addr: Addr, vals: &[f64]) {
+        self.scratch.clear();
+        self.scratch.extend(vals.iter().map(|v| v.to_bits()));
+        self.engine.write_run(&mut self.ctx, addr, &self.scratch);
     }
 
     /// Charges `ns` of application compute time (private computation that
@@ -348,7 +392,7 @@ impl Proc {
     /// Overrides the polling-overhead fraction for this processor (the
     /// paper's per-application 0–36%).
     pub fn set_poll_fraction(&mut self, f: f64) {
-        self.ctx.poll_fraction = f;
+        self.ctx.set_poll_fraction(f, self.engine.config());
     }
 
     /// Overrides the memory-bus bytes charged per shared access (models an

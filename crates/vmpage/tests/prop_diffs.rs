@@ -6,7 +6,8 @@
 use std::collections::BTreeMap;
 
 use cashmere_vmpage::{
-    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, Frame, PAGE_WORDS,
+    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, DiffRuns, Frame,
+    PAGE_WORDS,
 };
 
 /// SplitMix64: tiny, high-quality, stateless-seedable PRNG.
@@ -48,7 +49,7 @@ fn outgoing_diff_roundtrip() {
         let diff = diff_against_twin(&frame, &twin);
         // Every diffed word reflects the frame; every non-diffed word
         // equals the twin.
-        for &(i, v) in &diff {
+        for (i, v) in diff.iter_words() {
             assert_eq!(frame.load(i as usize), v, "seed {seed}");
             assert_ne!(twin[i as usize], v, "seed {seed}");
         }
@@ -104,16 +105,141 @@ fn two_way_diff_merges_disjoint_writers() {
             assert_eq!(frame.load(i), v, "seed {seed}");
             if v != 0 {
                 assert!(
-                    out.iter().any(|&(j, w)| j as usize == i && w == v),
+                    out.iter_words().any(|(j, w)| j as usize == i && w == v),
                     "seed {seed}: local write {i} missing from outgoing diff"
                 );
             }
         }
-        for &(i, _) in &out {
+        for (i, _) in out.iter_words() {
             assert!(
                 local.contains_key(&(i as usize)),
                 "seed {seed}: spurious diff word {i}"
             );
+        }
+    }
+}
+
+/// Per-word reference differ: the pre-RLE semantics the block-scan version
+/// must reproduce exactly.
+fn reference_diff(frame: &Frame, twin: &[u64]) -> Vec<(u32, u64)> {
+    (0..PAGE_WORDS)
+        .filter_map(|i| {
+            let v = frame.load(i);
+            (v != twin[i]).then_some((i as u32, v))
+        })
+        .collect()
+}
+
+/// Dirty-word patterns that stress the block-scan differ's edge cases.
+fn pattern_writes(which: usize, state: &mut u64) -> Vec<(usize, u64)> {
+    match which {
+        // Empty: a clean page must produce an empty diff.
+        0 => Vec::new(),
+        // Full page: every word dirty — one page-long run.
+        1 => (0..PAGE_WORDS)
+            .map(|i| (i, splitmix64(state) | 1))
+            .collect(),
+        // Alternating words: worst case for run coalescing (all runs len 1)
+        // and for the chunk skip (every chunk dirty).
+        2 => (0..PAGE_WORDS)
+            .step_by(2)
+            .map(|i| (i, splitmix64(state) | 1))
+            .collect(),
+        // Random sparse writes (zero values included, so some "writes" are
+        // invisible to the differ — exactly as in the protocol).
+        _ => writes(state),
+    }
+}
+
+/// The block-scan RLE differ agrees with the per-word reference on empty,
+/// full-page, alternating, and random dirty patterns; runs are maximal,
+/// ascending, and round-trip through the per-word representation.
+#[test]
+fn diff_runs_match_per_word_reference() {
+    for seed in 0..CASES {
+        for which in 0..4 {
+            let mut rng = seed.wrapping_mul(0x8664_F205_D64F_27B5) ^ which as u64;
+            let frame = Frame::new();
+            let twin = make_twin(&frame);
+            for (i, v) in pattern_writes(which, &mut rng) {
+                frame.store(i, v);
+            }
+            let reference = reference_diff(&frame, &twin[..]);
+            let diff = diff_against_twin(&frame, &twin);
+            assert_eq!(
+                diff.iter_words().collect::<Vec<_>>(),
+                reference,
+                "seed {seed} pattern {which}: word set mismatch"
+            );
+            assert_eq!(diff.words(), reference.len(), "seed {seed} pattern {which}");
+            assert_eq!(diff.is_empty(), reference.is_empty());
+            // Runs are ascending, non-adjacent (maximally coalesced), and
+            // their contents match the frame.
+            let mut prev_end: Option<u32> = None;
+            for (start, vals) in diff.runs() {
+                assert!(!vals.is_empty(), "seed {seed} pattern {which}: empty run");
+                if let Some(pe) = prev_end {
+                    assert!(
+                        start > pe,
+                        "seed {seed} pattern {which}: runs not coalesced/ascending"
+                    );
+                }
+                for (k, &v) in vals.iter().enumerate() {
+                    assert_eq!(frame.load(start as usize + k), v);
+                }
+                prev_end = Some(start + vals.len() as u32);
+            }
+            // Round-trip: rebuilding from the word stream reproduces the
+            // same runs.
+            let rebuilt: DiffRuns = diff.iter_words().collect();
+            assert_eq!(
+                rebuilt.iter_words().collect::<Vec<_>>(),
+                reference,
+                "seed {seed} pattern {which}: FromIterator round-trip"
+            );
+            assert_eq!(rebuilt.run_count(), diff.run_count());
+        }
+    }
+}
+
+/// Incoming diffs shaped as dense runs (chunk-aligned and straddling)
+/// preserve concurrent local writes at word granularity.
+#[test]
+fn incoming_runs_preserve_concurrent_local_writes() {
+    for seed in 0..CASES {
+        let mut rng = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 3;
+        // Remote writes: a few dense runs at random (unaligned) offsets.
+        let mut remote: BTreeMap<usize, u64> = BTreeMap::new();
+        for _ in 0..1 + (splitmix64(&mut rng) % 4) {
+            let start = (splitmix64(&mut rng) % (PAGE_WORDS as u64 - 64)) as usize;
+            let len = 1 + (splitmix64(&mut rng) % 48) as usize;
+            for i in start..start + len {
+                remote.insert(i, splitmix64(&mut rng) | 1);
+            }
+        }
+        // Concurrent local writes on the remaining words (data-race-free).
+        let local: BTreeMap<usize, u64> = writes(&mut rng)
+            .into_iter()
+            .filter(|(i, _)| !remote.contains_key(i))
+            .collect();
+
+        let frame = Frame::new();
+        let mut twin = make_twin(&frame);
+        let mut incoming = [0u64; PAGE_WORDS];
+        for (&i, &v) in &remote {
+            incoming[i] = v;
+        }
+        for (&i, &v) in &local {
+            frame.store(i, v);
+        }
+        let applied = apply_incoming_diff(&frame, &mut twin, &incoming);
+        assert_eq!(applied, remote.len(), "seed {seed}");
+        for (&i, &v) in &remote {
+            assert_eq!(frame.load(i), v, "seed {seed}: remote word lost");
+            assert_eq!(twin[i], v, "seed {seed}: twin not updated");
+        }
+        for (&i, &v) in &local {
+            assert_eq!(frame.load(i), v, "seed {seed}: local write clobbered");
         }
     }
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark + virtual-time drift gate.
+#
+# Builds the release tree and runs the `wallclock` harness, which
+#   1. regenerates the deterministic virtual-time goldens (per-app
+#      sequential runs + the scripted multi-node protocol replay) and fails
+#      if they drift from the committed results/vt_golden.jsonl or from the
+#      sequential rows of results/table2.jsonl, and
+#   2. times the quick32 suite (8 apps x 4 protocols at 32:4) and writes
+#      BENCH_wallclock.json, including per-cell and geomean speedup against
+#      results/wallclock_baseline.jsonl when that baseline exists.
+#
+# Usage:
+#   scripts/bench.sh                 # measure + check VT drift
+#   WALLCLOCK_BASELINE=1 scripts/bench.sh   # (re)capture baselines instead
+#   WALLCLOCK_REPS=5 scripts/bench.sh       # more timing repetitions
+#
+# Parallel-run virtual times are scheduling-dependent (see DESIGN.md), which
+# is why drift detection uses the deterministic goldens rather than the
+# fig6/table3 snapshots.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cashmere-bench --offline
+exec target/release/wallclock

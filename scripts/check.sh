@@ -6,9 +6,15 @@
 #            across every target (libs, bins, tests, benches, examples)
 #   test   — the full workspace suite; note `--workspace`: a bare
 #            `cargo test` at the root only tests the facade package
+#   bench  — opt-in (CHECK_BENCH=1): wall-clock harness + virtual-time
+#            drift gate against the committed results/ baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test --workspace --offline -q
+
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    scripts/bench.sh
+fi
