@@ -10,12 +10,14 @@
 //!      and checksum — cross-checked against the committed
 //!      `results/table2.jsonl` as well;
 //!    * a scripted single-threaded multi-node protocol **replay** across all
-//!      four paper protocols, driving the [`Engine`] directly through
+//!      four paper protocols, driving the `Engine` directly through
 //!      fetches, twins, outgoing/incoming diffs, shootdowns, and exclusive
 //!      mode, and recording every processor clock and protocol counter.
 //!
-//!    The goldens live in `results/vt_golden.jsonl`; any regeneration must
-//!    reproduce that file byte-for-byte or the harness exits nonzero.
+//!    Both probes live in `cashmere_bench::golden` (shared with the `soak`
+//!    fault-injection harness). The goldens live in `results/vt_golden.jsonl`;
+//!    any regeneration must reproduce that file byte-for-byte or the harness
+//!    exits nonzero.
 //!
 //! 2. **Wall-clock timing.** Times the quick32 suite (eight apps × the four
 //!    paper protocols at 32:4) in real time, best-of-`WALLCLOCK_REPS`
@@ -23,6 +25,12 @@
 //!    seconds, pages diffed, diff bytes moved, and — when
 //!    `results/wallclock_baseline.jsonl` exists — per-cell and geomean
 //!    speedup versus that pre-change baseline.
+//!
+//! Flags:
+//! * `--seed N` — provenance tag echoed into `BENCH_wallclock.json`
+//!   (default 0). The goldens themselves are seed-independent by design;
+//!   the tag lets downstream tooling correlate a wall-clock capture with
+//!   the soak campaign that ran alongside it.
 //!
 //! Environment:
 //! * `WALLCLOCK_BASELINE=1` — capture mode: (re)write the wall-clock
@@ -33,10 +41,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use cashmere_apps::{suite, Benchmark, Scale};
-use cashmere_bench::{fmt_json_f64, json_f64, json_str, run, sequential, RunOpts};
-use cashmere_core::engine::ProcCtx;
-use cashmere_core::{ClusterConfig, Engine, ProcId, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_apps::{suite, Scale};
+use cashmere_bench::golden::{build_goldens, check_table2, field_f64};
+use cashmere_bench::{fmt_json_f64, json_f64, json_str, run, RunOpts};
+use cashmere_core::ProtocolKind;
 
 /// One timed app × protocol cell.
 struct Cell {
@@ -48,7 +56,26 @@ struct Cell {
     diff_bytes: u64,
 }
 
+/// Parses `--seed N` (default 0); any other flag is an error.
+fn parse_seed() -> u64 {
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            other => panic!("unknown flag {other:?} (supported: --seed N)"),
+        }
+    }
+    seed
+}
+
 fn main() {
+    let seed = parse_seed();
     let baseline_mode = std::env::var("WALLCLOCK_BASELINE").is_ok_and(|v| v == "1");
     let reps = std::env::var("WALLCLOCK_REPS")
         .ok()
@@ -59,7 +86,8 @@ fn main() {
     let apps = suite(Scale::Bench);
 
     // --- Deterministic virtual-time goldens -----------------------------
-    let (golden, seq_secs) = build_goldens(&apps);
+    let g = build_goldens(&apps, None, false, true);
+    let golden = g.jsonl;
     let golden_path = Path::new("results/vt_golden.jsonl");
     let mut failures = 0usize;
     if baseline_mode || !golden_path.exists() {
@@ -88,7 +116,7 @@ fn main() {
             }
         }
     }
-    failures += check_table2(&seq_secs);
+    failures += check_table2(&g.seq_secs);
 
     // --- Wall-clock timing ----------------------------------------------
     let mut cells = Vec::new();
@@ -136,7 +164,7 @@ fn main() {
         .exists()
         .then(|| std::fs::read_to_string(baseline_path).expect("read wallclock_baseline.jsonl"));
     let mut out = String::from("{\"experiment\":\"wallclock\",\"config\":\"32:4\",");
-    let _ = write!(out, "\"reps\":{reps},\"cells\":[");
+    let _ = write!(out, "\"seed\":{seed},\"reps\":{reps},\"cells\":[");
     let mut speedups = Vec::new();
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
@@ -203,106 +231,6 @@ fn cell_json(experiment: &str, c: &Cell, baseline_wall: Option<f64>) -> String {
     s
 }
 
-/// Builds the deterministic golden file contents — one line per
-/// application's sequential run, then one line per protocol's scripted
-/// replay — plus the per-app sequential seconds for the table2 cross-check.
-fn build_goldens(apps: &[Box<dyn Benchmark>]) -> (String, Vec<(&'static str, f64)>) {
-    let mut s = String::new();
-    let mut seq_secs = Vec::new();
-    for app in apps {
-        let out = sequential(app.as_ref());
-        seq_secs.push((app.name(), out.report.exec_secs()));
-        let mut line = String::new();
-        line.push('{');
-        json_str(&mut line, "experiment", "vt_golden");
-        line.push(',');
-        json_str(&mut line, "kind", "sequential");
-        line.push(',');
-        json_str(&mut line, "app", app.name());
-        let _ = write!(
-            line,
-            ",\"exec_ns\":{},\"checksum\":{}}}",
-            out.report.exec_ns, out.checksum
-        );
-        println!(
-            "vt_golden seq    {:8} exec_ns={}",
-            app.name(),
-            out.report.exec_ns
-        );
-        s.push_str(&line);
-        s.push('\n');
-    }
-    for p in ProtocolKind::PAPER_FOUR {
-        let (clocks, counters) = replay(p);
-        let total: u64 = clocks.iter().sum();
-        let mut line = String::new();
-        line.push('{');
-        json_str(&mut line, "experiment", "vt_golden");
-        line.push(',');
-        json_str(&mut line, "kind", "replay");
-        line.push(',');
-        json_str(&mut line, "protocol", p.label());
-        let _ = write!(line, ",\"total_ns\":{total},\"clock_ns\":[");
-        for (i, c) in clocks.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
-            }
-            let _ = write!(line, "{c}");
-        }
-        line.push_str("],\"counters\":{");
-        for (i, (k, v)) in counters.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
-            }
-            let _ = write!(line, "\"{k}\":{v}");
-        }
-        line.push_str("}}");
-        println!("vt_golden replay {:4} total_ns={total}", p.label());
-        s.push_str(&line);
-        s.push('\n');
-    }
-    (s, seq_secs)
-}
-
-/// Cross-checks the deterministic sequential runs against the committed
-/// `results/table2.jsonl` (its 1:1 rows were produced by the same
-/// `sequential()` entry point). Returns the number of mismatches.
-fn check_table2(seq_secs: &[(&'static str, f64)]) -> usize {
-    let path = Path::new("results/table2.jsonl");
-    let Ok(committed) = std::fs::read_to_string(path) else {
-        eprintln!("[no {} — sequential cross-check skipped]", path.display());
-        return 0;
-    };
-    let mut failures = 0;
-    for &(name, got) in seq_secs {
-        let Some(line) = committed.lines().find(|l| {
-            l.contains(&format!("\"app\":\"{name}\"")) && l.contains("\"config\":\"1:1\"")
-        }) else {
-            continue;
-        };
-        let Some(want) = field_f64(line, "exec_secs") else {
-            continue;
-        };
-        if got.to_bits() == want.to_bits() {
-            println!("table2 seq       {name:8} OK ({got:?}s)");
-        } else {
-            failures += 1;
-            eprintln!("table2 seq       {name:8} DRIFT: committed {want:?}s, regenerated {got:?}s");
-        }
-    }
-    failures
-}
-
-/// Extracts a numeric field from one JSONL line (hand-rolled: no external
-/// deps in this container).
-fn field_f64(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}'])?;
-    rest[..end].parse().ok()
-}
-
 /// Finds the baseline wall seconds for one cell in the baseline JSONL.
 fn baseline_wall(baseline: &str, app: &str, protocol: &str) -> Option<f64> {
     baseline
@@ -312,118 +240,4 @@ fn baseline_wall(baseline: &str, app: &str, protocol: &str) -> Option<f64> {
                 && l.contains(&format!("\"protocol\":\"{protocol}\""))
         })
         .and_then(|l| field_f64(l, "wall_secs"))
-}
-
-/// Scripted single-threaded protocol replay: 2 nodes × 2 processors, driven
-/// through every diff-carrying path the suite exercises. Single-threaded
-/// engine driving is fully deterministic (no OS scheduling, no resource
-/// contention races), so the resulting virtual clocks and counters are exact
-/// fingerprints of the protocol's cost charging.
-///
-/// The word sets touched by the two nodes are disjoint within each page
-/// (producer writes in `[0, 448)` + words 1000/1001, consumer writes in
-/// `[512, 960)`), keeping the script data-race-free at word granularity —
-/// the protocols' programming model — while still exercising two-way
-/// diffing, shootdown, and run-shaped diffs.
-fn replay(protocol: ProtocolKind) -> (Vec<u64>, Vec<(&'static str, u64)>) {
-    let mut cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
-        .with_heap_pages(16)
-        .with_sync(2, 2, 0);
-    // Superpage granularity 2 so non-home private pages exist (exclusive
-    // mode is reachable), exactly as in the engine-semantics tests.
-    cfg.pages_per_superpage = 2;
-    let e = Engine::new(cfg);
-    let mut ctxs: Vec<ProcCtx> = (0..4).map(|i| e.make_ctx(ProcId(i))).collect();
-
-    // Phase 1: per-page sharing with varied diff shapes. p0 (node 0) is the
-    // producer; p2/p3 (node 1) consume, write back, and race with p0.
-    for page in 0..6usize {
-        let base = page * PAGE_WORDS;
-        let pattern = write_pattern(page);
-        // First touch by p0 homes the superpage at node 0.
-        for &w in &pattern {
-            e.write_word(&mut ctxs[0], base + w, ((page as u64) << 32) | w as u64);
-        }
-        e.release_actions(&mut ctxs[0]);
-
-        // Remote read: page fetch to node 1.
-        e.acquire_actions(&mut ctxs[2]);
-        for &w in &pattern {
-            assert_eq!(
-                e.read_word(&mut ctxs[2], base + w),
-                ((page as u64) << 32) | w as u64
-            );
-        }
-        // Remote writes: twin + dirty list, shifted into [512, 960).
-        for &w in &pattern {
-            e.write_word(&mut ctxs[2], base + 512 + w, w as u64 + 1);
-        }
-
-        // Concurrent home-side writes + release: posts notices while node 1
-        // still has a local writer (words 1000/1001 are untouched by node 1,
-        // so the script stays data-race-free).
-        e.write_word(&mut ctxs[0], base + 1000, 7);
-        e.write_word(&mut ctxs[0], base + 1001, 8);
-        e.release_actions(&mut ctxs[0]);
-
-        // Sibling read after acquire: under 2LS this shoots down p2's write
-        // mapping; under 2L the refetch applies an incoming diff on top of
-        // p2's unflushed words.
-        e.acquire_actions(&mut ctxs[3]);
-        assert_eq!(e.read_word(&mut ctxs[3], base + 1000), 7);
-        e.acquire_actions(&mut ctxs[2]);
-        assert_eq!(e.read_word(&mut ctxs[2], base + 1001), 8);
-
-        // Outgoing diff flush of node 1's surviving writes.
-        e.release_actions(&mut ctxs[2]);
-        e.release_actions(&mut ctxs[3]);
-        e.acquire_actions(&mut ctxs[0]);
-        assert_eq!(
-            e.read_word(&mut ctxs[0], base + 512 + pattern[0]),
-            pattern[0] as u64 + 1
-        );
-    }
-
-    // Phase 2: exclusive mode. p0 first-touches page 12 (homes superpage
-    // {12,13} at node 0); p2 writes page 13 privately → exclusive; a sibling
-    // writer joins; p1's read breaks exclusivity (whole-frame flush); the
-    // sibling's next release flushes via the NLE path.
-    let base = 12 * PAGE_WORDS;
-    e.write_word(&mut ctxs[0], base, 1);
-    for w in 0..64usize {
-        e.write_word(&mut ctxs[2], base + PAGE_WORDS + w, 100 + w as u64);
-    }
-    e.write_word(&mut ctxs[3], base + PAGE_WORDS + 300, 5);
-    e.release_actions(&mut ctxs[2]);
-    assert_eq!(e.read_word(&mut ctxs[1], base + PAGE_WORDS), 100);
-    e.write_word(&mut ctxs[3], base + PAGE_WORDS + 301, 6);
-    e.release_actions(&mut ctxs[3]);
-    // p1 must acquire to see the flush: under the one-level protocols it is
-    // its own protocol node and its read mapping is legitimately stale
-    // until then (lazy release consistency).
-    e.acquire_actions(&mut ctxs[1]);
-    assert_eq!(e.read_word(&mut ctxs[1], base + PAGE_WORDS + 301), 6);
-
-    let clocks = ctxs.iter().map(|c| c.clock.now()).collect();
-    (clocks, e.stats.snapshot())
-}
-
-/// Per-page word-write pattern (all within `[0, 448)`), chosen to produce
-/// dense runs, alternating words, sparse singles, and long runs — the diff
-/// shapes a run-length representation must handle.
-fn write_pattern(page: usize) -> Vec<usize> {
-    match page % 6 {
-        // Dense run at the front.
-        0 => (0..96).collect(),
-        // Alternating words (worst case for run-length coding).
-        1 => (0..192).step_by(2).collect(),
-        // Sparse singles.
-        2 => (0..448).step_by(37).collect(),
-        // Two separated dense runs.
-        3 => (32..64).chain(400..440).collect(),
-        // One long dense run.
-        4 => (0..440).collect(),
-        // Single word.
-        _ => vec![5],
-    }
 }

@@ -1,0 +1,286 @@
+//! Deterministic virtual-time golden generation, shared by the `wallclock`
+//! drift gate and the `soak` fault-injection harness.
+//!
+//! Parallel runs are *virtual-time nondeterministic* (OS thread scheduling
+//! perturbs `Resource` gap placement and lock grant order; see DESIGN.md),
+//! so the goldens pin virtual time with two fully deterministic probes:
+//!
+//! * each application's sequential (1:1, uninstrumented) execution time and
+//!   checksum — cross-checked against the committed `results/table2.jsonl`;
+//! * a scripted single-threaded multi-node protocol **replay** across all
+//!   four paper protocols, driving the [`Engine`] directly through fetches,
+//!   twins, outgoing/incoming diffs, shootdowns, and exclusive mode, and
+//!   recording every processor clock and protocol counter.
+//!
+//! Both probes accept an optional [`FaultPlan`] and an audit switch: the
+//! soak harness regenerates the goldens with an installed-but-empty plan
+//! (and the trace recorder on) to prove the fault-injection interposition
+//! points are charge-free when no rule fires — the output must stay
+//! byte-identical to `results/vt_golden.jsonl`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use cashmere_apps::Benchmark;
+use cashmere_core::engine::ProcCtx;
+use cashmere_core::{
+    ClusterConfig, Engine, FaultPlan, ProcId, ProtocolKind, Topology, TraceEvent, PAGE_WORDS,
+};
+
+use crate::{json_str, sequential_with};
+
+/// One golden regeneration pass: the JSONL contents plus the per-probe
+/// traces (empty unless auditing was requested).
+pub struct GoldenRun {
+    /// Regenerated `vt_golden.jsonl` contents, one line per probe.
+    pub jsonl: String,
+    /// Per-app sequential seconds, for [`check_table2`].
+    pub seq_secs: Vec<(&'static str, f64)>,
+    /// `(probe label, protocol event stream)` per golden line; streams are
+    /// empty when `audit` was off.
+    pub traces: Vec<(String, Vec<TraceEvent>)>,
+}
+
+/// Builds the deterministic golden file contents — one line per
+/// application's sequential run, then one line per protocol's scripted
+/// replay. `plan` is installed into every probe (pass `None` for the plain
+/// drift gate); `audit` additionally records each probe's protocol events.
+pub fn build_goldens(
+    apps: &[Box<dyn Benchmark>],
+    plan: Option<&Arc<FaultPlan>>,
+    audit: bool,
+    verbose: bool,
+) -> GoldenRun {
+    let mut s = String::new();
+    let mut seq_secs = Vec::new();
+    let mut traces = Vec::new();
+    for app in apps {
+        let (out, trace) = sequential_with(app.as_ref(), plan.cloned(), audit);
+        seq_secs.push((app.name(), out.report.exec_secs()));
+        traces.push((format!("sequential {}", app.name()), trace));
+        let mut line = String::new();
+        line.push('{');
+        json_str(&mut line, "experiment", "vt_golden");
+        line.push(',');
+        json_str(&mut line, "kind", "sequential");
+        line.push(',');
+        json_str(&mut line, "app", app.name());
+        let _ = write!(
+            line,
+            ",\"exec_ns\":{},\"checksum\":{}}}",
+            out.report.exec_ns, out.checksum
+        );
+        if verbose {
+            println!(
+                "vt_golden seq    {:8} exec_ns={}",
+                app.name(),
+                out.report.exec_ns
+            );
+        }
+        s.push_str(&line);
+        s.push('\n');
+    }
+    for p in ProtocolKind::PAPER_FOUR {
+        let (clocks, counters, trace) = replay(p, plan.cloned(), audit);
+        traces.push((format!("replay {}", p.label()), trace));
+        let total: u64 = clocks.iter().sum();
+        let mut line = String::new();
+        line.push('{');
+        json_str(&mut line, "experiment", "vt_golden");
+        line.push(',');
+        json_str(&mut line, "kind", "replay");
+        line.push(',');
+        json_str(&mut line, "protocol", p.label());
+        let _ = write!(line, ",\"total_ns\":{total},\"clock_ns\":[");
+        for (i, c) in clocks.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{c}");
+        }
+        line.push_str("],\"counters\":{");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{k}\":{v}");
+        }
+        line.push_str("}}");
+        if verbose {
+            println!("vt_golden replay {:4} total_ns={total}", p.label());
+        }
+        s.push_str(&line);
+        s.push('\n');
+    }
+    GoldenRun {
+        jsonl: s,
+        seq_secs,
+        traces,
+    }
+}
+
+/// Cross-checks the deterministic sequential runs against the committed
+/// `results/table2.jsonl` (its 1:1 rows were produced by the same
+/// `sequential()` entry point). Returns the number of mismatches.
+pub fn check_table2(seq_secs: &[(&'static str, f64)]) -> usize {
+    let path = Path::new("results/table2.jsonl");
+    let Ok(committed) = std::fs::read_to_string(path) else {
+        eprintln!("[no {} — sequential cross-check skipped]", path.display());
+        return 0;
+    };
+    let mut failures = 0;
+    for &(name, got) in seq_secs {
+        let Some(line) = committed.lines().find(|l| {
+            l.contains(&format!("\"app\":\"{name}\"")) && l.contains("\"config\":\"1:1\"")
+        }) else {
+            continue;
+        };
+        let Some(want) = field_f64(line, "exec_secs") else {
+            continue;
+        };
+        if got.to_bits() == want.to_bits() {
+            println!("table2 seq       {name:8} OK ({got:?}s)");
+        } else {
+            failures += 1;
+            eprintln!("table2 seq       {name:8} DRIFT: committed {want:?}s, regenerated {got:?}s");
+        }
+    }
+    failures
+}
+
+/// Extracts a numeric field from one JSONL line (hand-rolled: no external
+/// deps in this container).
+pub fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+/// Scripted single-threaded protocol replay: 2 nodes × 2 processors, driven
+/// through every diff-carrying path the suite exercises. Single-threaded
+/// engine driving is fully deterministic (no OS scheduling, no resource
+/// contention races), so the resulting virtual clocks and counters are exact
+/// fingerprints of the protocol's cost charging.
+///
+/// The word sets touched by the two nodes are disjoint within each page
+/// (producer writes in `[0, 448)` + words 1000/1001, consumer writes in
+/// `[512, 960)`), keeping the script data-race-free at word granularity —
+/// the protocols' programming model — while still exercising two-way
+/// diffing, shootdown, and run-shaped diffs.
+#[allow(clippy::type_complexity)]
+pub fn replay(
+    protocol: ProtocolKind,
+    plan: Option<Arc<FaultPlan>>,
+    audit: bool,
+) -> (Vec<u64>, Vec<(&'static str, u64)>, Vec<TraceEvent>) {
+    let mut cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
+        .with_heap_pages(16)
+        .with_sync(2, 2, 0);
+    // Superpage granularity 2 so non-home private pages exist (exclusive
+    // mode is reachable), exactly as in the engine-semantics tests.
+    cfg.pages_per_superpage = 2;
+    if audit {
+        cfg = cfg.with_audit(true);
+    }
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
+    let e = Engine::new(cfg);
+    let mut ctxs: Vec<ProcCtx> = (0..4).map(|i| e.make_ctx(ProcId(i))).collect();
+
+    // Phase 1: per-page sharing with varied diff shapes. p0 (node 0) is the
+    // producer; p2/p3 (node 1) consume, write back, and race with p0.
+    for page in 0..6usize {
+        let base = page * PAGE_WORDS;
+        let pattern = write_pattern(page);
+        // First touch by p0 homes the superpage at node 0.
+        for &w in &pattern {
+            e.write_word(&mut ctxs[0], base + w, ((page as u64) << 32) | w as u64);
+        }
+        e.release_actions(&mut ctxs[0]);
+
+        // Remote read: page fetch to node 1.
+        e.acquire_actions(&mut ctxs[2]);
+        for &w in &pattern {
+            assert_eq!(
+                e.read_word(&mut ctxs[2], base + w),
+                ((page as u64) << 32) | w as u64
+            );
+        }
+        // Remote writes: twin + dirty list, shifted into [512, 960).
+        for &w in &pattern {
+            e.write_word(&mut ctxs[2], base + 512 + w, w as u64 + 1);
+        }
+
+        // Concurrent home-side writes + release: posts notices while node 1
+        // still has a local writer (words 1000/1001 are untouched by node 1,
+        // so the script stays data-race-free).
+        e.write_word(&mut ctxs[0], base + 1000, 7);
+        e.write_word(&mut ctxs[0], base + 1001, 8);
+        e.release_actions(&mut ctxs[0]);
+
+        // Sibling read after acquire: under 2LS this shoots down p2's write
+        // mapping; under 2L the refetch applies an incoming diff on top of
+        // p2's unflushed words.
+        e.acquire_actions(&mut ctxs[3]);
+        assert_eq!(e.read_word(&mut ctxs[3], base + 1000), 7);
+        e.acquire_actions(&mut ctxs[2]);
+        assert_eq!(e.read_word(&mut ctxs[2], base + 1001), 8);
+
+        // Outgoing diff flush of node 1's surviving writes.
+        e.release_actions(&mut ctxs[2]);
+        e.release_actions(&mut ctxs[3]);
+        e.acquire_actions(&mut ctxs[0]);
+        assert_eq!(
+            e.read_word(&mut ctxs[0], base + 512 + pattern[0]),
+            pattern[0] as u64 + 1
+        );
+    }
+
+    // Phase 2: exclusive mode. p0 first-touches page 12 (homes superpage
+    // {12,13} at node 0); p2 writes page 13 privately → exclusive; a sibling
+    // writer joins; p1's read breaks exclusivity (whole-frame flush); the
+    // sibling's next release flushes via the NLE path.
+    let base = 12 * PAGE_WORDS;
+    e.write_word(&mut ctxs[0], base, 1);
+    for w in 0..64usize {
+        e.write_word(&mut ctxs[2], base + PAGE_WORDS + w, 100 + w as u64);
+    }
+    e.write_word(&mut ctxs[3], base + PAGE_WORDS + 300, 5);
+    e.release_actions(&mut ctxs[2]);
+    assert_eq!(e.read_word(&mut ctxs[1], base + PAGE_WORDS), 100);
+    e.write_word(&mut ctxs[3], base + PAGE_WORDS + 301, 6);
+    e.release_actions(&mut ctxs[3]);
+    // p1 must acquire to see the flush: under the one-level protocols it is
+    // its own protocol node and its read mapping is legitimately stale
+    // until then (lazy release consistency).
+    e.acquire_actions(&mut ctxs[1]);
+    assert_eq!(e.read_word(&mut ctxs[1], base + PAGE_WORDS + 301), 6);
+
+    let clocks = ctxs.iter().map(|c| c.clock.now()).collect();
+    let trace = e.recorder().map(|r| r.take()).unwrap_or_default();
+    (clocks, e.stats.snapshot(), trace)
+}
+
+/// Per-page word-write pattern (all within `[0, 448)`), chosen to produce
+/// dense runs, alternating words, sparse singles, and long runs — the diff
+/// shapes a run-length representation must handle.
+fn write_pattern(page: usize) -> Vec<usize> {
+    match page % 6 {
+        // Dense run at the front.
+        0 => (0..96).collect(),
+        // Alternating words (worst case for run-length coding).
+        1 => (0..192).step_by(2).collect(),
+        // Sparse singles.
+        2 => (0..448).step_by(37).collect(),
+        // Two separated dense runs.
+        3 => (32..64).chain(400..440).collect(),
+        // One long dense run.
+        4 => (0..440).collect(),
+        // Single word.
+        _ => vec![5],
+    }
+}

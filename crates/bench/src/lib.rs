@@ -19,11 +19,15 @@
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use cashmere_apps::{AppOutcome, Benchmark};
 use cashmere_core::{
-    Cluster, ClusterConfig, DirectoryMode, Messaging, Nanos, ProtocolKind, Topology,
+    Cluster, ClusterConfig, DirectoryMode, FaultPlan, Messaging, Nanos, ProtocolKind, Topology,
+    TraceEvent,
 };
+
+pub mod golden;
 
 /// The paper's Figure 7 cluster configurations, as `(processors,
 /// processes-per-node)` pairs: 4:1, 4:4, 8:1, 8:2, 8:4, 16:2, 16:4, 24:3,
@@ -60,6 +64,23 @@ pub fn run(
     per_node: usize,
     opts: RunOpts,
 ) -> AppOutcome {
+    run_with(app, protocol, total, per_node, opts, None, false).0
+}
+
+/// [`run`] with the fault-injection and auditing knobs exposed: installs
+/// `plan` (when given) before the cluster is built and, when `audit` is
+/// set, records the protocol event stream and returns it alongside the
+/// outcome for `cashmere_check::audit`. The trace is empty when `audit`
+/// is off.
+pub fn run_with(
+    app: &dyn Benchmark,
+    protocol: ProtocolKind,
+    total: usize,
+    per_node: usize,
+    opts: RunOpts,
+    plan: Option<Arc<FaultPlan>>,
+    audit: bool,
+) -> (AppOutcome, Vec<TraceEvent>) {
     let topo = Topology::from_paper_config(total, per_node)
         .unwrap_or_else(|| panic!("bad paper config {total}:{per_node}"));
     let mut cfg = ClusterConfig::new(topo, protocol);
@@ -69,13 +90,32 @@ pub fn run(
     if opts.uninstrumented {
         cfg.poll_fraction = 0.0;
     }
+    if audit {
+        cfg = cfg.with_audit(true);
+    }
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
     let mut cluster = Cluster::new(cfg);
-    app.execute(&mut cluster)
+    let out = app.execute(&mut cluster);
+    let trace = cluster.take_trace();
+    (out, trace)
 }
 
 /// The paper's sequential baseline: one processor, uninstrumented.
 pub fn sequential(app: &dyn Benchmark) -> AppOutcome {
-    run(
+    sequential_with(app, None, false).0
+}
+
+/// [`sequential`] with an optional fault plan installed and, when `audit`
+/// is set, the recorded protocol event stream (used by the soak harness to
+/// prove a zero-fault plan leaves the deterministic baselines untouched).
+pub fn sequential_with(
+    app: &dyn Benchmark,
+    plan: Option<Arc<FaultPlan>>,
+    audit: bool,
+) -> (AppOutcome, Vec<TraceEvent>) {
+    run_with(
         app,
         ProtocolKind::TwoLevel,
         1,
@@ -84,6 +124,8 @@ pub fn sequential(app: &dyn Benchmark) -> AppOutcome {
             uninstrumented: true,
             ..Default::default()
         },
+        plan,
+        audit,
     )
 }
 

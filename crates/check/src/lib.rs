@@ -38,6 +38,14 @@
 //!    and per-node logical-clock draws are unique
 //!    ([`ViolationKind::TimestampCollision`] — the invariant that justifies
 //!    the engine's relaxed atomic ordering on the clock).
+//! 5. **Fault recovery** (runs with a `cashmere-faults` plan installed) —
+//!    every timed-out page fetch or exclusive break is eventually satisfied
+//!    or retried to success ([`ViolationKind::UnrecoveredTimeout`]), fresh
+//!    fetch replies carry strictly increasing sequence numbers per
+//!    (node, page) so a replayed duplicate can never re-apply against the
+//!    twin ([`ViolationKind::DuplicateApplied`]), and the suppression path
+//!    never swallows a genuinely fresh reply
+//!    ([`ViolationKind::FreshReplyDropped`]).
 //!
 //! The stream's global sequence numbers are a sound linearization because
 //! every emission site follows the discipline documented in
@@ -109,6 +117,16 @@ pub enum ViolationKind {
     BarrierEpochMismatch,
     /// Two identical logical-clock draws on one node.
     TimestampCollision,
+    /// A timed-out request (page fetch or exclusive break) was never
+    /// satisfied or retried to success by the end of the trace.
+    UnrecoveredTimeout,
+    /// A fetch reply was applied fresh with a sequence number at or below
+    /// the last applied one — the double-apply the duplicate-suppression
+    /// sequence check exists to prevent.
+    DuplicateApplied,
+    /// A fetch reply with a sequence number above the last applied one was
+    /// suppressed as a duplicate (a genuinely fresh reply was dropped).
+    FreshReplyDropped,
 }
 
 impl fmt::Display for ViolationKind {
@@ -271,6 +289,15 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
 
     // Clock sanity.
     let mut ticks: HashMap<usize, HashSet<u64>> = HashMap::new();
+
+    // Fault recovery: last fresh-applied reply seq per (pnode, page),
+    // pending fetch timeouts per (pnode, page), and pending break timeouts
+    // per (holder, page, requester). Timeouts are cleared by the success
+    // event they precede (a `Fetch`, an `ExclBreak`, or an explicit
+    // `BreakAbandoned`); leftovers at end of trace are unrecovered.
+    let mut applied_seq: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut pending_fetch_to: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    let mut pending_break_to: HashMap<(usize, usize, usize), Vec<u64>> = HashMap::new();
 
     macro_rules! flag {
         ($kind:expr, $seq:expr, $($arg:tt)*) => {
@@ -440,6 +467,9 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
             ProtocolEvent::Fetch { pnode, page } => {
                 fetched_pages.insert(*page);
                 last_fetch.insert((*pnode, *page), seq);
+                // A completed fetch satisfies every pending timeout this
+                // node accumulated for the page.
+                pending_fetch_to.remove(&(*pnode, *page));
                 if let Some(holder) = excl.get(page) {
                     flag!(
                         ViolationKind::FetchUnderExclusive,
@@ -506,15 +536,21 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
                     );
                 }
             }
-            ProtocolEvent::ExclBreak { pnode, page, by } => match excl.remove(page) {
-                Some(h) if h == *pnode => {}
-                other => flag!(
-                    ViolationKind::UnpairedExclusiveBreak,
-                    seq,
-                    "node {by} broke exclusivity of page {page} at node {pnode}, but the \
-                     recorded holder is {other:?}"
-                ),
-            },
+            ProtocolEvent::ExclBreak { pnode, page, by } => {
+                match excl.remove(page) {
+                    Some(h) if h == *pnode => {}
+                    other => flag!(
+                        ViolationKind::UnpairedExclusiveBreak,
+                        seq,
+                        "node {by} broke exclusivity of page {page} at node {pnode}, but the \
+                         recorded holder is {other:?}"
+                    ),
+                }
+                // The break satisfies every requester's pending timeout for
+                // this (holder, page) — whoever's retry got through, the
+                // exclusivity is gone.
+                pending_break_to.retain(|&(h, p, _), _| h != *pnode || p != *page);
+            }
             ProtocolEvent::NlePush { proc, page, .. } => {
                 pending_dirty
                     .entry(*proc)
@@ -646,6 +682,56 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
                 }
             }
 
+            // --- Fault recovery ---------------------------------------
+            ProtocolEvent::FetchTimeout { pnode, page, .. } => {
+                pending_fetch_to
+                    .entry((*pnode, *page))
+                    .or_default()
+                    .push(seq);
+            }
+            ProtocolEvent::FetchReply {
+                pnode,
+                page,
+                seq: rseq,
+                dup,
+            } => {
+                let last = applied_seq.entry((*pnode, *page)).or_insert(0);
+                if *dup {
+                    if *rseq > *last {
+                        flag!(
+                            ViolationKind::FreshReplyDropped,
+                            seq,
+                            "node {pnode} suppressed reply seq {rseq} for page {page} as a \
+                             duplicate, but the last applied seq is {last}"
+                        );
+                    }
+                } else {
+                    if *rseq <= *last {
+                        flag!(
+                            ViolationKind::DuplicateApplied,
+                            seq,
+                            "node {pnode} applied reply seq {rseq} for page {page} fresh, \
+                             but seq {last} was already applied (replayed duplicate \
+                             double-applied against the twin)"
+                        );
+                    }
+                    *last = (*last).max(*rseq);
+                }
+            }
+            ProtocolEvent::BreakTimeout {
+                pnode, page, by, ..
+            } => {
+                pending_break_to
+                    .entry((*pnode, *page, *by))
+                    .or_default()
+                    .push(seq);
+            }
+            ProtocolEvent::BreakAbandoned { pnode, page, by } => {
+                // The requester found the exclusivity already gone: its
+                // timed-out break is satisfied.
+                pending_break_to.remove(&(*pnode, *page, *by));
+            }
+
             ProtocolEvent::TwinCreate { .. } => {}
         }
     }
@@ -663,6 +749,35 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
                 ),
             });
         }
+    }
+
+    // Every timed-out request must have been satisfied (a later Fetch /
+    // ExclBreak / BreakAbandoned) by the end of the trace: the engine's
+    // retry loops emit the timeout strictly before the success event, so a
+    // leftover means a request was lost and never recovered.
+    for ((pnode, page), seqs) in pending_fetch_to {
+        violations.push(Violation {
+            kind: ViolationKind::UnrecoveredTimeout,
+            seq: u64::MAX,
+            detail: format!(
+                "node {pnode} has {} unrecovered fetch timeout(s) for page {page} \
+                 (first at seq {})",
+                seqs.len(),
+                seqs[0]
+            ),
+        });
+    }
+    for ((pnode, page, by), seqs) in pending_break_to {
+        violations.push(Violation {
+            kind: ViolationKind::UnrecoveredTimeout,
+            seq: u64::MAX,
+            detail: format!(
+                "requester {by} has {} unrecovered break timeout(s) for page {page} at \
+                 node {pnode} (first at seq {})",
+                seqs.len(),
+                seqs[0]
+            ),
+        });
     }
 
     AuditReport {
@@ -1217,6 +1332,163 @@ mod tests {
         ]);
         let r = audit(&t);
         assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn recovered_timeouts_and_suppressed_duplicates_are_clean() {
+        let t = seqd(vec![
+            // Two lost fetch attempts, then the fetch succeeds and the
+            // reply applies fresh; a replayed duplicate is suppressed.
+            ProtocolEvent::FetchTimeout {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                attempt: 1,
+            },
+            ProtocolEvent::FetchTimeout {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                attempt: 2,
+            },
+            ProtocolEvent::Fetch { pnode: 1, page: 7 },
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                dup: false,
+            },
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                dup: true,
+            },
+            // A break that times out, then lands.
+            ProtocolEvent::ExclEnter {
+                proc: 0,
+                pnode: 0,
+                page: 3,
+            },
+            ProtocolEvent::BreakTimeout {
+                pnode: 0,
+                page: 3,
+                by: 1,
+                attempt: 1,
+            },
+            ProtocolEvent::ExclBreak {
+                pnode: 0,
+                page: 3,
+                by: 1,
+            },
+            // A break that times out and is then found moot.
+            ProtocolEvent::BreakTimeout {
+                pnode: 0,
+                page: 4,
+                by: 2,
+                attempt: 1,
+            },
+            ProtocolEvent::BreakAbandoned {
+                pnode: 0,
+                page: 4,
+                by: 2,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn unrecovered_timeouts_are_flagged_at_end_of_trace() {
+        let t = seqd(vec![
+            ProtocolEvent::FetchTimeout {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                attempt: 1,
+            },
+            ProtocolEvent::BreakTimeout {
+                pnode: 0,
+                page: 3,
+                by: 1,
+                attempt: 1,
+            },
+            // Neither a Fetch nor an ExclBreak/BreakAbandoned follows.
+        ]);
+        let r = audit(&t);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::UnrecoveredTimeout])
+        );
+        assert_eq!(r.violations.len(), 2, "{}", r.summary());
+    }
+
+    #[test]
+    fn break_by_another_requester_satisfies_a_pending_timeout() {
+        let t = seqd(vec![
+            ProtocolEvent::ExclEnter {
+                proc: 0,
+                pnode: 0,
+                page: 3,
+            },
+            ProtocolEvent::BreakTimeout {
+                pnode: 0,
+                page: 3,
+                by: 1,
+                attempt: 1,
+            },
+            // Node 2's break gets through first; node 1's obligation is
+            // satisfied because the exclusivity is gone.
+            ProtocolEvent::ExclBreak {
+                pnode: 0,
+                page: 3,
+                by: 2,
+            },
+        ]);
+        let r = audit(&t);
+        assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn double_applied_duplicate_is_flagged() {
+        // The mutation target: with suppression disabled, a replayed reply
+        // is applied fresh under a non-increasing sequence number.
+        let t = seqd(vec![
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 2,
+                dup: false,
+            },
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 2,
+                dup: false,
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(r.kinds(), HashSet::from([ViolationKind::DuplicateApplied]));
+    }
+
+    #[test]
+    fn fresh_reply_suppressed_as_duplicate_is_flagged() {
+        let t = seqd(vec![
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 1,
+                dup: false,
+            },
+            ProtocolEvent::FetchReply {
+                pnode: 1,
+                page: 7,
+                seq: 2,
+                dup: true, // seq 2 was never applied: this drop loses data
+            },
+        ]);
+        let r = audit(&t);
+        assert_eq!(r.kinds(), HashSet::from([ViolationKind::FreshReplyDropped]));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Run configuration: protocol selection, topology, heap, ablation switches.
 
-use cashmere_sim::{CostModel, NodeMap, Topology};
+use std::sync::Arc;
+
+use cashmere_faults::FaultPlan;
+use cashmere_sim::{CostModel, Nanos, NodeMap, Topology};
 
 /// Which coherence protocol to run (§2.2, §2.6 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,6 +115,45 @@ pub enum DirectoryMode {
     GlobalLock,
 }
 
+/// Virtual-time timeout/backoff policy for lost protocol requests (page
+/// fetches, exclusive-mode break interrupts). Timeouts double per attempt
+/// from [`RecoveryPolicy::base_timeout`] up to [`RecoveryPolicy::backoff_cap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Timeout charged for the first lost attempt, in virtual nanoseconds.
+    pub base_timeout: Nanos,
+    /// Upper bound on the per-attempt timeout (caps the exponential).
+    pub backoff_cap: Nanos,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        // ~60 µs base: comfortably above the round-trip a healthy fetch
+        // takes under the default cost model, so a timeout only fires for
+        // genuinely lost requests; capped at 16× to keep deep retry chains
+        // from dominating virtual time.
+        Self {
+            base_timeout: 60_000,
+            backoff_cap: 960_000,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The timeout charged before retrying after the `attempt`-th loss
+    /// (attempts count from 1): `base_timeout << (attempt-1)`, capped.
+    #[must_use]
+    pub fn timeout(&self, attempt: u32) -> Nanos {
+        let shift = attempt.saturating_sub(1).min(63);
+        // `checked_mul`, not `checked_shl`: a shift only fails for counts
+        // >= 64, silently discarding overflowed bits otherwise.
+        self.base_timeout
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+}
+
 /// Complete configuration for one simulated run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -156,6 +198,12 @@ pub struct ClusterConfig {
     /// protocol hot path pays only an `Option` discriminant test per
     /// potential emission.
     pub audit: bool,
+    /// Deterministic fault-injection plan (see `cashmere-faults`). `None`
+    /// (the default) and an empty plan are both virtual-time-neutral: the
+    /// run is byte-identical to one with no fault machinery at all.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Timeout/backoff policy for recovering lost requests.
+    pub recovery: RecoveryPolicy,
 }
 
 impl ClusterConfig {
@@ -176,12 +224,27 @@ impl ClusterConfig {
             poll_fraction: 0.05,
             bus_bytes_per_access: 2,
             audit: false,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
     /// Builder-style protocol-event tracing toggle (the invariant auditor).
     pub fn with_audit(mut self, on: bool) -> Self {
         self.audit = on;
+        self
+    }
+
+    /// Builder-style fault-plan installation. The plan is shared with the
+    /// Memory Channel and the engine's recovery paths.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style recovery-policy override.
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 
@@ -230,6 +293,27 @@ mod tests {
         assert_eq!(two.protocol_nodes(), 8);
         let one = ClusterConfig::new(topo, ProtocolKind::OneLevelDiff);
         assert_eq!(one.protocol_nodes(), 32);
+    }
+
+    #[test]
+    fn recovery_timeouts_back_off_exponentially_and_cap() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.timeout(1), 60_000);
+        assert_eq!(p.timeout(2), 120_000);
+        assert_eq!(p.timeout(3), 240_000);
+        assert_eq!(p.timeout(5), 960_000, "hits the cap at 16x");
+        assert_eq!(p.timeout(6), 960_000, "stays capped");
+        assert_eq!(p.timeout(200), 960_000, "no overflow at silly attempts");
+    }
+
+    #[test]
+    fn with_faults_installs_a_shared_plan() {
+        let plan = Arc::new(FaultPlan::new(7));
+        let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+            .with_faults(Arc::clone(&plan));
+        assert_eq!(cfg.fault_plan.as_ref().unwrap().seed(), 7);
+        let cfg2 = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        assert!(cfg2.fault_plan.is_none(), "default is fault-free");
     }
 
     #[test]

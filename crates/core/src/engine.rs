@@ -36,6 +36,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use cashmere_faults::FaultPlan;
 use cashmere_memchan::MemoryChannel;
 use cashmere_sim::{
     Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
@@ -48,6 +49,7 @@ use cashmere_vmpage::{
 use crate::config::ClusterConfig;
 use crate::directory::{DirWord, Directory, HomeInfo, PermBits};
 use crate::mc_lock::McLock;
+use crate::recovery::{RecoveryStats, RecoverySummary};
 use crate::trace::{emit, ProtocolEvent, ReleaseAction, TraceRecorder};
 use crate::write_notice::{NleList, NoticeBoard, ProcNoticeList};
 use crate::Addr;
@@ -160,6 +162,15 @@ struct NodePage {
     /// Whether this node acts as the page's home (its frame *is* the
     /// master); set when the mapping is first established.
     is_home: bool,
+    /// Sequence number of the most recent page-fetch request this node
+    /// issued for this page (fault-recovery: requests are idempotent and
+    /// replies are matched against this).
+    fetch_seq: u64,
+    /// Sequence number of the most recent fetch reply *applied* to this
+    /// node's frame. A reply with `seq <= applied_reply_seq` is a replayed
+    /// duplicate and is suppressed — applying it against the current twin
+    /// would double-apply remote words over newer local state.
+    applied_reply_seq: u64,
 }
 
 impl NodePage {
@@ -251,6 +262,14 @@ pub struct Engine {
     any_exclusive: AtomicBool,
     /// Auditor event stream (`Some` only when [`ClusterConfig::audit`]).
     rec: Option<Arc<TraceRecorder>>,
+    /// The fault plan, when one is installed (`ClusterConfig::fault_plan`).
+    /// Shared with the Memory Channel; the engine consults it at the
+    /// user-level request interposition points (page fetch, exclusive
+    /// break) and recovers from the losses it injects.
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-protocol-node recovery counters (timeouts, retries, duplicate
+    /// replies suppressed).
+    recovery: Vec<RecoveryStats>,
     /// Cluster-wide statistics.
     pub stats: Stats,
 }
@@ -293,7 +312,12 @@ impl Engine {
         let link_of: Vec<usize> = (0..n_pnodes)
             .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
             .collect();
-        let mc = Arc::new(MemoryChannel::new(link_of, topo.nodes(), cfg.cost.clone()));
+        let mc = Arc::new(MemoryChannel::with_faults(
+            link_of,
+            topo.nodes(),
+            cfg.cost.clone(),
+            cfg.fault_plan.clone(),
+        ));
         let rec = cfg.audit.then(|| Arc::new(TraceRecorder::new()));
         let mut dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
         let gate_hold = cfg
@@ -351,7 +375,6 @@ impl Engine {
             .collect();
 
         Arc::new(Self {
-            cfg,
             topo,
             map,
             mc,
@@ -363,6 +386,9 @@ impl Engine {
             buses: (0..topo.nodes()).map(|_| Resource::new()).collect(),
             any_exclusive: AtomicBool::new(false),
             rec,
+            faults: cfg.fault_plan.clone(),
+            recovery: (0..n_pnodes).map(|_| RecoveryStats::new()).collect(),
+            cfg,
             stats: Stats::new(),
         })
     }
@@ -375,6 +401,25 @@ impl Engine {
     /// The configuration this engine runs.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Live per-protocol-node recovery counters.
+    pub fn recovery_stats(&self) -> &[RecoveryStats] {
+        &self.recovery
+    }
+
+    /// Snapshot of the cluster's recovery state: per-node counters plus the
+    /// fault plan's injection counters (for [`crate::Report`]).
+    pub fn recovery_summary(&self) -> RecoverySummary {
+        RecoverySummary {
+            per_node: self.recovery.iter().map(RecoveryStats::counts).collect(),
+            faults_injected: self
+                .faults
+                .as_ref()
+                .map(|p| p.stats().snapshot())
+                .unwrap_or_default(),
+            fault_seed: self.faults.as_ref().map(|p| p.seed()),
+        }
     }
 
     /// Creates the protocol context for processor `p`.
@@ -1072,6 +1117,12 @@ impl Engine {
         self.stats.remote_requests.inc();
         self.stats.data_bytes.add(PAGE_BYTES as u64);
 
+        // Sequence-number the request (fault recovery): a lost request can
+        // simply be re-sent, and the reply is idempotent — the sequence
+        // check in `apply_reply` suppresses replayed duplicates.
+        np.fetch_seq += 1;
+        let seq = np.fetch_seq;
+
         let home_phys = self
             .map
             .physical_of(&self.topo, cashmere_sim::NodeId(home))
@@ -1089,6 +1140,29 @@ impl Engine {
             } else {
                 c.fetch_remote_fixed_1l
             };
+            // Fault recovery: each lost transmission burns its delivery
+            // cost plus a backed-off virtual-time timeout, then the request
+            // is re-sent. The plan's `max_attempts` bounds the loop (the
+            // fabric escalates to a reliable path beyond it), so every
+            // timed-out fetch eventually succeeds.
+            if let Some(plan) = &self.faults {
+                let mut attempt = 1u32;
+                while plan.fetch_lost(ctx.pnode, home_phys, ctx.clock.now(), attempt) {
+                    self.recovery[ctx.pnode].fetch_timeouts.inc();
+                    emit(&self.rec, || ProtocolEvent::FetchTimeout {
+                        pnode: ctx.pnode,
+                        page,
+                        seq,
+                        attempt,
+                    });
+                    ctx.clock.charge(
+                        TimeCategory::CommWait,
+                        c.request_delivery() + self.cfg.recovery.timeout(attempt),
+                    );
+                    self.recovery[ctx.pnode].fetch_retries.inc();
+                    attempt += 1;
+                }
+            }
             ctx.clock
                 .charge(TimeCategory::CommWait, c.request_delivery() + fixed);
             let done = self
@@ -1097,7 +1171,6 @@ impl Engine {
             ctx.clock.wait_until(done);
         }
 
-        let frame = Arc::clone(np.frame.as_ref().expect("frame installed before fetch"));
         if np.twin.is_some() && self.cfg.protocol.uses_shootdown() {
             // 2LS: shoot down the other local write mappings, flush their
             // outstanding changes, and discard the twin (§2.6).
@@ -1111,6 +1184,59 @@ impl Engine {
             pnode: ctx.pnode,
             page,
         });
+        self.apply_reply(ctx, page, np, seq, &incoming, node_now);
+
+        // A duplicated reply re-delivers the same contents under the same
+        // sequence number: the link is charged again (the bytes really
+        // crossed the wire twice) but the apply is suppressed by the
+        // sequence check — a replayed diff must never double-apply against
+        // the twin.
+        if home_phys != ctx.phys {
+            if let Some(plan) = &self.faults {
+                if plan.reply_duplicated(home, home_phys, ctx.clock.now()) {
+                    let _ = self
+                        .mc
+                        .charge_link(home, PAGE_BYTES as u64, ctx.clock.now());
+                    self.apply_reply(ctx, page, np, seq, &incoming, node_now);
+                }
+            }
+        }
+    }
+
+    /// Applies a fetch reply to the node's frame, reconciling with the twin
+    /// (2L two-way diffing). Replayed duplicates — replies whose sequence
+    /// number does not exceed the last applied one — are suppressed: the
+    /// twin has moved on since that reply was first consumed, and applying
+    /// it again would overwrite newer state. Returns whether the reply was
+    /// fresh. Called with the node-page lock held.
+    fn apply_reply(
+        &self,
+        ctx: &mut ProcCtx,
+        page: usize,
+        np: &mut NodePage,
+        seq: u64,
+        incoming: &[u64; PAGE_WORDS],
+        node_now: u64,
+    ) -> bool {
+        let c = &self.cfg.cost;
+        if seq <= np.applied_reply_seq {
+            self.recovery[ctx.pnode].duplicates_dropped.inc();
+            emit(&self.rec, || ProtocolEvent::FetchReply {
+                pnode: ctx.pnode,
+                page,
+                seq,
+                dup: true,
+            });
+            return false;
+        }
+        np.applied_reply_seq = seq;
+        emit(&self.rec, || ProtocolEvent::FetchReply {
+            pnode: ctx.pnode,
+            page,
+            seq,
+            dup: false,
+        });
+        let frame = Arc::clone(np.frame.as_ref().expect("frame installed before fetch"));
         match np.twin.as_mut() {
             Some(twin) => {
                 // 2L's two-way diffing: remote changes are exactly the words
@@ -1131,14 +1257,15 @@ impl Engine {
                         conflicts,
                     });
                 }
-                let applied = apply_incoming_diff(&frame, twin, &incoming);
+                let applied = apply_incoming_diff(&frame, twin, incoming);
                 self.stats.incoming_diffs.inc();
                 ctx.clock
                     .charge(TimeCategory::Protocol, c.diff_in(applied, PAGE_WORDS));
             }
-            None => frame.fill_from(&incoming),
+            None => frame.fill_from(incoming),
         }
         np.ts_update = node_now;
+        true
     }
 
     /// 2LS's shootdown: downgrade every *other* local write mapping, flush
@@ -1242,13 +1369,51 @@ impl Engine {
     ) {
         let c = self.cfg.cost.clone();
         self.stats.remote_requests.inc();
+
+        // Fault recovery: a lost break interrupt times out in virtual time
+        // (backed off per attempt) and is re-sent; `max_attempts` bounds
+        // the loop, so the break is eventually delivered or found moot.
+        let mut timed_out = false;
+        if let Some(plan) = &self.faults {
+            let holder_phys = self
+                .map
+                .physical_of(&self.topo, cashmere_sim::NodeId(holder))
+                .0;
+            let mut attempt = 1u32;
+            while plan.break_lost(ctx.pnode, holder_phys, ctx.clock.now(), attempt) {
+                self.recovery[ctx.pnode].break_timeouts.inc();
+                emit(&self.rec, || ProtocolEvent::BreakTimeout {
+                    pnode: holder,
+                    page,
+                    by: ctx.pnode,
+                    attempt,
+                });
+                ctx.clock.charge(
+                    TimeCategory::CommWait,
+                    c.request_delivery() + self.cfg.recovery.timeout(attempt),
+                );
+                self.recovery[ctx.pnode].break_retries.inc();
+                timed_out = true;
+                attempt += 1;
+            }
+        }
         ctx.clock
             .charge(TimeCategory::CommWait, c.request_delivery());
 
         let hnode = &self.pnodes[holder];
         let mut np = hnode.pages[page].lock();
         let Some(excl_local) = np.excl_local else {
-            return; // Someone else broke it first.
+            // Someone else broke it first. If our request had timed out,
+            // close the auditor's pending-timeout obligation explicitly:
+            // the retried break is abandoned as already satisfied.
+            if timed_out {
+                emit(&self.rec, || ProtocolEvent::BreakAbandoned {
+                    pnode: holder,
+                    page,
+                    by: ctx.pnode,
+                });
+            }
+            return;
         };
         let node_now = self.node_now(holder);
         // Producer: the break publishes the holder's frame to the master

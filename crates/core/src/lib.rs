@@ -33,16 +33,20 @@ pub mod directory;
 pub mod engine;
 pub mod mc_lock;
 pub mod proc;
+pub mod recovery;
 pub mod report;
 pub mod sync;
 pub mod trace;
 pub mod write_notice;
 
-pub use config::{ClusterConfig, DirectoryMode, ProtocolKind};
+pub use config::{ClusterConfig, DirectoryMode, ProtocolKind, RecoveryPolicy};
 pub use engine::Engine;
 pub use proc::{Cluster, Proc};
+pub use recovery::{RecoveryCounts, RecoveryStats, RecoverySummary};
 pub use report::Report;
 pub use trace::{ProtocolEvent, ReleaseAction, TraceEvent, TraceRecorder};
+
+pub use cashmere_faults::{FaultKind, FaultPlan, FaultRule, FaultScope};
 
 pub use cashmere_sim::{
     CostModel, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,

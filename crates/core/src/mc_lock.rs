@@ -186,6 +186,95 @@ mod tests {
     }
 
     #[test]
+    fn acquire_release_events_alternate_in_holder_order() {
+        // The recorder's global sequence must show strict
+        // acquire/release/acquire/release alternation with matching nodes:
+        // each win emits after the previous holder's release.
+        let rec = Arc::new(TraceRecorder::new());
+        let l = McLock::new(mc(4), 4).with_recorder(Arc::clone(&rec));
+        let mut vt = 0;
+        for me in [2usize, 0, 3, 0, 1] {
+            vt = l.acquire(me, vt, 11_000);
+            vt = l.release(me, vt);
+        }
+        let evs = rec.take();
+        assert_eq!(evs.len(), 10);
+        let mut expect_holder = None;
+        for (i, te) in evs.iter().enumerate() {
+            match (&te.ev, i % 2) {
+                (ProtocolEvent::McLockAcquire { pnode }, 0) => expect_holder = Some(*pnode),
+                (ProtocolEvent::McLockRelease { pnode }, 1) => {
+                    assert_eq!(Some(*pnode), expect_holder, "release by a non-holder");
+                }
+                other => panic!("event {i} out of order: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn contention_is_fair_enough_that_no_node_starves() {
+        // Four nodes hammer the lock until 200 total critical sections have
+        // completed; the backoff/retry loop must not starve any node.
+        let l = Arc::new(McLock::new(mc(4), 4));
+        let total = Arc::new(Mutex::new([0u64; 4]));
+        let hs: Vec<_> = (0..4)
+            .map(|node| {
+                let l = Arc::clone(&l);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || loop {
+                    let vt = l.acquire(node, 0, 11_000);
+                    let done = {
+                        let mut g = total.lock().unwrap();
+                        g[node] += 1;
+                        g.iter().sum::<u64>() >= 200
+                    };
+                    l.release(node, vt);
+                    if done {
+                        return;
+                    }
+                    std::thread::yield_now();
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let g = *total.lock().unwrap();
+        for (node, &n) in g.iter().enumerate() {
+            assert!(n > 0, "node {node} never acquired the lock: {g:?}");
+        }
+    }
+
+    #[test]
+    fn holder_stalled_by_link_outage_keeps_exclusion_and_vt_order() {
+        // A whole-link outage stalls the holder's loop-back write: the
+        // acquire completes only after the dark epoch, and the lock stays
+        // usable (and exclusive) for the next node afterwards.
+        use cashmere_faults::{FaultKind, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(7)
+                .with_rule(FaultRule::new(FaultKind::LinkOutage, 1.0).with_param_ns(10_000)),
+        );
+        let mc = Arc::new(MemoryChannel::with_faults(
+            vec![0; 2],
+            1,
+            CostModel::default(),
+            Some(plan.clone()),
+        ));
+        let l = McLock::new(mc, 2);
+        let vt = l.acquire(0, 2_500, 11_000);
+        assert!(
+            vt >= 10_000 + 11_000,
+            "acquire must wait out the outage epoch, got {vt}"
+        );
+        assert!(plan.stats().total() > 0, "the outage must have fired");
+        let rel = l.release(0, vt);
+        let vt2 = l.acquire(1, rel, 11_000);
+        assert!(vt2 > vt, "second acquire follows the stalled holder");
+        l.release(1, vt2);
+    }
+
+    #[test]
     fn same_node_contention_uses_the_ll_sc_flag() {
         // Two processors on the same protocol node serialize on the node
         // flag before ever touching the Memory Channel.

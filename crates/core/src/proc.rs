@@ -164,6 +164,7 @@ impl Cluster {
                 .collect()
         });
         Report::build(self.engine.config(), &self.engine.stats, &clocks)
+            .with_recovery(self.engine.recovery_summary())
     }
 }
 

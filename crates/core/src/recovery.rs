@@ -1,0 +1,164 @@
+//! Recovery accounting for the fault-injection subsystem.
+//!
+//! When a [`cashmere_faults::FaultPlan`] is installed, lost page-fetch
+//! requests and lost exclusive-break interrupts are recovered by the engine:
+//! requests are sequence-numbered, timed out in virtual time with capped
+//! exponential backoff ([`crate::config::RecoveryPolicy`]), and retried;
+//! replayed replies are suppressed by a per-(node, page) sequence check so a
+//! duplicate can never double-apply against a twin. This module holds the
+//! per-protocol-node counters those paths maintain and the plain-value
+//! summary [`crate::Report`] carries.
+
+use cashmere_sim::Counter;
+
+/// Live per-protocol-node recovery counters (atomic; owned by the engine).
+#[derive(Debug, Default)]
+pub struct RecoveryStats {
+    /// Page-fetch requests that timed out (one per lost attempt).
+    pub fetch_timeouts: Counter,
+    /// Page-fetch retransmissions sent after a timeout.
+    pub fetch_retries: Counter,
+    /// Exclusive-break interrupts that timed out (one per lost attempt).
+    pub break_timeouts: Counter,
+    /// Exclusive-break retransmissions sent after a timeout.
+    pub break_retries: Counter,
+    /// Replayed (duplicate) fetch replies suppressed by the sequence check.
+    pub duplicates_dropped: Counter,
+}
+
+impl RecoveryStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-value snapshot.
+    #[must_use]
+    pub fn counts(&self) -> RecoveryCounts {
+        RecoveryCounts {
+            fetch_timeouts: self.fetch_timeouts.get(),
+            fetch_retries: self.fetch_retries.get(),
+            break_timeouts: self.break_timeouts.get(),
+            break_retries: self.break_retries.get(),
+            duplicates_dropped: self.duplicates_dropped.get(),
+        }
+    }
+}
+
+/// Plain-value snapshot of one node's [`RecoveryStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// Page-fetch requests that timed out.
+    pub fetch_timeouts: u64,
+    /// Page-fetch retransmissions sent.
+    pub fetch_retries: u64,
+    /// Exclusive-break interrupts that timed out.
+    pub break_timeouts: u64,
+    /// Exclusive-break retransmissions sent.
+    pub break_retries: u64,
+    /// Duplicate fetch replies suppressed.
+    pub duplicates_dropped: u64,
+}
+
+impl RecoveryCounts {
+    /// Whether every counter is zero (true for every fault-free run).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Sum of all counters.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.fetch_timeouts
+            + self.fetch_retries
+            + self.break_timeouts
+            + self.break_retries
+            + self.duplicates_dropped
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &RecoveryCounts) {
+        self.fetch_timeouts += other.fetch_timeouts;
+        self.fetch_retries += other.fetch_retries;
+        self.break_timeouts += other.break_timeouts;
+        self.break_retries += other.break_retries;
+        self.duplicates_dropped += other.duplicates_dropped;
+    }
+}
+
+/// Cluster-wide recovery summary attached to a [`crate::Report`]: per-node
+/// recovery counters plus the fault plan's injection counters.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// Per-protocol-node recovery counters.
+    pub per_node: Vec<RecoveryCounts>,
+    /// Labelled injection counters from the fault plan
+    /// (`FaultStats::snapshot`); empty when no plan was installed.
+    pub faults_injected: Vec<(&'static str, u64)>,
+    /// The fault plan's seed, when one was installed.
+    pub fault_seed: Option<u64>,
+}
+
+impl RecoverySummary {
+    /// Cluster-wide totals across all nodes.
+    #[must_use]
+    pub fn total(&self) -> RecoveryCounts {
+        let mut t = RecoveryCounts::default();
+        for c in &self.per_node {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Total faults the plan injected (all kinds).
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.faults_injected.iter().map(|&(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_snapshot_and_merge() {
+        let s = RecoveryStats::new();
+        assert!(s.counts().is_zero());
+        s.fetch_timeouts.inc();
+        s.fetch_retries.inc();
+        s.duplicates_dropped.add(3);
+        let c = s.counts();
+        assert_eq!(c.fetch_timeouts, 1);
+        assert_eq!(c.fetch_retries, 1);
+        assert_eq!(c.duplicates_dropped, 3);
+        assert_eq!(c.total(), 5);
+        let mut acc = RecoveryCounts::default();
+        acc.merge(&c);
+        acc.merge(&c);
+        assert_eq!(acc.total(), 10);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let a = RecoveryCounts {
+            fetch_timeouts: 2,
+            ..Default::default()
+        };
+        let b = RecoveryCounts {
+            break_retries: 5,
+            ..Default::default()
+        };
+        let sum = RecoverySummary {
+            per_node: vec![a, b],
+            faults_injected: vec![("writes_dropped", 4), ("fetches_lost", 2)],
+            fault_seed: Some(42),
+        };
+        assert_eq!(sum.total().total(), 7);
+        assert_eq!(sum.faults_total(), 6);
+        assert_eq!(sum.fault_seed, Some(42));
+        assert!(RecoverySummary::default().total().is_zero());
+    }
+}

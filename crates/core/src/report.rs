@@ -4,6 +4,7 @@
 use cashmere_sim::{Nanos, ProcClock, Stats, TimeBreakdown, TimeCategory};
 
 use crate::config::{ClusterConfig, ProtocolKind};
+use crate::recovery::RecoverySummary;
 
 /// Plain-value snapshot of the cluster-wide [`Stats`] counters, in Table 3
 /// terms.
@@ -80,6 +81,9 @@ pub struct Report {
     pub breakdown: TimeBreakdown,
     /// Cluster-wide event counters (Table 3).
     pub counters: Counters,
+    /// Fault-recovery accounting (timeouts, retries, duplicates dropped,
+    /// faults injected). All-zero for fault-free runs.
+    pub recovery: RecoverySummary,
 }
 
 impl Report {
@@ -100,7 +104,16 @@ impl Report {
             per_proc_ns: per_proc,
             breakdown,
             counters: Counters::from(stats),
+            recovery: RecoverySummary::default(),
         }
+    }
+
+    /// Attaches the engine's recovery summary (see
+    /// [`crate::Engine::recovery_summary`]).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoverySummary) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Simulated execution time in seconds.
@@ -146,5 +159,24 @@ mod tests {
         assert_eq!(r.breakdown.total(), 350);
         assert!((r.fraction(TimeCategory::User) - 100.0 / 350.0).abs() < 1e-12);
         assert!((r.speedup(500) - 2.0).abs() < 1e-12);
+        assert!(r.recovery.total().is_zero(), "no recovery by default");
+    }
+
+    #[test]
+    fn with_recovery_attaches_summary() {
+        use crate::recovery::RecoveryCounts;
+        let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        let summary = RecoverySummary {
+            per_node: vec![RecoveryCounts {
+                fetch_retries: 3,
+                ..Default::default()
+            }],
+            faults_injected: vec![("fetches_lost", 3)],
+            fault_seed: Some(9),
+        };
+        let r = Report::build(&cfg, &Stats::new(), &[ProcClock::new()]).with_recovery(summary);
+        assert_eq!(r.recovery.total().fetch_retries, 3);
+        assert_eq!(r.recovery.faults_total(), 3);
+        assert_eq!(r.recovery.fault_seed, Some(9));
     }
 }

@@ -140,6 +140,26 @@ pub enum ProtocolEvent {
     /// The master copy of `page` was fetched into the node's frame
     /// (emitted after the master snapshot was taken).
     Fetch { pnode: usize, page: usize },
+    /// A page-fetch request (sequence `seq`, transmission `attempt`) was
+    /// lost and its virtual-time timeout expired; a retry follows. The
+    /// auditor requires every timeout to be followed by a successful
+    /// [`ProtocolEvent::Fetch`] for the same `(pnode, page)`.
+    FetchTimeout {
+        pnode: usize,
+        page: usize,
+        seq: u64,
+        attempt: u32,
+    },
+    /// A fetch reply was applied (`dup: false`) or suppressed as a replayed
+    /// duplicate (`dup: true`). Fresh applies must carry strictly
+    /// increasing `seq` per `(pnode, page)` — a duplicate marked fresh is
+    /// the double-apply the sequence check exists to prevent.
+    FetchReply {
+        pnode: usize,
+        page: usize,
+        seq: u64,
+        dup: bool,
+    },
     /// A twin was created for `page`.
     TwinCreate { pnode: usize, page: usize },
     /// An outgoing diff is about to reach the master copy; `words` are the
@@ -169,6 +189,24 @@ pub enum ProtocolEvent {
     /// `page` is about to leave exclusive mode on `pnode` (requested by
     /// node `by`).
     ExclBreak {
+        pnode: usize,
+        page: usize,
+        by: usize,
+    },
+    /// An exclusive-break interrupt from `by` targeting `pnode` was lost
+    /// and timed out; a retry follows. The auditor requires a later
+    /// [`ProtocolEvent::ExclBreak`] for the same `(pnode, page)` or a
+    /// [`ProtocolEvent::BreakAbandoned`] by the same requester.
+    BreakTimeout {
+        pnode: usize,
+        page: usize,
+        by: usize,
+        attempt: u32,
+    },
+    /// After at least one timeout, requester `by` found `page` no longer
+    /// exclusive on `pnode` (someone else broke it); the retried break is
+    /// abandoned as satisfied.
+    BreakAbandoned {
         pnode: usize,
         page: usize,
         by: usize,

@@ -1,0 +1,813 @@
+//! Deterministic fault injection for the Cashmere-2L simulator.
+//!
+//! The paper's Memory Channel delivers remote writes in order, reliably, and
+//! cheaply (§2), so Cashmere-2L itself has no recovery story. This crate
+//! supplies the adversary that a modern remote-write fabric would be: a
+//! seeded, declarative [`FaultPlan`] that the `memchan` transmit paths and
+//! the engine's request/reply paths consult at explicit interposition
+//! points.
+//!
+//! # Determinism
+//!
+//! Every decision is a *pure function* of the plan seed, the rule, and the
+//! interposition site's own deterministic inputs (endpoint, link, virtual
+//! time, retry attempt). No decision depends on host-thread interleaving or
+//! on how many draws other sites made, so the same seed always yields the
+//! same fault schedule in virtual time — a sequential run replays
+//! identically, and a parallel run sees the same fault function of virtual
+//! time even though its virtual times are scheduling-dependent. The plan is
+//! seeded through the reference splitmix64/xoshiro256** generators: the
+//! builder expands the seed with [`Xoshiro256StarStar`] into one salt per
+//! rule, and each decision finalizes `salt ⊕ site-inputs` with the
+//! splitmix64 mixer ([`mix64`]).
+//!
+//! A plan with no rules (or an absent plan) is inert: every query
+//! short-circuits before touching the mixer, so the zero-fault
+//! configuration is byte-identical in virtual time to a build without the
+//! interposition layer (`results/vt_golden.jsonl` pins this).
+//!
+//! # Fault kinds and who recovers
+//!
+//! * [`FaultKind::DropWrite`] / [`FaultKind::DuplicateWrite`] /
+//!   [`FaultKind::DelayWrite`] — apply to remote writes and `write_runs` on
+//!   the ordered region path and to modeled bulk transfers. The protocol
+//!   state machine fundamentally assumes ordered reliable delivery for
+//!   directory/lock/notice traffic, so for those a *drop* is repaired by the
+//!   simulated adapter (link-level retransmission: the bandwidth and latency
+//!   of the lost attempt are charged, then the write is resent); duplicates
+//!   re-deliver idempotent stores and re-charge the link; delays defer the
+//!   delivery completion time.
+//! * [`FaultKind::LoseFetch`] / [`FaultKind::LoseBreak`] — page-fetch and
+//!   exclusive-break interrupts are *user-level* request messages, and their
+//!   loss surfaces to the protocol, which recovers with sequence-numbered
+//!   idempotent replies, virtual-time timeouts, and capped exponential
+//!   backoff (`cashmere-core`'s recovery layer).
+//! * [`FaultKind::LinkOutage`] — a whole link goes dark for the remainder of
+//!   a deterministic epoch (virtual time is quantized into `param_ns`-long
+//!   epochs; each epoch of each link draws once). Region writes stall to the
+//!   epoch boundary; fetch/break requests during the outage are lost.
+//!
+//! [`FaultStats`] counts every injected fault so harnesses can prove the
+//! plan actually fired.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use cashmere_sim::Nanos;
+
+// ---------------------------------------------------------------------------
+// PRNG primitives
+// ---------------------------------------------------------------------------
+
+/// The splitmix64 output mixer as a stateless hash: maps any 64-bit value to
+/// a well-distributed 64-bit value. This is the finalizer every fault
+/// decision goes through.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The reference splitmix64 sequential generator (Vigna). Used to expand a
+/// single user seed into the xoshiro256** state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next value in the sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The reference xoshiro256** generator (Blackman & Vigna), seeded via
+/// splitmix64 as its authors prescribe. The [`FaultPlan`] builder draws one
+/// salt per rule from it; harnesses may also use it directly for sampling.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// A generator whose 256-bit state is expanded from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next value in the sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// What kind of fault a rule injects. See the crate docs for which layer
+/// recovers from each kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A remote write (or bulk transfer) is lost on the wire; the simulated
+    /// adapter retransmits (extra latency + bandwidth).
+    DropWrite,
+    /// A remote write (or page-fetch reply) is delivered twice.
+    DuplicateWrite,
+    /// Delivery completes `param_ns` later than it should.
+    DelayWrite,
+    /// A page-fetch request/reply interrupt is lost; the requester's
+    /// virtual-time timeout fires and it retries.
+    LoseFetch,
+    /// An exclusive-mode break interrupt is lost; the requester times out
+    /// and retries.
+    LoseBreak,
+    /// The whole link is dark for the rest of a `param_ns`-long epoch.
+    LinkOutage,
+}
+
+/// Which endpoints/links a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every endpoint and link.
+    All,
+    /// Only operations whose source endpoint (protocol node) matches.
+    Endpoint(usize),
+    /// Only operations crossing this physical link.
+    Link(usize),
+}
+
+/// One declarative fault rule: a kind, a firing probability, an optional
+/// virtual-time window, a node/link scope, and a kind-specific parameter
+/// (delay length for [`FaultKind::DelayWrite`], epoch length for
+/// [`FaultKind::LinkOutage`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// The fault injected when the rule fires.
+    pub kind: FaultKind,
+    /// Probability in `[0, 1]` that an eligible event fires.
+    pub probability: f64,
+    /// Half-open virtual-time window `[start, end)`; `None` = always.
+    pub window: Option<(Nanos, Nanos)>,
+    /// Endpoint/link scope.
+    pub scope: FaultScope,
+    /// Delay (`DelayWrite`) or outage-epoch length (`LinkOutage`) in
+    /// virtual nanoseconds.
+    pub param_ns: Nanos,
+}
+
+impl FaultRule {
+    /// A rule for `kind` firing with `probability`, unscoped and unwindowed,
+    /// with a kind-appropriate default parameter.
+    #[must_use]
+    pub fn new(kind: FaultKind, probability: f64) -> Self {
+        let param_ns = match kind {
+            FaultKind::DelayWrite => 10_000,
+            FaultKind::LinkOutage => 100_000,
+            _ => 0,
+        };
+        Self {
+            kind,
+            probability,
+            window: None,
+            scope: FaultScope::All,
+            param_ns,
+        }
+    }
+
+    /// Builder-style scope restriction.
+    #[must_use]
+    pub fn scoped(mut self, scope: FaultScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Builder-style virtual-time window `[start, end)`.
+    #[must_use]
+    pub fn windowed(mut self, start: Nanos, end: Nanos) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Builder-style parameter override (delay / outage epoch length).
+    #[must_use]
+    pub fn with_param_ns(mut self, ns: Nanos) -> Self {
+        self.param_ns = ns;
+        self
+    }
+}
+
+/// The fate of one remote write / bulk transfer, as decided by
+/// [`FaultPlan::write_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: deliver normally.
+    Deliver,
+    /// First transmission lost; the adapter retransmits (charge the lost
+    /// attempt, then send again).
+    Drop,
+    /// Delivered twice (idempotent stores re-applied, link charged again).
+    Duplicate,
+    /// Delivery completion deferred by this many virtual nanoseconds.
+    Delay(Nanos),
+    /// The link is dark; transmission cannot start before this virtual
+    /// time (the outage epoch's end).
+    Outage(Nanos),
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Counts of faults actually injected, by kind. Shared through the plan's
+/// `Arc`, so the counters are atomic; ordering is `Relaxed` because they are
+/// statistics, never synchronization.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Remote writes / transfers whose first transmission was dropped.
+    pub writes_dropped: AtomicU64,
+    /// Remote writes / transfers delivered twice.
+    pub writes_duplicated: AtomicU64,
+    /// Remote writes / transfers with injected extra latency.
+    pub writes_delayed: AtomicU64,
+    /// Transmissions stalled to an outage-epoch boundary.
+    pub outage_stalls: AtomicU64,
+    /// Page-fetch requests/replies lost.
+    pub fetches_lost: AtomicU64,
+    /// Exclusive-break interrupts lost.
+    pub breaks_lost: AtomicU64,
+    /// Page-fetch replies duplicated.
+    pub replies_duplicated: AtomicU64,
+}
+
+impl FaultStats {
+    /// Labelled snapshot of every counter, for reports.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("writes_dropped", g(&self.writes_dropped)),
+            ("writes_duplicated", g(&self.writes_duplicated)),
+            ("writes_delayed", g(&self.writes_delayed)),
+            ("outage_stalls", g(&self.outage_stalls)),
+            ("fetches_lost", g(&self.fetches_lost)),
+            ("breaks_lost", g(&self.breaks_lost)),
+            ("replies_duplicated", g(&self.replies_duplicated)),
+        ]
+    }
+
+    /// Total faults injected across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().map(|&(_, v)| v).sum()
+    }
+
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// Site discriminators folded into every draw so distinct interposition
+/// points sharing a rule decorrelate.
+mod site {
+    pub const WRITE: u64 = 0x57;
+    pub const FETCH: u64 = 0xF7;
+    pub const BREAK: u64 = 0xB7;
+    pub const REPLY: u64 = 0xD7;
+    pub const OUTAGE: u64 = 0x07;
+}
+
+struct Compiled {
+    rule: FaultRule,
+    /// Per-rule salt drawn from the plan's xoshiro stream at build time.
+    salt: u64,
+    /// `probability` as an integer threshold: fire when the draw is below
+    /// it. Zero-probability rules get threshold 0 and can never fire.
+    threshold: u64,
+}
+
+impl std::fmt::Debug for Compiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.rule.fmt(f)
+    }
+}
+
+/// A seeded, declarative fault schedule. Build with [`FaultPlan::new`] and
+/// [`FaultPlan::with_rule`], share via `Arc`, and hand to
+/// `ClusterConfig::with_faults`. See the crate docs for the determinism
+/// contract.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: Xoshiro256StarStar,
+    rules: Vec<Compiled>,
+    max_attempts: u32,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// An empty (inert) plan with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rng: Xoshiro256StarStar::new(seed),
+            rules: Vec::new(),
+            max_attempts: 16,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Builder-style rule addition. Rule salts are drawn from the plan's
+    /// xoshiro stream, so a plan is identified by `(seed, rule insertion
+    /// order)`.
+    #[must_use]
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        let salt = self.rng.next_u64();
+        let p = rule.probability.clamp(0.0, 1.0);
+        // `u64::MAX as f64` rounds up to 2^64; saturating cast brings
+        // p = 1.0 back to "always fire".
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let threshold = (p * (u64::MAX as f64)) as u64;
+        self.rules.push(Compiled {
+            rule,
+            salt,
+            threshold,
+        });
+        self
+    }
+
+    /// Builder-style retry-attempt cap: after this many lost attempts the
+    /// simulated fabric escalates to a reliable path and the request
+    /// succeeds (keeps probability-1.0 rules from livelocking; also the
+    /// reason every timeout is eventually satisfied).
+    #[must_use]
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// The seed this plan was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The lost-attempt cap (see [`FaultPlan::with_max_attempts`]).
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Whether the plan can ever inject anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Counters of faults injected so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn applies(rule: &FaultRule, endpoint: Option<usize>, link: usize, now: Nanos) -> bool {
+        if let Some((start, end)) = rule.window {
+            if now < start || now >= end {
+                return false;
+            }
+        }
+        match rule.scope {
+            FaultScope::All => true,
+            FaultScope::Endpoint(e) => endpoint == Some(e),
+            FaultScope::Link(l) => link == l,
+        }
+    }
+
+    fn fires(c: &Compiled, site: u64, a: u64, b: u64) -> bool {
+        if c.threshold == 0 {
+            return false;
+        }
+        let h = mix64(
+            c.salt
+                ^ mix64(site.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ a)
+                ^ b.rotate_left(24).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        h < c.threshold || c.threshold == u64::MAX
+    }
+
+    /// If some [`FaultKind::LinkOutage`] rule has `link` dark at `now`,
+    /// returns the virtual time the outage epoch ends.
+    #[must_use]
+    pub fn link_down(&self, link: usize, now: Nanos) -> Option<Nanos> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        for c in &self.rules {
+            if c.rule.kind != FaultKind::LinkOutage
+                || !Self::applies(&c.rule, None, link, now)
+                || c.rule.param_ns == 0
+            {
+                continue;
+            }
+            let epoch = now / c.rule.param_ns;
+            if Self::fires(c, site::OUTAGE, link as u64, epoch) {
+                return Some((epoch + 1) * c.rule.param_ns);
+            }
+        }
+        None
+    }
+
+    /// Interposition point for remote writes, `write_runs`, and modeled
+    /// bulk transfers leaving `endpoint` over `link` at virtual time `now`.
+    /// First matching rule wins; outages take precedence.
+    #[must_use]
+    pub fn write_fault(&self, endpoint: usize, link: usize, now: Nanos) -> WriteFault {
+        if self.rules.is_empty() {
+            return WriteFault::Deliver;
+        }
+        if let Some(resume) = self.link_down(link, now) {
+            self.stats.bump(&self.stats.outage_stalls);
+            return WriteFault::Outage(resume);
+        }
+        for c in &self.rules {
+            if !Self::applies(&c.rule, Some(endpoint), link, now) {
+                continue;
+            }
+            let hit = match c.rule.kind {
+                FaultKind::DropWrite | FaultKind::DuplicateWrite | FaultKind::DelayWrite => {
+                    Self::fires(
+                        c,
+                        site::WRITE ^ (c.rule.kind as u64) << 8,
+                        endpoint as u64,
+                        now,
+                    )
+                }
+                _ => false,
+            };
+            if !hit {
+                continue;
+            }
+            match c.rule.kind {
+                FaultKind::DropWrite => {
+                    self.stats.bump(&self.stats.writes_dropped);
+                    return WriteFault::Drop;
+                }
+                FaultKind::DuplicateWrite => {
+                    self.stats.bump(&self.stats.writes_duplicated);
+                    return WriteFault::Duplicate;
+                }
+                FaultKind::DelayWrite => {
+                    self.stats.bump(&self.stats.writes_delayed);
+                    return WriteFault::Delay(c.rule.param_ns);
+                }
+                _ => unreachable!(),
+            }
+        }
+        WriteFault::Deliver
+    }
+
+    /// Whether the `attempt`-th transmission of a page-fetch request (from
+    /// `requester`, crossing the home's `link`) is lost at `now`. Attempts
+    /// beyond [`FaultPlan::max_attempts`] always get through.
+    #[must_use]
+    pub fn fetch_lost(&self, requester: usize, link: usize, now: Nanos, attempt: u32) -> bool {
+        self.request_lost(
+            FaultKind::LoseFetch,
+            site::FETCH,
+            &self.stats.fetches_lost,
+            requester,
+            link,
+            now,
+            attempt,
+        )
+    }
+
+    /// Whether the `attempt`-th transmission of an exclusive-break
+    /// interrupt (from `requester`, crossing the holder's `link`) is lost.
+    #[must_use]
+    pub fn break_lost(&self, requester: usize, link: usize, now: Nanos, attempt: u32) -> bool {
+        self.request_lost(
+            FaultKind::LoseBreak,
+            site::BREAK,
+            &self.stats.breaks_lost,
+            requester,
+            link,
+            now,
+            attempt,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn request_lost(
+        &self,
+        kind: FaultKind,
+        site: u64,
+        counter: &AtomicU64,
+        requester: usize,
+        link: usize,
+        now: Nanos,
+        attempt: u32,
+    ) -> bool {
+        if self.rules.is_empty() || attempt > self.max_attempts {
+            return false;
+        }
+        if self.link_down(link, now).is_some() {
+            self.stats.bump(counter);
+            return true;
+        }
+        for c in &self.rules {
+            if c.rule.kind == kind
+                && Self::applies(&c.rule, Some(requester), link, now)
+                && Self::fires(c, site ^ u64::from(attempt) << 32, requester as u64, now)
+            {
+                self.stats.bump(counter);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the page-fetch reply from `home` (over `link`) at `now` is
+    /// delivered twice. The duplicate is suppressed by the requester's
+    /// sequence-number check; this exercises that path.
+    #[must_use]
+    pub fn reply_duplicated(&self, home: usize, link: usize, now: Nanos) -> bool {
+        if self.rules.is_empty() {
+            return false;
+        }
+        for c in &self.rules {
+            if c.rule.kind == FaultKind::DuplicateWrite
+                && Self::applies(&c.rule, Some(home), link, now)
+                && Self::fires(c, site::REPLY, home as u64, now)
+            {
+                self.stats.bump(&self.stats.replies_duplicated);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First output of the reference implementation for seed 0, as
+        // published with the algorithm.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn mix64_is_splitmix_step() {
+        let mut sm = SplitMix64::new(42);
+        assert_eq!(mix64(42), sm.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_same_seed_same_stream() {
+        let mut a = Xoshiro256StarStar::new(7);
+        let mut b = Xoshiro256StarStar::new(7);
+        let mut c = Xoshiro256StarStar::new(8);
+        let mut diverged = false;
+        for _ in 0..64 {
+            let va = a.next_u64();
+            assert_eq!(va, b.next_u64());
+            diverged |= va != c.next_u64();
+        }
+        assert!(diverged, "different seeds must produce different streams");
+    }
+
+    #[test]
+    fn xoshiro_outputs_are_not_degenerate() {
+        let mut rng = Xoshiro256StarStar::new(123);
+        let vals: std::collections::HashSet<u64> = (0..256).map(|_| rng.next_u64()).collect();
+        assert_eq!(vals.len(), 256, "no repeats in a short stream");
+    }
+
+    fn plan(seed: u64, kind: FaultKind, p: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_rule(FaultRule::new(kind, p))
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new(99);
+        assert!(plan.is_empty());
+        for now in [0, 1, 1 << 20, u64::MAX / 2] {
+            assert_eq!(plan.write_fault(0, 0, now), WriteFault::Deliver);
+            assert!(!plan.fetch_lost(1, 0, now, 1));
+            assert!(!plan.break_lost(1, 0, now, 1));
+            assert!(!plan.reply_duplicated(1, 0, now));
+            assert!(plan.link_down(0, now).is_none());
+        }
+        assert_eq!(plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn zero_probability_never_fires_probability_one_always_fires() {
+        let never = plan(5, FaultKind::DropWrite, 0.0);
+        let always = plan(5, FaultKind::DropWrite, 1.0);
+        for now in 0..500 {
+            assert_eq!(never.write_fault(2, 1, now), WriteFault::Deliver);
+            assert_eq!(always.write_fault(2, 1, now), WriteFault::Drop);
+        }
+        assert_eq!(never.stats().total(), 0);
+        assert_eq!(always.stats().writes_dropped.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_inputs() {
+        let mk = |seed| {
+            FaultPlan::new(seed)
+                .with_rule(FaultRule::new(FaultKind::DropWrite, 0.3))
+                .with_rule(FaultRule::new(FaultKind::DelayWrite, 0.3))
+                .with_rule(FaultRule::new(FaultKind::LoseFetch, 0.5))
+        };
+        let (a, b, c) = (mk(11), mk(11), mk(12));
+        let mut same = 0;
+        let mut diff = 0;
+        for ep in 0..4usize {
+            for now in (0..20_000u64).step_by(97) {
+                let fa = a.write_fault(ep, ep / 2, now);
+                assert_eq!(fa, b.write_fault(ep, ep / 2, now), "same seed, same fate");
+                if fa == c.write_fault(ep, ep / 2, now) {
+                    same += 1;
+                } else {
+                    diff += 1;
+                }
+                assert_eq!(a.fetch_lost(ep, 0, now, 1), b.fetch_lost(ep, 0, now, 1));
+            }
+        }
+        assert!(diff > 0, "different seeds must differ somewhere");
+        assert!(same > 0, "schedules still overlap on quiet sites");
+        // Draw order / interleaving must not matter: query b in a scrambled
+        // order and it still agrees with a.
+        for now in (0..20_000u64)
+            .step_by(97)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
+            assert_eq!(a.write_fault(1, 0, now), b.write_fault(1, 0, now));
+        }
+    }
+
+    #[test]
+    fn probability_lands_near_expectation() {
+        let p = plan(2024, FaultKind::DropWrite, 0.25);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&i| p.write_fault(0, 0, i * 131) == WriteFault::Drop)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.18..0.32).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn windows_and_scopes_filter() {
+        let p = FaultPlan::new(1).with_rule(
+            FaultRule::new(FaultKind::DropWrite, 1.0)
+                .windowed(1_000, 2_000)
+                .scoped(FaultScope::Endpoint(3)),
+        );
+        assert_eq!(p.write_fault(3, 0, 999), WriteFault::Deliver);
+        assert_eq!(p.write_fault(3, 0, 1_000), WriteFault::Drop);
+        assert_eq!(p.write_fault(3, 0, 1_999), WriteFault::Drop);
+        assert_eq!(p.write_fault(3, 0, 2_000), WriteFault::Deliver);
+        assert_eq!(
+            p.write_fault(2, 0, 1_500),
+            WriteFault::Deliver,
+            "wrong endpoint"
+        );
+
+        let l = FaultPlan::new(1)
+            .with_rule(FaultRule::new(FaultKind::LoseFetch, 1.0).scoped(FaultScope::Link(2)));
+        assert!(l.fetch_lost(0, 2, 0, 1));
+        assert!(!l.fetch_lost(0, 1, 0, 1));
+    }
+
+    #[test]
+    fn delay_carries_param() {
+        let p = FaultPlan::new(9)
+            .with_rule(FaultRule::new(FaultKind::DelayWrite, 1.0).with_param_ns(777));
+        assert_eq!(p.write_fault(0, 0, 42), WriteFault::Delay(777));
+    }
+
+    #[test]
+    fn outage_epochs_are_consistent_and_deterministic() {
+        let p = FaultPlan::new(31)
+            .with_rule(FaultRule::new(FaultKind::LinkOutage, 0.5).with_param_ns(1_000));
+        let mut down_epochs = 0;
+        for epoch in 0..64u64 {
+            let verdicts: Vec<_> = (0..5)
+                .map(|i| p.link_down(0, epoch * 1_000 + i * 199))
+                .collect();
+            // Every instant of an epoch agrees, and a dark epoch resumes at
+            // its boundary.
+            for v in &verdicts {
+                assert_eq!(*v, verdicts[0]);
+                if let Some(resume) = v {
+                    assert_eq!(*resume, (epoch + 1) * 1_000);
+                    down_epochs += 1;
+                }
+            }
+        }
+        assert!(
+            down_epochs > 0,
+            "p=0.5 over 64 epochs must go dark sometimes"
+        );
+        // An outage converts writes to stalls and requests to losses.
+        let dark = (0..64u64)
+            .find(|e| p.link_down(0, e * 1_000).is_some())
+            .unwrap();
+        let now = dark * 1_000 + 3;
+        assert_eq!(
+            p.write_fault(0, 0, now),
+            WriteFault::Outage((dark + 1) * 1_000)
+        );
+        assert!(p.fetch_lost(0, 0, now, 1));
+        assert!(p.break_lost(0, 0, now, 1));
+    }
+
+    #[test]
+    fn attempt_cap_guarantees_progress() {
+        let p = plan(4, FaultKind::LoseFetch, 1.0);
+        let p = p.with_max_attempts(3);
+        assert!(p.fetch_lost(0, 0, 100, 1));
+        assert!(p.fetch_lost(0, 0, 100, 2));
+        assert!(p.fetch_lost(0, 0, 100, 3));
+        assert!(
+            !p.fetch_lost(0, 0, 100, 4),
+            "capped attempts always succeed"
+        );
+    }
+
+    #[test]
+    fn retries_redraw_with_attempt_number() {
+        // With p = 0.5 the chance that attempts 1..=16 all agree for every
+        // one of 32 sites is astronomically small.
+        let p = plan(77, FaultKind::LoseBreak, 0.5);
+        let mut varied = false;
+        for ep in 0..32usize {
+            let first = p.break_lost(ep, 0, 5_000, 1);
+            varied |= (2..=16).any(|a| p.break_lost(ep, 0, 5_000, a) != first);
+        }
+        assert!(varied);
+    }
+
+    #[test]
+    fn reply_duplication_draws_are_independent_of_write_draws() {
+        let p = plan(8, FaultKind::DuplicateWrite, 0.5);
+        let writes: Vec<bool> = (0..2_000u64)
+            .map(|i| p.write_fault(1, 0, i * 53) == WriteFault::Duplicate)
+            .collect();
+        let replies: Vec<bool> = (0..2_000u64)
+            .map(|i| p.reply_duplicated(1, 0, i * 53))
+            .collect();
+        assert_ne!(writes, replies, "sites must decorrelate");
+        assert!(replies.iter().any(|&r| r), "replies do get duplicated");
+    }
+
+    #[test]
+    fn stats_count_each_kind() {
+        let p = FaultPlan::new(3)
+            .with_rule(FaultRule::new(FaultKind::DropWrite, 1.0).windowed(0, 10))
+            .with_rule(FaultRule::new(FaultKind::DelayWrite, 1.0).windowed(10, 20));
+        let _ = p.write_fault(0, 0, 5);
+        let _ = p.write_fault(0, 0, 15);
+        assert_eq!(p.stats().writes_dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(p.stats().writes_delayed.load(Ordering::Relaxed), 1);
+        assert_eq!(p.stats().total(), 2);
+    }
+}

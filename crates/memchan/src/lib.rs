@@ -27,12 +27,34 @@
 //! Endpoints are *protocol* nodes (the one-level protocols give every
 //! processor its own endpoint); each endpoint is pinned to a *physical* link
 //! for bandwidth accounting.
+//!
+//! # Fault interposition
+//!
+//! When built with [`MemoryChannel::with_faults`], every transmission —
+//! [`write`](MemoryChannel::write) / [`write_block`](MemoryChannel::write_block)
+//! / [`write_sparse`](MemoryChannel::write_sparse) /
+//! [`write_runs`](MemoryChannel::write_runs) and the modeled bulk transfers
+//! of [`charge_link`](MemoryChannel::charge_link) — consults the
+//! [`FaultPlan`] at exactly one interposition point
+//! ([`reserve_link`](MemoryChannel::with_faults)): a *dropped* write is
+//! repaired by the simulated adapter's link-level retransmission (the lost
+//! attempt's bandwidth and latency are charged, then the payload is resent),
+//! a *duplicated* write re-delivers its idempotent stores and re-charges the
+//! link, a *delayed* write completes late, and an *outage* stalls the
+//! transmission to the outage epoch's boundary. Ordered region traffic
+//! (directories, locks) therefore stays reliable — as Cashmere requires —
+//! while paying for the faults in virtual time; loss of the *user-level*
+//! request messages (page fetch, exclusive break) is surfaced to the
+//! protocol layer instead, which recovers with timeouts and retries (see
+//! `cashmere-core`). With no plan (or an empty one) every path is
+//! byte-identical in virtual time to the pre-fault-layer simulator.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
+use cashmere_faults::{FaultPlan, WriteFault};
 use cashmere_sim::{CostModel, Nanos, Resource};
 
 /// Identifies a Memory Channel region.
@@ -66,6 +88,9 @@ pub struct MemoryChannel {
     link_of: Vec<usize>,
     links: Vec<Resource>,
     regions: RwLock<Vec<std::sync::Arc<Region>>>,
+    /// Fault-injection plan; `None` (or an empty plan) leaves every path
+    /// byte-identical in virtual time to a fault-free build.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl MemoryChannel {
@@ -76,6 +101,21 @@ impl MemoryChannel {
     ///
     /// Panics if `link_of` is empty or names a link ≥ `links`.
     pub fn new(link_of: Vec<usize>, links: usize, cost: CostModel) -> Self {
+        Self::with_faults(link_of, links, cost, None)
+    }
+
+    /// [`MemoryChannel::new`], with a fault-injection plan interposed on
+    /// every transmission (see the crate docs' fault-interposition section).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_of` is empty or names a link ≥ `links`.
+    pub fn with_faults(
+        link_of: Vec<usize>,
+        links: usize,
+        cost: CostModel,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         assert!(!link_of.is_empty(), "need at least one endpoint");
         assert!(
             link_of.iter().all(|&l| l < links),
@@ -86,6 +126,7 @@ impl MemoryChannel {
             link_of,
             links: (0..links).map(|_| Resource::new()).collect(),
             regions: RwLock::new(Vec::new()),
+            faults,
         }
     }
 
@@ -124,12 +165,51 @@ impl MemoryChannel {
         self.region(r).rx[endpoint].get().is_some()
     }
 
+    /// The fault-layer interposition point shared by every transmission:
+    /// reserves `from`'s physical link for `bytes` of payload starting at
+    /// `now`, applying the fault plan's verdict — drop (adapter
+    /// retransmission: the lost attempt's bandwidth and latency are charged,
+    /// then the payload is resent), duplicate (the link is charged twice),
+    /// delay (completion deferred), or outage (transmission stalls to the
+    /// epoch boundary). Returns the time the last transmission clears the
+    /// link and how many times the payload is delivered. Without a plan this
+    /// is exactly one `Resource::acquire`.
+    fn reserve_link(&self, from: usize, bytes: Nanos, now: Nanos) -> (Nanos, u32) {
+        let link = &self.links[self.link_of[from]];
+        let wire = bytes * self.cost.mc_link_ns_per_byte;
+        let Some(plan) = &self.faults else {
+            return (link.acquire(now, wire), 1);
+        };
+        match plan.write_fault(from, self.link_of[from], now) {
+            WriteFault::Deliver => (link.acquire(now, wire), 1),
+            WriteFault::Drop => {
+                // Link-level retransmission: the lost attempt burned its
+                // bandwidth and a latency window before the adapter noticed
+                // and resent. Ordered region traffic (directories, locks)
+                // must stay reliable — the protocol's state machine assumes
+                // it — so the drop costs virtual time instead of data.
+                let lost = link.acquire(now, wire) + self.cost.mc_write_latency;
+                (link.acquire(lost, wire), 1)
+            }
+            WriteFault::Duplicate => {
+                let first = link.acquire(now, wire);
+                (link.acquire(first, wire), 2)
+            }
+            WriteFault::Delay(d) => (link.acquire(now, wire) + d, 1),
+            WriteFault::Outage(resume) => (link.acquire(resume.max(now), wire), 1),
+        }
+    }
+
     /// The single delivery loop every transmit flavor shares: charges the
-    /// sending link for `bytes` of payload starting at `now`, then — under
+    /// sending link for `bytes` of payload starting at `now` (through the
+    /// fault-plan interposition of [`Self::reserve_link`]), then — under
     /// the region's order lock, so the transfer is atomic with respect to
     /// the region's global write order — invokes `deliver` once per attached
     /// receive copy (skipping `from`'s own copy unless the region has
-    /// loop-back). Returns the time the write is globally performed.
+    /// loop-back), twice when the fault plan duplicated the write (the
+    /// stores are idempotent, so state is unchanged and only time and
+    /// bandwidth are lost). Returns the time the write is globally
+    /// performed.
     fn transmit(
         &self,
         region: &Region,
@@ -138,16 +218,17 @@ impl MemoryChannel {
         now: Nanos,
         deliver: impl Fn(&[AtomicU64]),
     ) -> Nanos {
-        let link = &self.links[self.link_of[from]];
-        let link_done = link.acquire(now, bytes * self.cost.mc_link_ns_per_byte);
+        let (link_done, deliveries) = self.reserve_link(from, bytes, now);
         let done = link_done + self.cost.mc_write_latency;
         let _order = region.order.lock();
-        for (e, slot) in region.rx.iter().enumerate() {
-            if e == from && !region.loopback {
-                continue;
-            }
-            if let Some(buf) = slot.get() {
-                deliver(&buf[..]);
+        for _ in 0..deliveries {
+            for (e, slot) in region.rx.iter().enumerate() {
+                if e == from && !region.loopback {
+                    continue;
+                }
+                if let Some(buf) = slot.get() {
+                    deliver(&buf[..]);
+                }
             }
         }
         done
@@ -297,10 +378,14 @@ impl MemoryChannel {
 
     /// Reserves the physical link of endpoint `from` for `bytes` starting at
     /// `now` without writing data — used for modeled transfers whose payload
-    /// is materialized by other means (e.g. page-fetch replies).
+    /// is materialized by other means (e.g. page-fetch replies and diff
+    /// flushes to master frames). Subject to the same fault interposition as
+    /// the region transmit paths (a duplicated transfer burns the link
+    /// twice; the payload side of duplication is handled by the protocol's
+    /// sequence-numbered replies).
     pub fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
-        let link = &self.links[self.link_of[from]];
-        link.acquire(now, bytes * self.cost.mc_link_ns_per_byte) + self.cost.mc_write_latency
+        let (link_done, _deliveries) = self.reserve_link(from, bytes, now);
+        link_done + self.cost.mc_write_latency
     }
 
     /// The cost model in force.
@@ -535,5 +620,103 @@ mod tests {
         let r = mc.create_region(4, false);
         mc.attach_rx(r, 1);
         mc.write(r, 0, 4, 1, 0);
+    }
+
+    // --- fault interposition --------------------------------------------
+
+    use cashmere_faults::{FaultKind, FaultRule};
+
+    fn mc2_with(plan: FaultPlan) -> MemoryChannel {
+        MemoryChannel::with_faults(vec![0, 1], 2, CostModel::default(), Some(Arc::new(plan)))
+    }
+
+    #[test]
+    fn empty_plan_is_virtual_time_neutral() {
+        let plain = mc2();
+        let faulty = mc2_with(FaultPlan::new(1));
+        for mc in [&plain, &faulty] {
+            let r = mc.create_region(16, false);
+            mc.attach_rx(r, 1);
+        }
+        let r = RegionId(0);
+        for i in 0..8 {
+            let now = i * 137;
+            assert_eq!(
+                plain.write(r, 0, 0, i, now),
+                faulty.write(r, 0, 0, i, now),
+                "zero-fault plan must not perturb completion times"
+            );
+        }
+        assert_eq!(
+            plain.charge_link(0, 8192, 0),
+            faulty.charge_link(0, 8192, 0)
+        );
+    }
+
+    #[test]
+    fn dropped_write_is_retransmitted_and_costs_double() {
+        let c = CostModel::default();
+        let mc = mc2_with(FaultPlan::new(2).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0)));
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 1);
+        let done = mc.write(r, 0, 3, 42, 0);
+        // Lost attempt: wire + latency; retransmission: wire + latency.
+        assert_eq!(done, 2 * (8 * c.mc_link_ns_per_byte + c.mc_write_latency));
+        assert_eq!(mc.read_local(r, 1, 3), 42, "the retransmission delivers");
+    }
+
+    #[test]
+    fn duplicated_write_charges_twice_but_state_is_idempotent() {
+        let c = CostModel::default();
+        let mc =
+            mc2_with(FaultPlan::new(3).with_rule(FaultRule::new(FaultKind::DuplicateWrite, 1.0)));
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 1);
+        let done = mc.write(r, 0, 0, 7, 0);
+        assert_eq!(done, 2 * 8 * c.mc_link_ns_per_byte + c.mc_write_latency);
+        assert_eq!(mc.read_local(r, 1, 0), 7);
+    }
+
+    #[test]
+    fn delayed_write_defers_completion_only() {
+        let c = CostModel::default();
+        let mc = mc2_with(
+            FaultPlan::new(4)
+                .with_rule(FaultRule::new(FaultKind::DelayWrite, 1.0).with_param_ns(5_000)),
+        );
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 1);
+        let done = mc.write(r, 0, 0, 9, 0);
+        assert_eq!(done, 8 * c.mc_link_ns_per_byte + c.mc_write_latency + 5_000);
+        assert_eq!(mc.read_local(r, 1, 0), 9, "delivered, just late");
+    }
+
+    #[test]
+    fn outage_stalls_transmission_to_epoch_end() {
+        let c = CostModel::default();
+        let plan = FaultPlan::new(5)
+            .with_rule(FaultRule::new(FaultKind::LinkOutage, 1.0).with_param_ns(10_000));
+        let mc = mc2_with(plan);
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 1);
+        let done = mc.write(r, 0, 0, 1, 2_500);
+        assert_eq!(
+            done,
+            10_000 + 8 * c.mc_link_ns_per_byte + c.mc_write_latency,
+            "write waits out the dark epoch"
+        );
+        assert_eq!(mc.read_local(r, 1, 0), 1);
+    }
+
+    #[test]
+    fn charge_link_sees_the_same_faults() {
+        let c = CostModel::default();
+        let mc = mc2_with(FaultPlan::new(6).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0)));
+        let done = mc.charge_link(0, 8192, 0);
+        assert_eq!(
+            done,
+            2 * (8192 * c.mc_link_ns_per_byte + c.mc_write_latency)
+        );
+        assert!(mc.faults.as_ref().unwrap().stats().total() > 0);
     }
 }

@@ -8,6 +8,8 @@
 #            `cargo test` at the root only tests the facade package
 #   bench  — opt-in (CHECK_BENCH=1): wall-clock harness + virtual-time
 #            drift gate against the committed results/ baselines
+#   soak   — opt-in (CHECK_SOAK=1): fixed-seed fault-injection campaign
+#            (zero-fault golden identity + fault matrix with clean audits)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +19,8 @@ cargo test --workspace --offline -q
 
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     scripts/bench.sh
+fi
+
+if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
+    scripts/soak.sh
 fi
