@@ -1,0 +1,184 @@
+//! Observability gate (`CHECK_OBS=1` in `scripts/check.sh`).
+//!
+//! Three phases, nonzero exit on any failure:
+//!
+//! 1. **Charge-free identity.** Regenerates the deterministic virtual-time
+//!    goldens twice — observability off and on — and requires the two
+//!    outputs to be byte-identical to each other *and* to the committed
+//!    `results/vt_golden.jsonl` (when present). The observability hooks
+//!    only read processor clocks, so turning them on must not move a byte.
+//!
+//! 2. **Figure-7 identity sweep.** Runs the full application suite (test
+//!    scale) × the four paper protocols at 8:4 with observability on and
+//!    asserts, per cell, that the five Figure-7 categories sum to *exactly*
+//!    the run's total charged virtual time, and that the span stream passes
+//!    `cashmere_check::audit_spans` (proper nesting, nothing left open).
+//!    Writes `results/fig7.jsonl` and `results/fig7.txt`.
+//!
+//! 3. **Chrome-trace schema lint.** Exports one cell's spans (SOR under 2L)
+//!    as `results/trace_SOR_2L.json` and lints it against the
+//!    `trace_event` schema subset Perfetto and `chrome://tracing` rely on.
+
+use std::path::Path;
+
+use cashmere_apps::{suite, Scale};
+use cashmere_bench::golden::build_goldens;
+use cashmere_bench::sweep::{run_sweep, SweepSpec};
+use cashmere_bench::{obsout, RunOpts};
+use cashmere_check::audit_spans;
+use cashmere_core::ProtocolKind;
+
+/// The Figure-7 sweep configuration: 8 processors, 4 per node — two
+/// protocol nodes, so every category (including message and wait time on
+/// remote fetches) is exercised.
+const GATE_CONFIG: (usize, usize) = (8, 4);
+
+fn main() {
+    let mut failures = 0usize;
+    failures += charge_free_identity();
+    failures += fig7_sweep();
+    if failures > 0 {
+        eprintln!("FAIL: {failures} observability check(s) failed");
+        std::process::exit(1);
+    }
+    println!("obsgate: all checks passed");
+}
+
+/// Phase 1: goldens with observability on must be byte-identical to
+/// goldens with it off, and to the committed file when one exists.
+fn charge_free_identity() -> usize {
+    let mut failures = 0usize;
+    let apps = suite(Scale::Bench);
+    let off = build_goldens(&apps, None, false, false, false);
+    let on = build_goldens(&apps, None, false, false, true);
+    if off.jsonl == on.jsonl {
+        println!(
+            "obsgate identity: obs-on goldens byte-identical to obs-off ({} lines)",
+            off.jsonl.lines().count()
+        );
+    } else {
+        failures += 1;
+        eprintln!("obsgate identity: DRIFT — enabling observability moved virtual time");
+        for (i, (a, b)) in off.jsonl.lines().zip(on.jsonl.lines()).enumerate() {
+            if a != b {
+                eprintln!("  line {}:\n    obs off: {a}\n    obs on:  {b}", i + 1);
+            }
+        }
+    }
+    let golden_path = Path::new("results/vt_golden.jsonl");
+    match std::fs::read_to_string(golden_path) {
+        Ok(committed) if committed == on.jsonl => {
+            println!(
+                "obsgate identity: obs-on goldens match {}",
+                golden_path.display()
+            );
+        }
+        Ok(_) => {
+            failures += 1;
+            eprintln!(
+                "obsgate identity: DRIFT — obs-on goldens differ from {}",
+                golden_path.display()
+            );
+        }
+        Err(_) => {
+            eprintln!(
+                "[no {} — committed-golden comparison skipped]",
+                golden_path.display()
+            );
+        }
+    }
+    failures
+}
+
+/// Phases 2 and 3: the Figure-7 identity sweep, the span audit, and the
+/// Chrome-trace lint.
+fn fig7_sweep() -> usize {
+    let mut failures = 0usize;
+    let apps = suite(Scale::Test);
+    let spec = SweepSpec {
+        total: GATE_CONFIG.0,
+        per_node: GATE_CONFIG.1,
+        opts: RunOpts {
+            obs: true,
+            ..RunOpts::default()
+        },
+        ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
+    };
+    let cells = run_sweep(&spec, |cell| {
+        let report = &cell.outcome.report;
+        let obs = report.obs.as_ref().expect("sweep ran with obs on");
+        let fig7 = obs.fig7.total();
+        let vt = report.breakdown.total();
+        let identity_ok = fig7 == vt;
+        if !identity_ok {
+            failures += 1;
+            eprintln!(
+                "obsgate {:8} {:4}: FIG7 {fig7} != total VT {vt} (off by {})",
+                cell.app,
+                cell.protocol.label(),
+                vt.abs_diff(fig7)
+            );
+        }
+        let span_report = audit_spans(obs);
+        let spans_ok = span_report.is_clean();
+        if !spans_ok {
+            failures += 1;
+            eprintln!(
+                "obsgate {:8} {:4}: SPAN AUDIT DIRTY\n{}",
+                cell.app,
+                cell.protocol.label(),
+                span_report.summary()
+            );
+        }
+        println!(
+            "obsgate {:8} {:4} total_vt={:14} fig7={} spans={:6} ({})",
+            cell.app,
+            cell.protocol.label(),
+            vt,
+            if identity_ok { "exact" } else { "DRIFT" },
+            span_report.events,
+            if spans_ok { "nested" } else { "DIRTY" },
+        );
+    });
+
+    let config = format!("{}:{}", GATE_CONFIG.0, GATE_CONFIG.1);
+    match obsout::write_fig7(&cells, &config) {
+        Ok((jsonl, txt, rows)) => {
+            if rows == cells.len() {
+                eprintln!(
+                    "[wrote {} and {} ({rows} rows)]",
+                    jsonl.display(),
+                    txt.display()
+                );
+            } else {
+                failures += 1;
+                eprintln!(
+                    "obsgate: only {rows} of {} cells produced Figure-7 rows",
+                    cells.len()
+                );
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("obsgate: writing fig7 outputs failed: {e}");
+        }
+    }
+
+    let trace_cell = cells
+        .iter()
+        .find(|c| c.app == "SOR" && c.protocol == ProtocolKind::TwoLevel)
+        .unwrap_or(&cells[0]);
+    match obsout::export_trace(trace_cell) {
+        Ok((path, events)) => {
+            println!(
+                "obsgate trace: {} lints clean ({events} duration events)",
+                path.display()
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("obsgate trace: {e}");
+        }
+    }
+    failures
+}

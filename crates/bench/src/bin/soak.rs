@@ -13,20 +13,23 @@
 //!
 //! 2. **Fault matrix.** A fixed-seed campaign over the application suite ×
 //!    two protocols × three fault plans (lost requests, duplicated
-//!    transfers, a lossy/delaying link with outages) at nonzero rates. Every
-//!    cell must finish with the same checksum as a fault-free run of the
-//!    same configuration and a clean audit —
-//!    including the recovery invariants (timeouts satisfied or retried to
-//!    success, duplicates suppressed without state change, write-notice
-//!    conservation under loss and duplication). The campaign as a whole
-//!    must show nonzero injected faults for every plan and nonzero
-//!    [`RecoveryCounts`] for the plans that exercise the recovery paths.
+//!    transfers, a lossy/delaying link with outages) at nonzero rates,
+//!    driven by `cashmere_bench::sweep::run_sweep`. Every cell must finish
+//!    with the same checksum as a fault-free run of the same configuration
+//!    and a clean audit — including the recovery invariants (timeouts
+//!    satisfied or retried to success, duplicates suppressed without state
+//!    change, write-notice conservation under loss and duplication). The
+//!    campaign as a whole must show nonzero injected faults for every plan
+//!    and nonzero [`RecoveryCounts`] for the plans that exercise the
+//!    recovery paths.
 //!
 //! Flags:
 //! * `--seed N` — seeds every fault plan (default 0x5EED). Echoed into
 //!   `BENCH_soak.json`; the same seed always yields the same fault schedule
 //!   in virtual time.
 //! * `--skip-golden` — skip phase 1 (used while iterating on the matrix).
+//! * `--obs` — run the matrix with observability on and write the Figure-7
+//!   breakdown (per app × protocol × plan) to `results/fig7.{jsonl,txt}`.
 //!
 //! Output: `BENCH_soak.json` with one record per cell (faults injected,
 //! recovery counters, checksum/audit verdicts) plus campaign totals.
@@ -35,9 +38,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
-use cashmere_apps::{suite, Benchmark, Scale};
+use cashmere_apps::{suite, Scale};
 use cashmere_bench::golden::{build_goldens, check_table2};
-use cashmere_bench::{json_f64, json_str, run_with, RunOpts};
+use cashmere_bench::sweep::{run_sweep, SweepPlan, SweepSpec};
+use cashmere_bench::{json_f64, json_str, obsout, RunOpts};
 use cashmere_check::audit;
 use cashmere_core::{
     FaultKind, FaultPlan, FaultRule, ProtocolKind, RecoveryCounts, RecoverySummary,
@@ -98,12 +102,14 @@ const PLANS: [PlanSpec; 3] = [
 struct Args {
     seed: u64,
     skip_golden: bool,
+    obs: bool,
 }
 
 fn parse_args() -> Args {
     let mut a = Args {
         seed: 0x5EED,
         skip_golden: false,
+        obs: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,7 +121,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| panic!("--seed requires an integer"));
             }
             "--skip-golden" => a.skip_golden = true,
-            other => panic!("unknown flag {other:?} (supported: --seed N, --skip-golden)"),
+            "--obs" => a.obs = true,
+            other => {
+                panic!("unknown flag {other:?} (supported: --seed N, --skip-golden, --obs)")
+            }
         }
     }
     a
@@ -131,7 +140,7 @@ fn main() {
         failures += zero_fault_identity(args.seed);
     }
 
-    let (records, matrix_failures) = fault_matrix(args.seed);
+    let (records, matrix_failures) = fault_matrix(args.seed, args.obs);
     failures += matrix_failures;
 
     let mut out = String::from("{\"experiment\":\"soak\",");
@@ -166,7 +175,7 @@ fn zero_fault_identity(seed: u64) -> usize {
     let mut failures = 0usize;
 
     let apps = suite(Scale::Bench);
-    let g = build_goldens(&apps, Some(&plan), true, false);
+    let g = build_goldens(&apps, Some(&plan), true, false, false);
 
     let golden_path = Path::new("results/vt_golden.jsonl");
     match std::fs::read_to_string(golden_path) {
@@ -219,96 +228,115 @@ fn zero_fault_identity(seed: u64) -> usize {
     failures
 }
 
-/// Phase 2: the fixed-seed fault campaign. Returns per-cell JSON records
-/// and the failure count.
-fn fault_matrix(seed: u64) -> (Vec<String>, usize) {
+/// Phase 2: the fixed-seed fault campaign, one `run_sweep` over apps ×
+/// protocols × plans. Returns per-cell JSON records and the failure count.
+fn fault_matrix(seed: u64, obs: bool) -> (Vec<String>, usize) {
     let apps = suite(Scale::Test);
+
+    // Reference checksums: a fault-free run at the *same* soak
+    // configuration per app — every app's checksum is topology-independent
+    // except Em3d's, whose graph depends on the processor count (as in
+    // Split-C) — the app suite's own tests pin parallel == sequential
+    // where that holds, so the soak gate only needs "faults change
+    // nothing" at fixed width.
+    let baseline_spec = SweepSpec {
+        total: SOAK_CONFIG.0,
+        per_node: SOAK_CONFIG.1,
+        ..SweepSpec::new(&apps, &[ProtocolKind::TwoLevel])
+    };
+    let baselines = run_sweep(&baseline_spec, |_| {});
+
+    let plans = PLANS.map(|p| SweepPlan {
+        name: p.name,
+        build: Some(p.build),
+    });
+    let spec = SweepSpec {
+        total: SOAK_CONFIG.0,
+        per_node: SOAK_CONFIG.1,
+        opts: RunOpts {
+            obs,
+            ..RunOpts::default()
+        },
+        audit: true,
+        seed,
+        plans: &plans,
+        ..SweepSpec::new(&apps, &SOAK_PROTOCOLS)
+    };
+
     let mut failures = 0usize;
     let mut records = Vec::new();
     // Campaign-wide accumulators, per plan flavor.
     let mut faults_by_plan = [0u64; PLANS.len()];
     let mut recovery_by_plan = [RecoveryCounts::default(); PLANS.len()];
 
-    for app in &apps {
-        // The reference checksum is a fault-free run at the *same* soak
-        // configuration: every app's checksum is topology-independent
-        // except Em3d's, whose graph depends on the processor count (as in
-        // Split-C) — the app suite's own tests pin parallel == sequential
-        // where that holds, so the soak gate only needs "faults change
-        // nothing" at fixed width.
-        let baseline = run_with(
-            app.as_ref(),
-            ProtocolKind::TwoLevel,
-            SOAK_CONFIG.0,
-            SOAK_CONFIG.1,
-            RunOpts::default(),
-            None,
-            false,
-        )
-        .0;
-        for protocol in SOAK_PROTOCOLS {
-            for (pi, spec) in PLANS.iter().enumerate() {
-                let plan = Arc::new((spec.build)(seed));
-                let (out, trace) = run_with(
-                    app.as_ref(),
-                    protocol,
-                    SOAK_CONFIG.0,
-                    SOAK_CONFIG.1,
-                    RunOpts::default(),
-                    Some(plan),
-                    true,
-                );
-                let recovery = &out.report.recovery;
-                let checksum_ok = out.checksum == baseline.checksum;
-                let report = audit(&trace);
-                let audit_clean = report.is_clean();
+    let cells = run_sweep(&spec, |cell| {
+        let baseline = baselines
+            .iter()
+            .find(|b| b.app == cell.app)
+            .expect("baseline sweep covered every app");
+        let recovery = &cell.outcome.report.recovery;
+        let checksum_ok = cell.outcome.checksum == baseline.outcome.checksum;
+        let report = audit(&cell.trace);
+        let audit_clean = report.is_clean();
 
-                if !checksum_ok {
-                    failures += 1;
-                    eprintln!(
-                        "soak {:8} {:4} {}: CHECKSUM {} != fault-free {}",
-                        app.name(),
-                        protocol.label(),
-                        spec.name,
-                        out.checksum,
-                        baseline.checksum
-                    );
-                }
-                if !audit_clean {
-                    failures += 1;
-                    eprintln!(
-                        "soak {:8} {:4} {}: AUDIT DIRTY\n{}",
-                        app.name(),
-                        protocol.label(),
-                        spec.name,
-                        report.summary()
-                    );
-                }
-
-                faults_by_plan[pi] += recovery.faults_total();
-                recovery_by_plan[pi].merge(&recovery.total());
-                println!(
-                    "soak {:8} {:4} {:20} faults={:6} recovered={:6} checksum={} audit={}",
-                    app.name(),
-                    protocol.label(),
-                    spec.name,
-                    recovery.faults_total(),
-                    recovery.total().total(),
-                    if checksum_ok { "ok" } else { "BAD" },
-                    if audit_clean { "clean" } else { "DIRTY" },
-                );
-                records.push(cell_json(
-                    seed,
-                    app.as_ref(),
-                    protocol,
-                    spec.name,
-                    out.report.exec_secs(),
-                    checksum_ok,
-                    audit_clean,
-                    recovery,
-                ));
-            }
+        if !checksum_ok {
+            failures += 1;
+            eprintln!(
+                "soak {:8} {:4} {}: CHECKSUM {} != fault-free {}",
+                cell.app,
+                cell.protocol.label(),
+                cell.plan,
+                cell.outcome.checksum,
+                baseline.outcome.checksum
+            );
         }
+        if !audit_clean {
+            failures += 1;
+            eprintln!(
+                "soak {:8} {:4} {}: AUDIT DIRTY\n{}",
+                cell.app,
+                cell.protocol.label(),
+                cell.plan,
+                report.summary()
+            );
+        }
+
+        let pi = PLANS
+            .iter()
+            .position(|p| p.name == cell.plan)
+            .expect("cell plan is one of PLANS");
+        faults_by_plan[pi] += recovery.faults_total();
+        recovery_by_plan[pi].merge(&recovery.total());
+        println!(
+            "soak {:8} {:4} {:20} faults={:6} recovered={:6} checksum={} audit={}",
+            cell.app,
+            cell.protocol.label(),
+            cell.plan,
+            recovery.faults_total(),
+            recovery.total().total(),
+            if checksum_ok { "ok" } else { "BAD" },
+            if audit_clean { "clean" } else { "DIRTY" },
+        );
+        records.push(cell_json(
+            seed,
+            &cell.app,
+            cell.protocol,
+            cell.plan,
+            cell.outcome.report.exec_secs(),
+            checksum_ok,
+            audit_clean,
+            recovery,
+        ));
+    });
+
+    if obs {
+        let config = format!("{}:{}", SOAK_CONFIG.0, SOAK_CONFIG.1);
+        let (jsonl, txt, rows) = obsout::write_fig7(&cells, &config).expect("write fig7");
+        eprintln!(
+            "[wrote {} and {} ({rows} rows)]",
+            jsonl.display(),
+            txt.display()
+        );
     }
 
     for (pi, spec) in PLANS.iter().enumerate() {
@@ -336,7 +364,7 @@ fn fault_matrix(seed: u64) -> (Vec<String>, usize) {
 #[allow(clippy::too_many_arguments)]
 fn cell_json(
     seed: u64,
-    app: &dyn Benchmark,
+    app: &str,
     protocol: ProtocolKind,
     plan: &str,
     exec_secs: f64,
@@ -349,7 +377,7 @@ fn cell_json(
     json_str(&mut s, "experiment", "soak");
     s.push(',');
     let _ = write!(s, "\"seed\":{seed},");
-    json_str(&mut s, "app", app.name());
+    json_str(&mut s, "app", app);
     s.push(',');
     json_str(&mut s, "protocol", protocol.label());
     s.push(',');

@@ -15,22 +15,26 @@
 //!      mode, and recording every processor clock and protocol counter.
 //!
 //!    Both probes live in `cashmere_bench::golden` (shared with the `soak`
-//!    fault-injection harness). The goldens live in `results/vt_golden.jsonl`;
-//!    any regeneration must reproduce that file byte-for-byte or the harness
-//!    exits nonzero.
+//!    fault-injection harness and the `obsgate` observability gate). The
+//!    goldens live in `results/vt_golden.jsonl`; any regeneration must
+//!    reproduce that file byte-for-byte or the harness exits nonzero.
 //!
 //! 2. **Wall-clock timing.** Times the quick32 suite (eight apps × the four
-//!    paper protocols at 32:4) in real time, best-of-`WALLCLOCK_REPS`
-//!    (default 3), and writes `BENCH_wallclock.json` with per-cell wall
-//!    seconds, pages diffed, diff bytes moved, and — when
-//!    `results/wallclock_baseline.jsonl` exists — per-cell and geomean
-//!    speedup versus that pre-change baseline.
+//!    paper protocols at 32:4) through `cashmere_bench::sweep::run_sweep`,
+//!    best-of-`WALLCLOCK_REPS` (default 3), and writes
+//!    `BENCH_wallclock.json` with per-cell wall seconds, pages diffed, diff
+//!    bytes moved, and — when `results/wallclock_baseline.jsonl` exists —
+//!    per-cell and geomean speedup versus that pre-change baseline.
 //!
 //! Flags:
 //! * `--seed N` — provenance tag echoed into `BENCH_wallclock.json`
 //!   (default 0). The goldens themselves are seed-independent by design;
 //!   the tag lets downstream tooling correlate a wall-clock capture with
 //!   the soak campaign that ran alongside it.
+//! * `--obs` — run the timing sweep with observability on and write the
+//!   Figure-7 breakdown to `results/fig7.{jsonl,txt}`.
+//! * `--trace APP:PROTO` — with `--obs`, export that cell's spans as a
+//!   Chrome trace to `results/trace_<APP>_<PROTO>.json`.
 //!
 //! Environment:
 //! * `WALLCLOCK_BASELINE=1` — capture mode: (re)write the wall-clock
@@ -39,43 +43,59 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
 use cashmere_apps::{suite, Scale};
 use cashmere_bench::golden::{build_goldens, check_table2, field_f64};
-use cashmere_bench::{fmt_json_f64, json_f64, json_str, run, RunOpts};
+use cashmere_bench::sweep::{run_sweep, Cell, SweepSpec};
+use cashmere_bench::{fmt_json_f64, json_f64, json_str, obsout, RunOpts};
 use cashmere_core::ProtocolKind;
 
-/// One timed app × protocol cell.
-struct Cell {
-    app: String,
-    protocol: &'static str,
-    wall_secs: f64,
-    exec_secs: f64,
-    pages_diffed: u64,
-    diff_bytes: u64,
+struct Args {
+    seed: u64,
+    obs: bool,
+    trace: Option<(String, String)>,
 }
 
-/// Parses `--seed N` (default 0); any other flag is an error.
-fn parse_seed() -> u64 {
-    let mut seed = 0u64;
+/// Parses `--seed N`, `--obs`, and `--trace APP:PROTO`; any other flag is
+/// an error.
+fn parse_args() -> Args {
+    let mut a = Args {
+        seed: 0,
+        obs: false,
+        trace: None,
+    };
     let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
             "--seed" => {
-                seed = args
+                a.seed = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("--seed requires an integer"));
             }
-            other => panic!("unknown flag {other:?} (supported: --seed N)"),
+            "--obs" => a.obs = true,
+            "--trace" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--trace requires APP:PROTO"));
+                let (app, proto) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| panic!("--trace takes APP:PROTO, got {spec:?}"));
+                a.trace = Some((app.to_string(), proto.to_string()));
+            }
+            other => {
+                panic!("unknown flag {other:?} (supported: --seed N, --obs, --trace APP:PROTO)")
+            }
         }
     }
-    seed
+    if a.trace.is_some() && !a.obs {
+        panic!("--trace requires --obs");
+    }
+    a
 }
 
 fn main() {
-    let seed = parse_seed();
+    let args = parse_args();
     let baseline_mode = std::env::var("WALLCLOCK_BASELINE").is_ok_and(|v| v == "1");
     let reps = std::env::var("WALLCLOCK_REPS")
         .ok()
@@ -86,7 +106,7 @@ fn main() {
     let apps = suite(Scale::Bench);
 
     // --- Deterministic virtual-time goldens -----------------------------
-    let g = build_goldens(&apps, None, false, true);
+    let g = build_goldens(&apps, None, false, true, false);
     let golden = g.jsonl;
     let golden_path = Path::new("results/vt_golden.jsonl");
     let mut failures = 0usize;
@@ -119,32 +139,44 @@ fn main() {
     failures += check_table2(&g.seq_secs);
 
     // --- Wall-clock timing ----------------------------------------------
-    let mut cells = Vec::new();
-    for app in &apps {
-        for p in ProtocolKind::PAPER_FOUR {
-            let mut best: Option<Cell> = None;
-            for _ in 0..reps {
-                let t = Instant::now();
-                let out = run(app.as_ref(), p, 32, 4, RunOpts::default());
-                let wall = t.elapsed().as_secs_f64();
-                let c = out.report.counters;
-                if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
-                    best = Some(Cell {
-                        app: app.name().to_string(),
-                        protocol: p.label(),
-                        wall_secs: wall,
-                        exec_secs: out.report.exec_secs(),
-                        pages_diffed: c.flush_updates + c.incoming_diffs + c.shootdowns,
-                        diff_bytes: c.data_bytes,
-                    });
-                }
-            }
-            let b = best.expect("reps >= 1");
-            println!(
-                "{:8} {:4} wall={:7.3}s  exec={:8.3}s  pages_diffed={:6}  diff_bytes={}",
-                b.app, b.protocol, b.wall_secs, b.exec_secs, b.pages_diffed, b.diff_bytes
-            );
-            cells.push(b);
+    let spec = SweepSpec {
+        total: 32,
+        per_node: 4,
+        opts: RunOpts {
+            obs: args.obs,
+            ..RunOpts::default()
+        },
+        reps,
+        seed: args.seed,
+        ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
+    };
+    let cells = run_sweep(&spec, |c| {
+        let (pages_diffed, diff_bytes) = diff_traffic(c);
+        println!(
+            "{:8} {:4} wall={:7.3}s  exec={:8.3}s  pages_diffed={:6}  diff_bytes={}",
+            c.app,
+            c.protocol.label(),
+            c.wall_secs,
+            c.outcome.report.exec_secs(),
+            pages_diffed,
+            diff_bytes
+        );
+    });
+
+    if args.obs {
+        let (jsonl, txt, rows) = obsout::write_fig7(&cells, "32:4").expect("write fig7");
+        eprintln!(
+            "[wrote {} and {} ({rows} rows)]",
+            jsonl.display(),
+            txt.display()
+        );
+        if let Some((app, proto)) = &args.trace {
+            let cell = cells
+                .iter()
+                .find(|c| c.app == *app && c.protocol.label() == proto)
+                .unwrap_or_else(|| panic!("no cell {app}:{proto} in the sweep"));
+            let (path, events) = obsout::export_trace(cell).expect("export trace");
+            eprintln!("[wrote {} ({events} events)]", path.display());
         }
     }
 
@@ -164,7 +196,7 @@ fn main() {
         .exists()
         .then(|| std::fs::read_to_string(baseline_path).expect("read wallclock_baseline.jsonl"));
     let mut out = String::from("{\"experiment\":\"wallclock\",\"config\":\"32:4\",");
-    let _ = write!(out, "\"seed\":{seed},\"reps\":{reps},\"cells\":[");
+    let _ = write!(out, "\"seed\":{},\"reps\":{reps},\"cells\":[", args.seed);
     let mut speedups = Vec::new();
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
@@ -172,7 +204,7 @@ fn main() {
         }
         let base = baseline
             .as_deref()
-            .and_then(|b| baseline_wall(b, &c.app, c.protocol));
+            .and_then(|b| baseline_wall(b, &c.app, c.protocol.label()));
         if let Some(bw) = base {
             speedups.push(bw / c.wall_secs);
         }
@@ -203,23 +235,32 @@ fn main() {
     println!("virtual-time checks passed");
 }
 
+/// Diff traffic summarized the way the baseline file records it.
+fn diff_traffic(c: &Cell) -> (u64, u64) {
+    let counters = c.outcome.report.counters;
+    (
+        counters.flush_updates + counters.incoming_diffs + counters.shootdowns,
+        counters.data_bytes,
+    )
+}
+
 /// Serializes one cell, optionally with its baseline wall time and speedup.
 fn cell_json(experiment: &str, c: &Cell, baseline_wall: Option<f64>) -> String {
+    let (pages_diffed, diff_bytes) = diff_traffic(c);
     let mut s = String::with_capacity(256);
     s.push('{');
     json_str(&mut s, "experiment", experiment);
     s.push(',');
     json_str(&mut s, "app", &c.app);
     s.push(',');
-    json_str(&mut s, "protocol", c.protocol);
+    json_str(&mut s, "protocol", c.protocol.label());
     s.push(',');
     json_f64(&mut s, "wall_secs", c.wall_secs);
     s.push(',');
-    json_f64(&mut s, "exec_secs", c.exec_secs);
+    json_f64(&mut s, "exec_secs", c.outcome.report.exec_secs());
     let _ = write!(
         s,
-        ",\"pages_diffed\":{},\"diff_bytes\":{}",
-        c.pages_diffed, c.diff_bytes
+        ",\"pages_diffed\":{pages_diffed},\"diff_bytes\":{diff_bytes}"
     );
     if let Some(bw) = baseline_wall {
         s.push(',');

@@ -12,11 +12,13 @@
 //!   twins, outgoing/incoming diffs, shootdowns, and exclusive mode, and
 //!   recording every processor clock and protocol counter.
 //!
-//! Both probes accept an optional [`FaultPlan`] and an audit switch: the
-//! soak harness regenerates the goldens with an installed-but-empty plan
-//! (and the trace recorder on) to prove the fault-injection interposition
-//! points are charge-free when no rule fires — the output must stay
-//! byte-identical to `results/vt_golden.jsonl`.
+//! Both probes accept an optional [`FaultPlan`], an audit switch, and an
+//! observability switch: the soak harness regenerates the goldens with an
+//! installed-but-empty plan (and the trace recorder on) to prove the
+//! fault-injection interposition points are charge-free when no rule
+//! fires, and the `obsgate` harness regenerates them with observability on
+//! to prove the span/metrics hooks are too — the output must stay
+//! byte-identical to `results/vt_golden.jsonl` either way.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -25,10 +27,11 @@ use std::sync::Arc;
 use cashmere_apps::Benchmark;
 use cashmere_core::engine::ProcCtx;
 use cashmere_core::{
-    ClusterConfig, Engine, FaultPlan, ProcId, ProtocolKind, Topology, TraceEvent, PAGE_WORDS,
+    ClusterConfig, Engine, FaultPlan, ProcId, ProtocolKind, SyncSpec, Topology, TraceEvent,
+    PAGE_WORDS,
 };
 
-use crate::{json_str, sequential_with};
+use crate::{json_str, run_with, RunOpts};
 
 /// One golden regeneration pass: the JSONL contents plus the per-probe
 /// traces (empty unless auditing was requested).
@@ -45,18 +48,34 @@ pub struct GoldenRun {
 /// Builds the deterministic golden file contents — one line per
 /// application's sequential run, then one line per protocol's scripted
 /// replay. `plan` is installed into every probe (pass `None` for the plain
-/// drift gate); `audit` additionally records each probe's protocol events.
+/// drift gate); `audit` additionally records each probe's protocol events;
+/// `obs` turns the observability hooks on (which, being charge-free, must
+/// not move a byte of the output).
 pub fn build_goldens(
     apps: &[Box<dyn Benchmark>],
     plan: Option<&Arc<FaultPlan>>,
     audit: bool,
     verbose: bool,
+    obs: bool,
 ) -> GoldenRun {
     let mut s = String::new();
     let mut seq_secs = Vec::new();
     let mut traces = Vec::new();
     for app in apps {
-        let (out, trace) = sequential_with(app.as_ref(), plan.cloned(), audit);
+        let opts = RunOpts {
+            uninstrumented: true,
+            obs,
+            ..RunOpts::default()
+        };
+        let (out, trace) = run_with(
+            app.as_ref(),
+            ProtocolKind::TwoLevel,
+            1,
+            1,
+            opts,
+            plan.cloned(),
+            audit,
+        );
         seq_secs.push((app.name(), out.report.exec_secs()));
         traces.push((format!("sequential {}", app.name()), trace));
         let mut line = String::new();
@@ -82,7 +101,7 @@ pub fn build_goldens(
         s.push('\n');
     }
     for p in ProtocolKind::PAPER_FOUR {
-        let (clocks, counters, trace) = replay(p, plan.cloned(), audit);
+        let (clocks, counters, trace) = replay(p, plan.cloned(), audit, obs);
         traces.push((format!("replay {}", p.label()), trace));
         let total: u64 = clocks.iter().sum();
         let mut line = String::new();
@@ -175,10 +194,16 @@ pub fn replay(
     protocol: ProtocolKind,
     plan: Option<Arc<FaultPlan>>,
     audit: bool,
+    obs: bool,
 ) -> (Vec<u64>, Vec<(&'static str, u64)>, Vec<TraceEvent>) {
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
         .with_heap_pages(16)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        })
+        .with_obs(obs);
     // Superpage granularity 2 so non-home private pages exist (exclusive
     // mode is reachable), exactly as in the engine-semantics tests.
     cfg.pages_per_superpage = 2;

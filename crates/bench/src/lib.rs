@@ -23,11 +23,12 @@ use std::sync::Arc;
 
 use cashmere_apps::{AppOutcome, Benchmark};
 use cashmere_core::{
-    Cluster, ClusterConfig, DirectoryMode, FaultPlan, Messaging, Nanos, ProtocolKind, Topology,
-    TraceEvent,
+    DirectoryMode, FaultPlan, Messaging, Nanos, ProtocolKind, RunSpec, Topology, TraceEvent,
 };
 
 pub mod golden;
+pub mod obsout;
+pub mod sweep;
 
 /// The paper's Figure 7 cluster configurations, as `(processors,
 /// processes-per-node)` pairs: 4:1, 4:4, 8:1, 8:2, 8:4, 16:2, 16:4, 24:3,
@@ -54,6 +55,9 @@ pub struct RunOpts {
     /// Force the polling-overhead fraction to zero (the paper's
     /// "uninstrumented" sequential runs).
     pub uninstrumented: bool,
+    /// Record observability data (`Report::obs`): spans, the Figure-7
+    /// breakdown, counters/histograms, page heat, and link traffic.
+    pub obs: bool,
 }
 
 /// Runs `app` under `protocol` on a `total`:`per_node` configuration.
@@ -83,20 +87,16 @@ pub fn run_with(
 ) -> (AppOutcome, Vec<TraceEvent>) {
     let topo = Topology::from_paper_config(total, per_node)
         .unwrap_or_else(|| panic!("bad paper config {total}:{per_node}"));
-    let mut cfg = ClusterConfig::new(topo, protocol);
-    app.configure(&mut cfg);
-    cfg.directory = opts.directory;
-    cfg.cost.messaging = opts.messaging;
-    if opts.uninstrumented {
-        cfg.poll_fraction = 0.0;
-    }
-    if audit {
-        cfg = cfg.with_audit(true);
-    }
+    let mut spec = RunSpec::new(topo, protocol)
+        .with_directory(opts.directory)
+        .with_messaging(opts.messaging)
+        .uninstrumented(opts.uninstrumented)
+        .with_audit(audit)
+        .with_obs(opts.obs);
     if let Some(p) = plan {
-        cfg = cfg.with_faults(p);
+        spec = spec.with_faults(p);
     }
-    let mut cluster = Cluster::new(cfg);
+    let mut cluster = spec.build_cluster(|cfg| app.configure(cfg));
     let out = app.execute(&mut cluster);
     let trace = cluster.take_trace();
     (out, trace)

@@ -1,0 +1,215 @@
+//! The shared app × protocol × fault-plan sweep driver.
+//!
+//! `wallclock` and `soak` used to hand-roll the same triple-nested loop
+//! (applications, protocols, plans, with best-of-`reps` timing); both are
+//! now thin drivers over [`run_sweep`]. A sweep is described by a
+//! [`SweepSpec`]; every completed cell is delivered to the caller's
+//! callback as it finishes (for progress printing) and returned in
+//! deterministic iteration order — apps outermost, then protocols, then
+//! plans.
+//!
+//! Fault plans are *rebuilt from the seed for every repetition*
+//! ([`SweepPlan::build`] is a constructor, not a shared plan): a
+//! [`FaultPlan`] accumulates injection statistics, so sharing one across
+//! cells would conflate their fault counts and perturb the per-cell
+//! schedules.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cashmere_apps::{AppOutcome, Benchmark};
+use cashmere_core::{FaultPlan, ProtocolKind, TraceEvent};
+
+use crate::{run_with, RunOpts};
+
+/// One fault-plan flavor in a sweep. [`SweepPlan::NONE`] is the fault-free
+/// pass every plain sweep runs.
+#[derive(Clone, Copy)]
+pub struct SweepPlan {
+    /// Flavor label, echoed into [`Cell::plan`] (empty for [`Self::NONE`]).
+    pub name: &'static str,
+    /// Plan constructor, called with the sweep seed once per repetition;
+    /// `None` runs fault-free.
+    pub build: Option<fn(u64) -> FaultPlan>,
+}
+
+impl SweepPlan {
+    /// The fault-free pass.
+    pub const NONE: SweepPlan = SweepPlan {
+        name: "",
+        build: None,
+    };
+}
+
+/// Everything that defines one sweep.
+pub struct SweepSpec<'a> {
+    /// Applications, outermost loop.
+    pub apps: &'a [Box<dyn Benchmark>],
+    /// Protocols per application.
+    pub protocols: &'a [ProtocolKind],
+    /// Total processors.
+    pub total: usize,
+    /// Processes per node.
+    pub per_node: usize,
+    /// Per-run options (directory/messaging/instrumentation/observability).
+    pub opts: RunOpts,
+    /// Repetitions per cell; the best (smallest wall-clock) one is kept.
+    pub reps: usize,
+    /// Record the protocol event trace for `cashmere_check::audit`.
+    pub audit: bool,
+    /// Fault-plan seed, passed to every [`SweepPlan::build`].
+    pub seed: u64,
+    /// Fault-plan flavors, innermost loop; empty means one fault-free pass
+    /// per (app, protocol).
+    pub plans: &'a [SweepPlan],
+}
+
+impl<'a> SweepSpec<'a> {
+    /// A fault-free single-repetition sweep with default options.
+    #[must_use]
+    pub fn new(apps: &'a [Box<dyn Benchmark>], protocols: &'a [ProtocolKind]) -> Self {
+        Self {
+            apps,
+            protocols,
+            total: 4,
+            per_node: 2,
+            opts: RunOpts::default(),
+            reps: 1,
+            audit: false,
+            seed: 0,
+            plans: &[],
+        }
+    }
+}
+
+/// One completed sweep cell: the best-of-`reps` outcome plus its trace and
+/// wall-clock time.
+pub struct Cell {
+    /// Application name.
+    pub app: String,
+    /// Protocol run.
+    pub protocol: ProtocolKind,
+    /// Fault-plan flavor (empty when fault-free).
+    pub plan: &'static str,
+    /// The winning repetition's outcome (checksum, report, `Report::obs`).
+    pub outcome: AppOutcome,
+    /// The winning repetition's protocol event trace (empty unless
+    /// [`SweepSpec::audit`]).
+    pub trace: Vec<TraceEvent>,
+    /// The winning repetition's wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+/// Runs the sweep, invoking `on_cell` as each cell completes, and returns
+/// every cell in iteration order.
+pub fn run_sweep(spec: &SweepSpec<'_>, mut on_cell: impl FnMut(&Cell)) -> Vec<Cell> {
+    let fault_free = [SweepPlan::NONE];
+    let plans = if spec.plans.is_empty() {
+        &fault_free[..]
+    } else {
+        spec.plans
+    };
+    let mut cells = Vec::with_capacity(spec.apps.len() * spec.protocols.len() * plans.len());
+    for app in spec.apps {
+        for &protocol in spec.protocols {
+            for flavor in plans {
+                let mut best: Option<Cell> = None;
+                for _ in 0..spec.reps.max(1) {
+                    let plan = flavor.build.map(|build| Arc::new(build(spec.seed)));
+                    let t = Instant::now();
+                    let (outcome, trace) = run_with(
+                        app.as_ref(),
+                        protocol,
+                        spec.total,
+                        spec.per_node,
+                        spec.opts,
+                        plan,
+                        spec.audit,
+                    );
+                    let wall_secs = t.elapsed().as_secs_f64();
+                    if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+                        best = Some(Cell {
+                            app: app.name().to_string(),
+                            protocol,
+                            plan: flavor.name,
+                            outcome,
+                            trace,
+                            wall_secs,
+                        });
+                    }
+                }
+                let cell = best.expect("reps >= 1");
+                on_cell(&cell);
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_apps::{suite, Scale};
+    use cashmere_core::{FaultKind, FaultRule};
+
+    #[test]
+    fn sweep_covers_the_full_matrix_in_order() {
+        let apps = suite(Scale::Test);
+        let apps = &apps[..2];
+        let protocols = [ProtocolKind::TwoLevel, ProtocolKind::OneLevelDiff];
+        let mut seen = Vec::new();
+        let cells = run_sweep(&SweepSpec::new(apps, &protocols), |c| {
+            seen.push((c.app.clone(), c.protocol));
+        });
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            seen,
+            cells
+                .iter()
+                .map(|c| (c.app.clone(), c.protocol))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(seen[0].0, apps[0].name());
+        assert_eq!(seen[0].1, ProtocolKind::TwoLevel);
+        assert_eq!(seen[1].1, ProtocolKind::OneLevelDiff);
+        for c in &cells {
+            assert_eq!(c.plan, "");
+            assert!(c.outcome.report.exec_ns > 0);
+            assert!(c.trace.is_empty(), "no audit requested");
+        }
+    }
+
+    #[test]
+    fn plans_are_rebuilt_per_cell_and_obs_threads_through() {
+        let apps = suite(Scale::Test);
+        let apps = &apps[..1];
+        let protocols = [ProtocolKind::TwoLevel];
+        let plans = [SweepPlan {
+            name: "lossy",
+            build: Some(|seed| {
+                FaultPlan::new(seed).with_rule(FaultRule::new(FaultKind::DropWrite, 0.2))
+            }),
+        }];
+        let mut spec = SweepSpec::new(apps, &protocols);
+        spec.opts.obs = true;
+        spec.audit = true;
+        spec.seed = 7;
+        spec.plans = &plans;
+        let cells = run_sweep(&spec, |_| {});
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert_eq!(c.plan, "lossy");
+        assert!(!c.trace.is_empty(), "audit recorded a trace");
+        assert!(
+            c.outcome.report.recovery.faults_total() > 0,
+            "fresh per-cell plan injected faults"
+        );
+        let obs = c.outcome.report.obs.as_ref().expect("obs requested");
+        assert_eq!(
+            obs.fig7.total(),
+            c.outcome.report.breakdown.total(),
+            "Figure-7 identity holds under the sweep"
+        );
+    }
+}

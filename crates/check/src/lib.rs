@@ -46,6 +46,13 @@
 //!    twin ([`ViolationKind::DuplicateApplied`]), and the suppression path
 //!    never swallows a genuinely fresh reply
 //!    ([`ViolationKind::FreshReplyDropped`]).
+//! 6. **Span well-nestedness** (runs on an [`ObsReport`] via
+//!    [`audit_spans`], when observability was enabled) — on every
+//!    (node, processor) track the observability spans are properly nested
+//!    with non-negative durations, no span was left open at processor exit,
+//!    and no end mismatched its open span ([`ViolationKind::SpanNegative`],
+//!    [`ViolationKind::SpanOverlap`], [`ViolationKind::SpanUnclosed`],
+//!    [`ViolationKind::SpanMismatched`]).
 //!
 //! The stream's global sequence numbers are a sound linearization because
 //! every emission site follows the discipline documented in
@@ -74,6 +81,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use cashmere_core::{ProtocolEvent, TraceEvent};
+use cashmere_obs::{ObsReport, Span};
 
 /// A hard protocol-invariant violation. Any of these in a trace means the
 /// engine misbehaved (or the trace was tampered with — see the mutation
@@ -127,6 +135,18 @@ pub enum ViolationKind {
     /// A fetch reply with a sequence number above the last applied one was
     /// suppressed as a duplicate (a genuinely fresh reply was dropped).
     FreshReplyDropped,
+    /// An observability span with `end < begin` — virtual time ran
+    /// backwards inside the span stack.
+    SpanNegative,
+    /// Two spans on one (node, processor) track partially overlap — the
+    /// span stack's push/pop discipline guarantees proper nesting, so a
+    /// straddle means begin/end hooks are misplaced.
+    SpanOverlap,
+    /// A span was still open when its processor finished (force-closed by
+    /// `ProcObs::finish`).
+    SpanUnclosed,
+    /// A span end named a different kind than the open span it closed.
+    SpanMismatched,
 }
 
 impl fmt::Display for ViolationKind {
@@ -784,6 +804,104 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
         violations,
         races,
         events: events.len(),
+    }
+}
+
+/// Audits the observability layer's span stream (the sixth invariant
+/// family): on every (node, processor) track, spans must be properly
+/// nested — any two either disjoint or one containing the other — with
+/// non-negative durations, and the collection anomalies the span stack
+/// counted at runtime ([`ViolationKind::SpanUnclosed`],
+/// [`ViolationKind::SpanMismatched`]) must be zero. Proper nesting is what
+/// the `ProcObs` push/pop discipline guarantees by construction, so a
+/// straddling pair means an engine hook opened a span it never closed (or
+/// closed one it never opened) around a code path that charges time.
+///
+/// Races do not apply to spans; the returned report's `races` is empty and
+/// `events` counts the spans examined.
+pub fn audit_spans(obs: &ObsReport) -> AuditReport {
+    let mut violations = Vec::new();
+    if obs.spans_unclosed > 0 {
+        violations.push(Violation {
+            kind: ViolationKind::SpanUnclosed,
+            seq: u64::MAX,
+            detail: format!(
+                "{} span(s) were force-closed at processor exit",
+                obs.spans_unclosed
+            ),
+        });
+    }
+    if obs.spans_mismatched > 0 {
+        violations.push(Violation {
+            kind: ViolationKind::SpanMismatched,
+            seq: u64::MAX,
+            detail: format!(
+                "{} span end(s) named a kind other than the open span",
+                obs.spans_mismatched
+            ),
+        });
+    }
+
+    let mut tracks: HashMap<(u32, u32), Vec<&Span>> = HashMap::new();
+    for s in &obs.spans {
+        if s.end < s.begin {
+            violations.push(Violation {
+                kind: ViolationKind::SpanNegative,
+                seq: s.begin,
+                detail: format!(
+                    "{} span on node {} proc {} ends at {} before its begin {}",
+                    s.kind.label(),
+                    s.node,
+                    s.proc,
+                    s.end,
+                    s.begin
+                ),
+            });
+            continue;
+        }
+        tracks.entry((s.node, s.proc)).or_default().push(s);
+    }
+    let mut keys: Vec<(u32, u32)> = tracks.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let spans = tracks.get_mut(&key).expect("keyed from tracks");
+        // Sorted by begin, longest first on ties: a parent always precedes
+        // the spans it contains, so a straddle shows up as a stack-top that
+        // ends strictly inside the newcomer.
+        spans.sort_by(|a, b| a.begin.cmp(&b.begin).then(b.end.cmp(&a.end)));
+        let mut stack: Vec<&Span> = Vec::new();
+        for s in spans.iter() {
+            while stack.last().is_some_and(|open| open.end <= s.begin) {
+                stack.pop();
+            }
+            if let Some(open) = stack.last() {
+                if open.end < s.end {
+                    violations.push(Violation {
+                        kind: ViolationKind::SpanOverlap,
+                        seq: s.begin,
+                        detail: format!(
+                            "on node {} proc {}: {} [{}, {}] straddles the end of {} [{}, {}]",
+                            s.node,
+                            s.proc,
+                            s.kind.label(),
+                            s.begin,
+                            s.end,
+                            open.kind.label(),
+                            open.begin,
+                            open.end
+                        ),
+                    });
+                    continue;
+                }
+            }
+            stack.push(s);
+        }
+    }
+
+    AuditReport {
+        violations,
+        races: Vec::new(),
+        events: obs.spans.len(),
     }
 }
 
@@ -1518,5 +1636,86 @@ mod tests {
                 ViolationKind::DiffInConflict,
             ])
         );
+    }
+
+    fn span(kind: cashmere_obs::SpanKind, proc: u32, begin: u64, end: u64) -> Span {
+        Span {
+            kind,
+            node: 0,
+            proc,
+            begin,
+            end,
+            page: -1,
+        }
+    }
+
+    #[test]
+    fn well_nested_spans_audit_clean() {
+        use cashmere_obs::SpanKind;
+        let mut obs = ObsReport::new();
+        obs.spans = vec![
+            // proc 0: a fault nested inside a lock, then a disjoint barrier.
+            span(SpanKind::Fault, 0, 120, 180),
+            span(SpanKind::Lock, 0, 100, 200),
+            span(SpanKind::Barrier, 0, 200, 300),
+            // proc 1 overlaps proc 0 in time — different track, no conflict.
+            span(SpanKind::Lock, 1, 150, 250),
+            // Zero-duration span at a shared boundary.
+            span(SpanKind::Release, 0, 300, 300),
+        ];
+        let r = audit_spans(&obs);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert_eq!(r.events, 5);
+        assert!(r.races.is_empty());
+    }
+
+    #[test]
+    fn span_mutations_are_caught() {
+        use cashmere_obs::SpanKind;
+        // Straddling pair on one track.
+        let mut obs = ObsReport::new();
+        obs.spans = vec![
+            span(SpanKind::Lock, 0, 100, 200),
+            span(SpanKind::Fault, 0, 150, 250),
+        ];
+        let r = audit_spans(&obs);
+        assert_eq!(r.kinds(), HashSet::from([ViolationKind::SpanOverlap]));
+
+        // Negative duration.
+        let mut obs = ObsReport::new();
+        obs.spans = vec![span(SpanKind::Fetch, 2, 500, 400)];
+        let r = audit_spans(&obs);
+        assert_eq!(r.kinds(), HashSet::from([ViolationKind::SpanNegative]));
+
+        // Runtime anomaly counters surface as violations.
+        let mut obs = ObsReport::new();
+        obs.spans_unclosed = 1;
+        obs.spans_mismatched = 2;
+        let r = audit_spans(&obs);
+        assert_eq!(
+            r.kinds(),
+            HashSet::from([ViolationKind::SpanUnclosed, ViolationKind::SpanMismatched])
+        );
+    }
+
+    #[test]
+    fn real_obs_run_passes_the_span_audit() {
+        use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology};
+        let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+            .with_heap_pages(8)
+            .with_obs(true);
+        let mut cluster = Cluster::new(cfg);
+        let a = cluster.alloc(32);
+        let report = cluster.run(|p| {
+            p.lock(0);
+            let v = p.read_u64(a);
+            p.write_u64(a, v + 1);
+            p.unlock(0);
+            p.barrier(0);
+        });
+        let obs = report.obs.expect("obs enabled");
+        let r = audit_spans(&obs);
+        assert!(r.is_clean(), "{}", r.summary());
+        assert!(r.events > 0, "spans were recorded");
     }
 }

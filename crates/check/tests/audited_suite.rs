@@ -5,7 +5,7 @@
 
 use cashmere_apps::{suite, Scale};
 use cashmere_check::audit;
-use cashmere_core::{Cluster, ClusterConfig, Engine, ProtocolKind, Topology};
+use cashmere_core::{Cluster, ClusterConfig, Engine, ProtocolKind, SyncSpec, Topology};
 use cashmere_sim::ProcId;
 
 /// The whole suite, all protocols, auditor on: the engine must uphold
@@ -41,7 +41,11 @@ fn locked_increments_have_no_races() {
     for protocol in ProtocolKind::ALL {
         let cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
             .with_heap_pages(4)
-            .with_sync(4, 2, 2)
+            .with_sync(SyncSpec {
+                locks: 4,
+                barriers: 2,
+                flags: 2,
+            })
             .with_audit(true);
         let mut cluster = Cluster::new(cfg);
         let a = cluster.alloc(4);
@@ -79,7 +83,11 @@ fn locked_increments_have_no_races() {
 fn unsynchronized_remote_write_is_reported_as_a_race() {
     let cfg = ClusterConfig::new(Topology::new(3, 1), ProtocolKind::TwoLevel)
         .with_heap_pages(4)
-        .with_sync(2, 2, 0)
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        })
         .with_audit(true);
     let e = Engine::new(cfg);
     let mut home = e.make_ctx(ProcId(0));

@@ -7,7 +7,7 @@
 
 use cashmere_check::{audit, ViolationKind};
 use cashmere_core::{
-    ClusterConfig, Engine, ProtocolEvent, ProtocolKind, Topology, TraceEvent, PAGE_WORDS,
+    ClusterConfig, Engine, ProtocolEvent, ProtocolKind, SyncSpec, Topology, TraceEvent, PAGE_WORDS,
 };
 use cashmere_sim::ProcId;
 
@@ -19,7 +19,11 @@ use cashmere_sim::ProcId;
 fn base_trace() -> Vec<TraceEvent> {
     let mut cfg = ClusterConfig::new(Topology::new(3, 1), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0)
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        })
         .with_audit(true);
     cfg.pages_per_superpage = 2;
     let e = Engine::new(cfg);

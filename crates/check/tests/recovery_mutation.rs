@@ -10,8 +10,8 @@
 
 use cashmere_check::{audit, ViolationKind};
 use cashmere_core::{
-    ClusterConfig, Engine, FaultKind, FaultPlan, FaultRule, ProtocolEvent, ProtocolKind, Topology,
-    TraceEvent, PAGE_WORDS,
+    ClusterConfig, Engine, FaultKind, FaultPlan, FaultRule, ProtocolEvent, ProtocolKind, SyncSpec,
+    Topology, TraceEvent, PAGE_WORDS,
 };
 use cashmere_sim::ProcId;
 use std::sync::Arc;
@@ -36,7 +36,11 @@ fn hostile_plan() -> Arc<FaultPlan> {
 fn faulty_trace() -> (Vec<TraceEvent>, u64) {
     let mut cfg = ClusterConfig::new(Topology::new(3, 1), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0)
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        })
         .with_audit(true)
         .with_faults(hostile_plan());
     cfg.pages_per_superpage = 2;

@@ -1,9 +1,13 @@
-use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 
 fn one(iter: usize) -> bool {
     let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 4, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 4,
+            flags: 0,
+        });
     let mut c = Cluster::new(cfg);
     let ctl = c.alloc_page_aligned(8);
     let n = 64usize;

@@ -100,6 +100,38 @@ impl ProtocolKind {
             ProtocolKind::OneLevelWriteHome => "1L+H",
         }
     }
+
+    /// Parses a [`Self::label`] back to the protocol (used by report
+    /// deserialization).
+    pub fn from_label(s: &str) -> Option<Self> {
+        ProtocolKind::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+/// Named sizing of the application synchronization pools, taken by
+/// [`ClusterConfig::with_sync`]. Replaces the old positional
+/// `(locks, barriers, flags)` triple, whose call sites were unreadable and
+/// transposition-prone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncSpec {
+    /// Number of application locks.
+    pub locks: usize,
+    /// Number of application barriers.
+    pub barriers: usize,
+    /// Number of application flags.
+    pub flags: usize,
+}
+
+impl Default for SyncSpec {
+    /// The same pools [`ClusterConfig::new`] starts with: 64 locks, 8
+    /// barriers, no flags.
+    fn default() -> Self {
+        Self {
+            locks: 64,
+            barriers: 8,
+            flags: 0,
+        }
+    }
 }
 
 /// How the global directory and remote write-notice lists are protected
@@ -198,6 +230,12 @@ pub struct ClusterConfig {
     /// protocol hot path pays only an `Option` discriminant test per
     /// potential emission.
     pub audit: bool,
+    /// Record observability data (spans, metrics, Figure-7 breakdown; see
+    /// `cashmere-obs`). Off by default; when off every hook site pays one
+    /// `Option` discriminant test and nothing allocates. Unlike `audit`,
+    /// enabling this is also *charge-free*: observability only reads
+    /// clocks, so virtual times are byte-identical either way.
+    pub obs: bool,
     /// Deterministic fault-injection plan (see `cashmere-faults`). `None`
     /// (the default) and an empty plan are both virtual-time-neutral: the
     /// run is byte-identical to one with no fault machinery at all.
@@ -224,6 +262,7 @@ impl ClusterConfig {
             poll_fraction: 0.05,
             bus_bytes_per_access: 2,
             audit: false,
+            obs: false,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
         }
@@ -232,6 +271,12 @@ impl ClusterConfig {
     /// Builder-style protocol-event tracing toggle (the invariant auditor).
     pub fn with_audit(mut self, on: bool) -> Self {
         self.audit = on;
+        self
+    }
+
+    /// Builder-style observability toggle (spans + metrics registry).
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = on;
         self
     }
 
@@ -255,10 +300,10 @@ impl ClusterConfig {
     }
 
     /// Builder-style lock/barrier/flag pool sizing.
-    pub fn with_sync(mut self, locks: usize, barriers: usize, flags: usize) -> Self {
-        self.locks = locks;
-        self.barriers = barriers;
-        self.flags = flags;
+    pub fn with_sync(mut self, sync: SyncSpec) -> Self {
+        self.locks = sync.locks;
+        self.barriers = sync.barriers;
+        self.flags = sync.flags;
         self
     }
 
@@ -314,6 +359,38 @@ mod tests {
         assert_eq!(cfg.fault_plan.as_ref().unwrap().seed(), 7);
         let cfg2 = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
         assert!(cfg2.fault_plan.is_none(), "default is fault-free");
+    }
+
+    #[test]
+    fn sync_spec_defaults_match_config_defaults() {
+        let spec = SyncSpec::default();
+        let base = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        assert_eq!(
+            (spec.locks, spec.barriers, spec.flags),
+            (base.locks, base.barriers, base.flags),
+            "with_sync(SyncSpec::default()) must be a no-op"
+        );
+        let cfg = base.clone().with_sync(SyncSpec {
+            locks: 3,
+            barriers: 1,
+            flags: 2,
+        });
+        assert_eq!((cfg.locks, cfg.barriers, cfg.flags), (3, 1, 2));
+    }
+
+    #[test]
+    fn obs_defaults_off_and_toggles() {
+        let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+        assert!(!cfg.obs, "observability must be opt-in");
+        assert!(cfg.with_obs(true).obs);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for p in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_label(p.label()), Some(p));
+        }
+        assert_eq!(ProtocolKind::from_label("bogus"), None);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 
 use cashmere_faults::FaultPlan;
 use cashmere_memchan::MemoryChannel;
+use cashmere_obs::{LinkMetrics, ProcObs, SpanKind};
 use cashmere_sim::{
     Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
 };
@@ -92,6 +93,10 @@ pub struct ProcCtx {
     pending_bus: u64,
     /// Accumulated unsettled write-doubling bytes (1L; settled in batches).
     pending_double: u64,
+    /// Per-processor observability state ([`ClusterConfig::obs`]); `None`
+    /// when observability is off, so the disabled cost is one discriminant
+    /// test per hook and zero allocations.
+    pub obs: Option<Box<ProcObs>>,
 }
 
 impl ProcCtx {
@@ -120,9 +125,30 @@ impl ProcCtx {
             excl_held,
             pending_bus: 0,
             pending_double: 0,
+            obs: cfg
+                .obs
+                .then(|| Box::new(ProcObs::new(pnode as u32, id.0 as u32, cfg.heap_pages))),
         };
         ctx.set_poll_fraction(cfg.poll_fraction, cfg);
         ctx
+    }
+
+    /// Opens an observability span (no-op when observability is off).
+    #[inline]
+    pub(crate) fn obs_begin(&mut self, kind: SpanKind, page: i64) {
+        if let Some(o) = &mut self.obs {
+            o.begin(kind, page, &self.clock);
+        }
+    }
+
+    /// Closes the innermost observability span, returning its virtual
+    /// duration (0 when observability is off).
+    #[inline]
+    pub(crate) fn obs_end(&mut self, kind: SpanKind) -> Nanos {
+        match &mut self.obs {
+            Some(o) => o.end(kind, &self.clock),
+            None => 0,
+        }
     }
 
     /// Sets the polling-overhead fraction and rederives the per-access
@@ -270,6 +296,9 @@ pub struct Engine {
     /// Per-protocol-node recovery counters (timeouts, retries, duplicate
     /// replies suppressed).
     recovery: Vec<RecoveryStats>,
+    /// Per-link traffic counters, shared with the Memory Channel (`Some`
+    /// only when [`ClusterConfig::obs`]).
+    link_metrics: Option<Arc<LinkMetrics>>,
     /// Cluster-wide statistics.
     pub stats: Stats,
 }
@@ -312,11 +341,13 @@ impl Engine {
         let link_of: Vec<usize> = (0..n_pnodes)
             .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
             .collect();
-        let mc = Arc::new(MemoryChannel::with_faults(
+        let link_metrics = cfg.obs.then(|| Arc::new(LinkMetrics::new(topo.nodes())));
+        let mc = Arc::new(MemoryChannel::with_observers(
             link_of,
             topo.nodes(),
             cfg.cost.clone(),
             cfg.fault_plan.clone(),
+            link_metrics.clone(),
         ));
         let rec = cfg.audit.then(|| Arc::new(TraceRecorder::new()));
         let mut dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
@@ -388,9 +419,16 @@ impl Engine {
             rec,
             faults: cfg.fault_plan.clone(),
             recovery: (0..n_pnodes).map(|_| RecoveryStats::new()).collect(),
+            link_metrics,
             cfg,
             stats: Stats::new(),
         })
+    }
+
+    /// The shared per-link traffic counters, when [`ClusterConfig::obs`] is
+    /// set.
+    pub fn link_metrics(&self) -> Option<&Arc<LinkMetrics>> {
+        self.link_metrics.as_ref()
     }
 
     /// The auditor's event recorder, when [`ClusterConfig::audit`] is set.
@@ -822,6 +860,7 @@ impl Engine {
         // global home-selection lock (the only protocol use of global
         // locks; "because we only relocate once, the use of locks does not
         // impact performance").
+        ctx.obs_begin(SpanKind::McLock, page as i64);
         let vt = self
             .home_lock
             .acquire(ctx.pnode, ctx.clock.now(), self.lock_cost());
@@ -846,6 +885,9 @@ impl Engine {
                     ctx.clock.now(),
                 );
                 self.stats.directory_updates.inc();
+                if let Some(o) = &mut ctx.obs {
+                    o.metrics.directory_updates += 1;
+                }
             }
             self.stats.home_relocations.inc();
             ctx.pnode
@@ -854,6 +896,10 @@ impl Engine {
         };
         let vt = self.home_lock.release(ctx.pnode, ctx.clock.now());
         ctx.clock.wait_until(vt);
+        if let Some(o) = &mut ctx.obs {
+            o.end(SpanKind::McLock, &ctx.clock);
+            o.metrics.mc_lock_acquires += 1;
+        }
         chosen
     }
 
@@ -898,6 +944,15 @@ impl Engine {
     }
 
     fn fault_common(&self, ctx: &mut ProcCtx, page: usize, word: usize, write: bool) {
+        ctx.obs_begin(SpanKind::Fault, page as i64);
+        if let Some(o) = &mut ctx.obs {
+            if write {
+                o.metrics.write_faults += 1;
+            } else {
+                o.metrics.read_faults += 1;
+            }
+            o.heat(page);
+        }
         let c = self.cfg.cost.clone();
         ctx.clock.charge(TimeCategory::Protocol, c.page_fault);
         let home = self.resolve_home(ctx, page);
@@ -909,7 +964,16 @@ impl Engine {
             // while touching the holder's — lock-ordering discipline).
             if let Some((holder, hproc)) = self.dir.exclusive_holder(page, ctx.pnode) {
                 if holder != ctx.pnode {
+                    ctx.obs_begin(SpanKind::Break, page as i64);
                     self.break_exclusive(ctx, page, holder, hproc, home);
+                    if let Some(o) = &mut ctx.obs {
+                        let dur = o.end(SpanKind::Break, &ctx.clock);
+                        o.metrics.break_rtt.record(dur);
+                        o.metrics.breaks += 1;
+                        if self.cfg.cost.messaging == Messaging::Interrupt {
+                            o.metrics.interrupts += 1;
+                        }
+                    }
                     continue;
                 }
             }
@@ -1002,6 +1066,9 @@ impl Engine {
                             page,
                         });
                         self.stats.twin_creations.inc();
+                        if let Some(o) = &mut ctx.obs {
+                            o.metrics.twin_creations += 1;
+                        }
                         ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
                     }
                 }
@@ -1038,6 +1105,10 @@ impl Engine {
                 is_home: np.is_home,
                 excl: np.excl_local.is_some(),
             });
+            if let Some(o) = &mut ctx.obs {
+                let dur = o.end(SpanKind::Fault, &ctx.clock);
+                o.metrics.fault_ns.record(dur);
+            }
             return;
         }
     }
@@ -1113,6 +1184,7 @@ impl Engine {
         node_now: u64,
     ) {
         let c = &self.cfg.cost;
+        ctx.obs_begin(SpanKind::Fetch, page as i64);
         self.stats.page_transfers.inc();
         self.stats.remote_requests.inc();
         self.stats.data_bytes.add(PAGE_BYTES as u64);
@@ -1201,6 +1273,14 @@ impl Engine {
                 }
             }
         }
+        if let Some(o) = &mut ctx.obs {
+            let dur = o.end(SpanKind::Fetch, &ctx.clock);
+            o.metrics.fetch_rtt.record(dur);
+            o.metrics.fetches += 1;
+            if home_phys != ctx.phys && self.cfg.cost.messaging == Messaging::Interrupt {
+                o.metrics.interrupts += 1;
+            }
+        }
     }
 
     /// Applies a fetch reply to the node's frame, reconciling with the twin
@@ -1259,6 +1339,9 @@ impl Engine {
                 }
                 let applied = apply_incoming_diff(&frame, twin, incoming);
                 self.stats.incoming_diffs.inc();
+                if let Some(o) = &mut ctx.obs {
+                    o.metrics.diffs_applied += 1;
+                }
                 ctx.clock
                     .charge(TimeCategory::Protocol, c.diff_in(applied, PAGE_WORDS));
             }
@@ -1349,6 +1432,9 @@ impl Engine {
         };
         ctx.clock.charge(TimeCategory::Protocol, cost);
         self.stats.data_bytes.add(diff.words() as u64 * 12);
+        if let Some(o) = &mut ctx.obs {
+            o.metrics.diffs_sent += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1477,6 +1563,9 @@ impl Engine {
                 page,
             });
             self.stats.twin_creations.inc();
+            if let Some(o) = &mut ctx.obs {
+                o.metrics.twin_creations += 1;
+            }
             ctx.clock.charge(TimeCategory::Protocol, c.twin_create);
             for (i, lp) in hnode.procs.iter().enumerate() {
                 if other_writers >> i & 1 == 1 {
@@ -1500,6 +1589,9 @@ impl Engine {
         let word = np.dir_word(holder_proc);
         let done = self.dir.write_my_word(page, holder, word, ctx.clock.now());
         self.stats.directory_updates.inc();
+        if let Some(o) = &mut ctx.obs {
+            o.metrics.directory_updates += 1;
+        }
         ctx.clock
             .charge(TimeCategory::Protocol, self.dir.update_cost());
         ctx.clock.wait_until(done);
@@ -1513,6 +1605,7 @@ impl Engine {
     /// Consistency actions before a release: flush every dirty, non-
     /// exclusive page to its home and send write notices to the sharers.
     pub fn release_actions(&self, ctx: &mut ProcCtx) {
+        ctx.obs_begin(SpanKind::Release, -1);
         let release_begin = self.node_now(ctx.pnode);
         // Relaxed suffices: `last_release` is monotonic bookkeeping that no
         // protocol path currently reads (the overlapping-release skip below
@@ -1617,6 +1710,9 @@ impl Engine {
                         let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
                         ctx.clock.wait_until(done);
                         self.stats.write_notices.inc();
+                        if let Some(o) = &mut ctx.obs {
+                            o.metrics.write_notices += 1;
+                        }
                         posted = true;
                     }
                     if posted {
@@ -1676,6 +1772,9 @@ impl Engine {
                             let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
                             ctx.clock.wait_until(done);
                             self.stats.write_notices.inc();
+                            if let Some(o) = &mut ctx.obs {
+                                o.metrics.write_notices += 1;
+                            }
                             posted = true;
                         }
                         if posted {
@@ -1702,6 +1801,7 @@ impl Engine {
             proc: ctx.id.0,
             pnode: ctx.pnode,
         });
+        ctx.obs_end(SpanKind::Release);
     }
 
     fn try_enter_exclusive_at_release(
@@ -1729,6 +1829,7 @@ impl Engine {
     /// write notices, then invalidate the pages in this processor's list
     /// whose updates predate their notices.
     pub fn acquire_actions(&self, ctx: &mut ProcCtx) {
+        ctx.obs_begin(SpanKind::Acquire, -1);
         // Distribute the global bins to affected local processors. The
         // drain + distribute is serialized per node so a sibling's acquire
         // cannot slip between our bin drain and our list inserts.
@@ -1814,6 +1915,7 @@ impl Engine {
                 }
             }
         }
+        ctx.obs_end(SpanKind::Acquire);
     }
 
     // ------------------------------------------------------------------
@@ -1836,6 +1938,9 @@ impl Engine {
             .dir
             .write_my_word(page, ctx.pnode, word, ctx.clock.now());
         self.stats.directory_updates.inc();
+        if let Some(o) = &mut ctx.obs {
+            o.metrics.directory_updates += 1;
+        }
         ctx.clock
             .charge(TimeCategory::Protocol, self.dir.update_cost());
     }

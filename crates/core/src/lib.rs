@@ -35,18 +35,21 @@ pub mod mc_lock;
 pub mod proc;
 pub mod recovery;
 pub mod report;
+pub mod run;
 pub mod sync;
 pub mod trace;
 pub mod write_notice;
 
-pub use config::{ClusterConfig, DirectoryMode, ProtocolKind, RecoveryPolicy};
+pub use config::{ClusterConfig, DirectoryMode, ProtocolKind, RecoveryPolicy, SyncSpec};
 pub use engine::Engine;
 pub use proc::{Cluster, Proc};
 pub use recovery::{RecoveryCounts, RecoveryStats, RecoverySummary};
 pub use report::Report;
+pub use run::{run, RunOutput, RunSpec};
 pub use trace::{ProtocolEvent, ReleaseAction, TraceEvent, TraceRecorder};
 
 pub use cashmere_faults::{FaultKind, FaultPlan, FaultRule, FaultScope};
+pub use cashmere_obs::ObsReport;
 
 pub use cashmere_sim::{
     CostModel, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,

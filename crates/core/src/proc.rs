@@ -24,7 +24,8 @@
 
 use std::sync::Arc;
 
-use cashmere_sim::{Nanos, ProcId, TimeCategory};
+use cashmere_obs::{ObsReport, ProcObs, SpanKind};
+use cashmere_sim::{Nanos, ProcClock, ProcId, TimeCategory};
 use cashmere_vmpage::PAGE_WORDS;
 
 use crate::config::ClusterConfig;
@@ -145,7 +146,7 @@ impl Cluster {
         F: Fn(&mut Proc) + Sync,
     {
         let n = self.config().topology.total_procs();
-        let clocks: Vec<_> = std::thread::scope(|s| {
+        let results: Vec<(ProcClock, Option<Box<ProcObs>>)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|p| {
                     let engine = Arc::clone(&self.engine);
@@ -163,8 +164,20 @@ impl Cluster {
                 .map(|h| h.join().expect("simulated processor panicked"))
                 .collect()
         });
-        Report::build(self.engine.config(), &self.engine.stats, &clocks)
-            .with_recovery(self.engine.recovery_summary())
+        let clocks: Vec<ProcClock> = results.iter().map(|(c, _)| c.clone()).collect();
+        let mut report = Report::build(self.engine.config(), &self.engine.stats, &clocks)
+            .with_recovery(self.engine.recovery_summary());
+        if self.config().obs {
+            let mut obs = ObsReport::new();
+            for po in results.iter().filter_map(|(_, po)| po.as_deref()) {
+                obs.merge_proc(po);
+            }
+            if let Some(lm) = self.engine.link_metrics() {
+                obs.links = lm.snapshot();
+            }
+            report = report.with_obs(obs);
+        }
+        report
     }
 }
 
@@ -280,6 +293,7 @@ impl Proc {
     /// Acquires application lock `l`, then performs the protocol's acquire
     /// consistency actions (§2.4.2).
     pub fn lock(&mut self, l: usize) {
+        self.ctx.obs_begin(SpanKind::Lock, l as i64);
         self.engine.stats.lock_acquires.inc();
         let vt = self.pools.locks[l].acquire_for(self.ctx.clock.now(), self.lock_cost());
         self.ctx.clock.wait_until(vt);
@@ -291,6 +305,7 @@ impl Proc {
             lock: l,
         });
         self.engine.acquire_actions(&mut self.ctx);
+        self.ctx.obs_end(SpanKind::Lock);
     }
 
     /// Performs the protocol's release consistency actions (§2.4.3), then
@@ -311,6 +326,7 @@ impl Proc {
     /// release on arrival, the two-level rendezvous, and an acquire on
     /// departure (§2.3, §2.4).
     pub fn barrier(&mut self, b: usize) {
+        self.ctx.obs_begin(SpanKind::Barrier, b as i64);
         let t0 = self.ctx.clock.now();
         self.engine.release_actions(&mut self.ctx);
         let t1 = self.ctx.clock.now();
@@ -337,6 +353,7 @@ impl Proc {
         self.ctx.clock.wait_until(crossing.departure_vt);
         let t2 = self.ctx.clock.now();
         self.engine.acquire_actions(&mut self.ctx);
+        self.ctx.obs_end(SpanKind::Barrier);
         fn barrier_debug() -> bool {
             static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
             *ON.get_or_init(|| std::env::var_os("CASHMERE_BARRIER_DEBUG").is_some())
@@ -368,6 +385,7 @@ impl Proc {
 
     /// Waits for application flag `fl` (acquire semantics).
     pub fn flag_wait(&mut self, fl: usize) {
+        self.ctx.obs_begin(SpanKind::Flag, fl as i64);
         self.engine.stats.lock_acquires.inc();
         let vt = self.pools.flags[fl].wait(self.ctx.clock.now());
         // Consumer: emitted after the wait observed the set.
@@ -381,6 +399,7 @@ impl Proc {
             .clock
             .charge(TimeCategory::CommWait, self.lock_cost());
         self.engine.acquire_actions(&mut self.ctx);
+        self.ctx.obs_end(SpanKind::Flag);
     }
 
     /// Non-blocking flag check (no consistency actions).
@@ -421,10 +440,14 @@ impl Proc {
     }
 
     /// Final release + accounting settlement; returns the processor's
-    /// clock. Called automatically at the end of [`Cluster::run`].
-    fn finish(mut self) -> cashmere_sim::ProcClock {
+    /// clock and (when observability is on) its finished observability
+    /// state. Called automatically at the end of [`Cluster::run`].
+    fn finish(mut self) -> (ProcClock, Option<Box<ProcObs>>) {
         self.engine.release_actions(&mut self.ctx);
         self.engine.settle(&mut self.ctx);
-        self.ctx.clock.clone()
+        if let Some(o) = &mut self.ctx.obs {
+            o.finish(&self.ctx.clock);
+        }
+        (self.ctx.clock.clone(), self.ctx.obs.take())
     }
 }

@@ -90,7 +90,7 @@ impl RecoveryCounts {
 
 /// Cluster-wide recovery summary attached to a [`crate::Report`]: per-node
 /// recovery counters plus the fault plan's injection counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoverySummary {
     /// Per-protocol-node recovery counters.
     pub per_node: Vec<RecoveryCounts>,

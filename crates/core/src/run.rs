@@ -1,0 +1,303 @@
+//! The unified run facade: describe a run with [`RunSpec`], get a
+//! [`Report`] back.
+//!
+//! Before this module existed every caller — the examples, the bench
+//! harness, the integration tests — hand-assembled a [`ClusterConfig`],
+//! remembered to apply the audit/fault/observability toggles in the right
+//! order, built a [`Cluster`], ran it, and pulled the trace out. [`RunSpec`]
+//! centralizes that assembly so the toggles compose the same way everywhere,
+//! and [`run`] packages the common "seed memory, run every processor,
+//! collect results" shape behind one call.
+
+use std::sync::Arc;
+
+use cashmere_faults::FaultPlan;
+use cashmere_sim::{Messaging, Topology};
+
+use crate::config::{ClusterConfig, DirectoryMode, ProtocolKind, RecoveryPolicy, SyncSpec};
+use crate::proc::{Cluster, Proc};
+use crate::report::Report;
+use crate::trace::TraceEvent;
+
+/// Everything that defines one simulated run, independent of the
+/// application code itself. Construct with [`RunSpec::new`], refine with
+/// the builder methods, execute with [`run`] (or build the cluster yourself
+/// via [`RunSpec::build_cluster`] when the application drives it, as the
+/// bench harness does).
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Physical cluster shape.
+    pub topology: Topology,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Deterministic-schedule provenance tag. Echoed into [`RunOutput`];
+    /// fault plans carry their own seed.
+    pub seed: u64,
+    /// Synchronization pool sizing.
+    pub sync: SyncSpec,
+    /// Shared-heap override in pages (`None` keeps the config default).
+    pub heap_pages: Option<usize>,
+    /// Directory/write-notice locking ablation.
+    pub directory: DirectoryMode,
+    /// Request-delivery mechanism.
+    pub messaging: Messaging,
+    /// Force the polling-overhead fraction to zero (the paper's
+    /// "uninstrumented" sequential runs).
+    pub uninstrumented: bool,
+    /// Record the protocol event trace for `cashmere_check::audit`.
+    pub audit: bool,
+    /// Record observability data (`Report::obs`).
+    pub obs: bool,
+    /// Deterministic fault-injection plan.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Timeout/backoff policy for lost-request recovery.
+    pub recovery: RecoveryPolicy,
+}
+
+impl RunSpec {
+    /// A spec with every toggle at its default (no audit, no faults, no
+    /// observability, default pools and heap).
+    #[must_use]
+    pub fn new(topology: Topology, protocol: ProtocolKind) -> Self {
+        Self {
+            topology,
+            protocol,
+            seed: 0,
+            sync: SyncSpec::default(),
+            heap_pages: None,
+            directory: DirectoryMode::default(),
+            messaging: Messaging::default(),
+            uninstrumented: false,
+            audit: false,
+            obs: false,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Builder-style seed tag.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style sync pool sizing.
+    #[must_use]
+    pub fn with_sync(mut self, sync: SyncSpec) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Builder-style heap size.
+    #[must_use]
+    pub fn with_heap_pages(mut self, pages: usize) -> Self {
+        self.heap_pages = Some(pages);
+        self
+    }
+
+    /// Builder-style directory ablation.
+    #[must_use]
+    pub fn with_directory(mut self, directory: DirectoryMode) -> Self {
+        self.directory = directory;
+        self
+    }
+
+    /// Builder-style messaging mechanism.
+    #[must_use]
+    pub fn with_messaging(mut self, messaging: Messaging) -> Self {
+        self.messaging = messaging;
+        self
+    }
+
+    /// Builder-style uninstrumented toggle.
+    #[must_use]
+    pub fn uninstrumented(mut self, on: bool) -> Self {
+        self.uninstrumented = on;
+        self
+    }
+
+    /// Builder-style audit toggle.
+    #[must_use]
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Builder-style observability toggle.
+    #[must_use]
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = on;
+        self
+    }
+
+    /// Builder-style fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style recovery policy.
+    #[must_use]
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Materializes the [`ClusterConfig`], letting `tweak` (typically an
+    /// application's `configure`) adjust the base config *before* the
+    /// spec's overriding toggles (directory, messaging, instrumentation,
+    /// audit/obs/faults/recovery) are applied on top.
+    #[must_use]
+    pub fn to_config_with(&self, tweak: impl FnOnce(&mut ClusterConfig)) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(self.topology, self.protocol).with_sync(self.sync);
+        if let Some(pages) = self.heap_pages {
+            cfg.heap_pages = pages;
+        }
+        tweak(&mut cfg);
+        cfg.directory = self.directory;
+        cfg.cost.messaging = self.messaging;
+        if self.uninstrumented {
+            cfg.poll_fraction = 0.0;
+        }
+        cfg.audit = self.audit;
+        cfg.obs = self.obs;
+        cfg.fault_plan = self.fault_plan.clone();
+        cfg.recovery = self.recovery;
+        cfg
+    }
+
+    /// Materializes the [`ClusterConfig`] with no application tweak.
+    #[must_use]
+    pub fn to_config(&self) -> ClusterConfig {
+        self.to_config_with(|_| {})
+    }
+
+    /// Builds a [`Cluster`] ready to run, after letting `tweak` adjust the
+    /// base config (see [`Self::to_config_with`]).
+    #[must_use]
+    pub fn build_cluster(&self, tweak: impl FnOnce(&mut ClusterConfig)) -> Cluster {
+        Cluster::new(self.to_config_with(tweak))
+    }
+}
+
+/// Everything [`run`] produces: the report, the audit trace (empty unless
+/// `spec.audit`), the value the setup closure returned (addresses, shapes),
+/// and the cluster itself for post-run readback.
+pub struct RunOutput<T> {
+    /// The spec's seed tag, echoed for provenance.
+    pub seed: u64,
+    /// Virtual-time results ([`Report::obs`] is set when `spec.obs`).
+    pub report: Report,
+    /// Protocol event trace, for `cashmere_check::audit`.
+    pub trace: Vec<TraceEvent>,
+    /// Whatever `setup` returned.
+    pub shared: T,
+    /// The finished cluster (read checksums back with
+    /// [`Cluster::read_u64`] and friends).
+    pub cluster: Cluster,
+}
+
+/// Runs one complete experiment: builds the cluster from `spec`, calls
+/// `setup` once to allocate and seed shared memory, runs `body` on every
+/// simulated processor, and returns the results.
+///
+/// ```
+/// use cashmere_core::{run, ProtocolKind, RunSpec, Topology};
+/// let spec = RunSpec::new(Topology::new(2, 2), ProtocolKind::TwoLevel);
+/// let out = run(&spec, |c| c.alloc_page_aligned(4), |p, &addr| {
+///     p.write_u64(addr + p.id(), p.id() as u64);
+///     p.barrier(0);
+/// });
+/// assert_eq!(out.cluster.read_u64(out.shared + 3), 3);
+/// assert!(out.report.exec_ns > 0);
+/// ```
+pub fn run<T, S, B>(spec: &RunSpec, setup: S, body: B) -> RunOutput<T>
+where
+    S: FnOnce(&mut Cluster) -> T,
+    T: Sync,
+    B: Fn(&mut Proc, &T) + Sync,
+{
+    let mut cluster = spec.build_cluster(|_| {});
+    let shared = setup(&mut cluster);
+    let report = cluster.run(|p| body(p, &shared));
+    let trace = cluster.take_trace();
+    RunOutput {
+        seed: spec.seed,
+        report,
+        trace,
+        shared,
+        cluster,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_match_hand_assembled_config() {
+        let topo = Topology::new(2, 2);
+        let spec = RunSpec::new(topo, ProtocolKind::OneLevelDiff);
+        let cfg = spec.to_config();
+        let base = ClusterConfig::new(topo, ProtocolKind::OneLevelDiff);
+        assert_eq!(cfg.heap_pages, base.heap_pages);
+        assert_eq!(
+            (cfg.locks, cfg.barriers, cfg.flags),
+            (base.locks, base.barriers, base.flags)
+        );
+        assert_eq!(cfg.directory, base.directory);
+        assert_eq!(cfg.poll_fraction, base.poll_fraction);
+        assert!(!cfg.audit && !cfg.obs && cfg.fault_plan.is_none());
+        assert_eq!(cfg.recovery, base.recovery);
+        assert_eq!(spec.seed, 0);
+    }
+
+    #[test]
+    fn overrides_apply_after_the_tweak() {
+        let spec = RunSpec::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+            .with_heap_pages(8)
+            .uninstrumented(true)
+            .with_audit(true)
+            .with_obs(true)
+            .with_seed(42);
+        let cfg = spec.to_config_with(|c| {
+            c.heap_pages = 32; // the "application" wants more heap
+            c.poll_fraction = 0.9; // …but cannot undo uninstrumented
+        });
+        assert_eq!(cfg.heap_pages, 32, "tweak overrides the spec's heap");
+        assert_eq!(cfg.poll_fraction, 0.0, "spec toggles win over the tweak");
+        assert!(cfg.audit && cfg.obs);
+    }
+
+    #[test]
+    fn run_facade_round_trips_shared_state() {
+        let spec = RunSpec::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
+            .with_sync(SyncSpec {
+                locks: 1,
+                barriers: 2,
+                flags: 0,
+            })
+            .with_heap_pages(8)
+            .with_seed(7);
+        let out = run(
+            &spec,
+            |c| c.alloc_page_aligned(8),
+            |p, &addr| {
+                p.write_u64(addr + p.id(), 100 + p.id() as u64);
+                p.barrier(0);
+                if p.id() == 0 {
+                    let sum: u64 = (0..p.nprocs()).map(|i| p.read_u64(addr + i)).sum();
+                    p.write_u64(addr, sum);
+                }
+                p.barrier(1);
+            },
+        );
+        assert_eq!(out.seed, 7);
+        assert_eq!(out.cluster.read_u64(out.shared), 100 + 101 + 102 + 103);
+        assert!(out.report.exec_ns > 0);
+        assert!(out.trace.is_empty(), "no audit requested");
+        assert!(out.report.obs.is_none(), "no obs requested");
+    }
+}

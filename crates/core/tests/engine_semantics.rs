@@ -7,14 +7,18 @@
 //! exclusive mode, and the no-longer-exclusive (NLE) path.
 
 use cashmere_core::directory::PermBits;
-use cashmere_core::{ClusterConfig, Engine, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{ClusterConfig, Engine, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 use cashmere_sim::ProcId;
 
 /// 2 nodes × 2 processors, two-level protocol, first-touch homing.
 fn engine() -> std::sync::Arc<Engine> {
     let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     Engine::new(cfg)
 }
 
@@ -145,7 +149,11 @@ fn exclusive_mode_entry_and_break_via_nle() {
     // Superpage granularity 2 so a non-home private page exists.
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     cfg.pages_per_superpage = 2;
     let e = Engine::new(cfg);
     let mut p0 = e.make_ctx(ProcId(0)); // node 0
@@ -286,7 +294,11 @@ fn two_way_diffing_on_fetch_preserves_unflushed_local_words() {
 fn shootdown_variant_downgrades_concurrent_writers_on_fetch() {
     let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevelShootdown)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     let e = Engine::new(cfg);
     let mut p0 = e.make_ctx(ProcId(0)); // home
     let mut p2 = e.make_ctx(ProcId(2)); // node 1 writer
@@ -325,7 +337,11 @@ fn one_level_release_enters_exclusive_when_unshared() {
     // party: home mappings never invalidate, so the reader is p2.
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::OneLevelDiff)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     cfg.pages_per_superpage = 2;
     let e = Engine::new(cfg);
     let mut p0 = e.make_ctx(ProcId(0));
@@ -366,7 +382,11 @@ fn one_level_release_enters_exclusive_when_unshared() {
 fn write_through_protocol_needs_no_twins_and_master_is_always_current() {
     let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::OneLevelWrite)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     let e = Engine::new(cfg);
     let mut p0 = e.make_ctx(ProcId(0));
     let mut p1 = e.make_ctx(ProcId(1));

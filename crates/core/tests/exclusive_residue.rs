@@ -17,7 +17,7 @@
 //!    noticed write. The entry gate must refuse while notices are pending.
 
 use cashmere_core::directory::PermBits;
-use cashmere_core::{ClusterConfig, Engine, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{ClusterConfig, Engine, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 use cashmere_sim::ProcId;
 
 /// 3 nodes × 1 processor, two pages per superpage so page 1 shares page 0's
@@ -25,7 +25,11 @@ use cashmere_sim::ProcId;
 fn engine() -> std::sync::Arc<Engine> {
     let mut cfg = ClusterConfig::new(Topology::new(3, 1), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(2, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: 0,
+        });
     cfg.pages_per_superpage = 2;
     Engine::new(cfg)
 }

@@ -5,7 +5,7 @@
 //! unavailable); every case is reproducible from its seed.
 
 use cashmere_core::directory::{DirWord, PermBits};
-use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 use cashmere_sim::Resource;
 
 /// SplitMix64: tiny, high-quality, stateless-seedable PRNG.
@@ -81,7 +81,11 @@ fn drf_program_result(
     let words = procs * stride;
     let cfg = ClusterConfig::new(Topology::new(nodes, ppn), protocol)
         .with_heap_pages(words.div_ceil(PAGE_WORDS) + 2)
-        .with_sync(1, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 1,
+            barriers: 2,
+            flags: 0,
+        });
     let mut c = Cluster::new(cfg);
     let base = c.alloc_page_aligned(words);
     for i in 0..words {

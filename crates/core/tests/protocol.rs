@@ -2,12 +2,16 @@
 //! multiple concurrent writers, exclusive mode, two-way diffing, and
 //! cross-protocol agreement.
 
-use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 
 fn cluster(protocol: ProtocolKind, nodes: usize, ppn: usize) -> Cluster {
     let cfg = ClusterConfig::new(Topology::new(nodes, ppn), protocol)
         .with_heap_pages(32)
-        .with_sync(8, 4, 8);
+        .with_sync(SyncSpec {
+            locks: 8,
+            barriers: 4,
+            flags: 8,
+        });
     Cluster::new(cfg)
 }
 
@@ -154,7 +158,11 @@ fn private_pages_enter_exclusive_mode_and_reads_break_them() {
     // that superpage, entering exclusive mode.
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(32)
-        .with_sync(8, 4, 8);
+        .with_sync(SyncSpec {
+            locks: 8,
+            barriers: 4,
+            flags: 8,
+        });
     cfg.pages_per_superpage = 4; // exercise the superpage constraint
     let mut c = Cluster::new(cfg);
     let sp = c.alloc_page_aligned(4 * PAGE_WORDS); // superpage-aligned (heap base)
@@ -196,7 +204,11 @@ fn exclusive_pages_incur_no_flushes_while_private() {
     // them exclusive: no twins, no write notices, despite lock releases.
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(32)
-        .with_sync(8, 4, 8);
+        .with_sync(SyncSpec {
+            locks: 8,
+            barriers: 4,
+            flags: 8,
+        });
     cfg.pages_per_superpage = 4;
     let mut c = Cluster::new(cfg);
     let sp = c.alloc_page_aligned(4 * PAGE_WORDS);

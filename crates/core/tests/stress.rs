@@ -3,12 +3,16 @@
 //! These loops reproduced two real timestamp-ordering bugs in the acquire
 //! path before they were fixed; keep them hot.
 
-use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere_core::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 
 fn rotating_writer_round_trip(protocol: ProtocolKind, rounds: usize) {
     let cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
         .with_heap_pages(8)
-        .with_sync(2, 2, rounds);
+        .with_sync(SyncSpec {
+            locks: 2,
+            barriers: 2,
+            flags: rounds,
+        });
     let mut c = Cluster::new(cfg);
     let base = c.alloc_page_aligned(PAGE_WORDS);
     let errs = c.alloc_page_aligned(64);
@@ -74,7 +78,11 @@ fn barrier_storm_with_page_ping_pong() {
     for _ in 0..10 {
         let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
             .with_heap_pages(4)
-            .with_sync(1, 2, 0);
+            .with_sync(SyncSpec {
+                locks: 1,
+                barriers: 2,
+                flags: 0,
+            });
         let mut c = Cluster::new(cfg);
         let page = c.alloc_page_aligned(PAGE_WORDS);
         let rounds = 6u64;

@@ -55,6 +55,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 
 use cashmere_faults::{FaultPlan, WriteFault};
+use cashmere_obs::LinkMetrics;
 use cashmere_sim::{CostModel, Nanos, Resource};
 
 /// Identifies a Memory Channel region.
@@ -91,6 +92,9 @@ pub struct MemoryChannel {
     /// Fault-injection plan; `None` (or an empty plan) leaves every path
     /// byte-identical in virtual time to a fault-free build.
     faults: Option<Arc<FaultPlan>>,
+    /// Observability traffic counters; `None` costs one discriminant test
+    /// per transmission and recording never charges virtual time.
+    metrics: Option<Arc<LinkMetrics>>,
 }
 
 impl MemoryChannel {
@@ -116,6 +120,24 @@ impl MemoryChannel {
         cost: CostModel,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
+        Self::with_observers(link_of, links, cost, faults, None)
+    }
+
+    /// [`MemoryChannel::with_faults`], with observability traffic counters
+    /// attached: every link reservation (remote writes, page transfers,
+    /// doubled stores, notice posts) is counted into `metrics`. Counting is
+    /// charge-free — virtual times are identical with or without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_of` is empty or names a link ≥ `links`.
+    pub fn with_observers(
+        link_of: Vec<usize>,
+        links: usize,
+        cost: CostModel,
+        faults: Option<Arc<FaultPlan>>,
+        metrics: Option<Arc<LinkMetrics>>,
+    ) -> Self {
         assert!(!link_of.is_empty(), "need at least one endpoint");
         assert!(
             link_of.iter().all(|&l| l < links),
@@ -127,6 +149,7 @@ impl MemoryChannel {
             links: (0..links).map(|_| Resource::new()).collect(),
             regions: RwLock::new(Vec::new()),
             faults,
+            metrics,
         }
     }
 
@@ -175,6 +198,9 @@ impl MemoryChannel {
     /// link and how many times the payload is delivered. Without a plan this
     /// is exactly one `Resource::acquire`.
     fn reserve_link(&self, from: usize, bytes: Nanos, now: Nanos) -> (Nanos, u32) {
+        if let Some(m) = &self.metrics {
+            m.record(self.link_of[from], bytes);
+        }
         let link = &self.links[self.link_of[from]];
         let wire = bytes * self.cost.mc_link_ns_per_byte;
         let Some(plan) = &self.faults else {
@@ -718,5 +744,34 @@ mod tests {
             2 * (8192 * c.mc_link_ns_per_byte + c.mc_write_latency)
         );
         assert!(mc.faults.as_ref().unwrap().stats().total() > 0);
+    }
+
+    // --- observability --------------------------------------------------
+
+    #[test]
+    fn link_metrics_count_every_reservation_charge_free() {
+        let metrics = Arc::new(LinkMetrics::new(2));
+        let mc = MemoryChannel::with_observers(
+            vec![0, 1],
+            2,
+            CostModel::default(),
+            None,
+            Some(Arc::clone(&metrics)),
+        );
+        let plain = mc2();
+        let r = mc.create_region(8, false);
+        mc.attach_rx(r, 1);
+        let rp = plain.create_region(8, false);
+        plain.attach_rx(rp, 1);
+        // One remote word write + one bulk charge, from different endpoints.
+        let t1 = mc.write(r, 0, 0, 9, 0);
+        let t2 = mc.charge_link(1, 4096, 0);
+        assert_eq!(t1, plain.write(rp, 0, 0, 9, 0), "counting is charge-free");
+        assert_eq!(t2, plain.charge_link(1, 4096, 0));
+        let snap = metrics.snapshot();
+        assert_eq!(snap[0].messages, 1);
+        assert_eq!(snap[0].bytes, 8, "one 8-byte word");
+        assert_eq!(snap[1].messages, 1);
+        assert_eq!(snap[1].bytes, 4096);
     }
 }

@@ -1,0 +1,170 @@
+//! Figure-7 time-breakdown accounting (task / sync / protocol / wait /
+//! message), derived from the simulator's Figure-6 bins.
+//!
+//! The paper's Figure 7 splits each application's execution into five
+//! categories. The simulator already charges every nanosecond into the
+//! Figure-6 bins (`User`, `Protocol`, `Polling`, `Comm & Wait`, `Write
+//! Doubling`); the only information missing is whether a `Comm & Wait`
+//! nanosecond was spent inside a synchronization operation (Figure 7's
+//! "sync") or stalled on the memory system (Figure 7's "wait"). The span
+//! stack supplies that bit: [`crate::ProcObs`] snapshots the Figure-6 bins
+//! at every span boundary and attributes each delta here, so the five
+//! Figure-7 categories sum to *exactly* the processor's total virtual time
+//! — an integer identity the bench gate asserts per cell.
+
+use cashmere_sim::{Nanos, TimeCategory};
+
+/// Figure 7's five execution-time categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Cat {
+    /// Application work (Figure 6 `User`).
+    Task,
+    /// Stalls inside lock/barrier/flag operations (`Comm & Wait` charged
+    /// while a sync span is open).
+    Sync,
+    /// Protocol handler execution (Figure 6 `Protocol`).
+    Protocol,
+    /// Memory-system stalls outside synchronization (`Comm & Wait` charged
+    /// with no sync span open).
+    Wait,
+    /// Message-passing overhead: polling plus write doubling.
+    Message,
+}
+
+impl Fig7Cat {
+    /// All categories, in export order.
+    pub const ALL: [Fig7Cat; 5] = [
+        Fig7Cat::Task,
+        Fig7Cat::Sync,
+        Fig7Cat::Protocol,
+        Fig7Cat::Wait,
+        Fig7Cat::Message,
+    ];
+
+    /// Stable array index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Fig7Cat::Task => 0,
+            Fig7Cat::Sync => 1,
+            Fig7Cat::Protocol => 2,
+            Fig7Cat::Wait => 3,
+            Fig7Cat::Message => 4,
+        }
+    }
+
+    /// Lower-case label used in JSON exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig7Cat::Task => "task",
+            Fig7Cat::Sync => "sync",
+            Fig7Cat::Protocol => "protocol",
+            Fig7Cat::Wait => "wait",
+            Fig7Cat::Message => "message",
+        }
+    }
+
+    /// Parses a [`Self::label`] back to the category.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        Fig7Cat::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// Maps a Figure-6 bin to its Figure-7 category; `in_sync` resolves the
+    /// `Comm & Wait` ambiguity.
+    #[must_use]
+    pub fn from_fig6(cat: TimeCategory, in_sync: bool) -> Self {
+        match cat {
+            TimeCategory::User => Fig7Cat::Task,
+            TimeCategory::Protocol => Fig7Cat::Protocol,
+            TimeCategory::Polling | TimeCategory::WriteDoubling => Fig7Cat::Message,
+            TimeCategory::CommWait => {
+                if in_sync {
+                    Fig7Cat::Sync
+                } else {
+                    Fig7Cat::Wait
+                }
+            }
+        }
+    }
+}
+
+/// Virtual nanoseconds per Figure-7 category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fig7Breakdown {
+    by_cat: [Nanos; 5],
+}
+
+impl Fig7Breakdown {
+    /// Adds `ns` to `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: Fig7Cat, ns: Nanos) {
+        self.by_cat[cat.index()] += ns;
+    }
+
+    /// Nanoseconds attributed to `cat`.
+    #[must_use]
+    pub fn get(&self, cat: Fig7Cat) -> Nanos {
+        self.by_cat[cat.index()]
+    }
+
+    /// Total across all categories; equals the merged processors' total
+    /// virtual time when produced by [`crate::ProcObs`].
+    #[must_use]
+    pub fn total(&self) -> Nanos {
+        self.by_cat.iter().sum()
+    }
+
+    /// Folds another breakdown into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.by_cat.iter_mut().zip(other.by_cat.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_mapping_matches_the_paper() {
+        assert_eq!(Fig7Cat::from_fig6(TimeCategory::User, false), Fig7Cat::Task);
+        assert_eq!(
+            Fig7Cat::from_fig6(TimeCategory::Protocol, true),
+            Fig7Cat::Protocol
+        );
+        assert_eq!(
+            Fig7Cat::from_fig6(TimeCategory::Polling, false),
+            Fig7Cat::Message
+        );
+        assert_eq!(
+            Fig7Cat::from_fig6(TimeCategory::WriteDoubling, true),
+            Fig7Cat::Message
+        );
+        assert_eq!(
+            Fig7Cat::from_fig6(TimeCategory::CommWait, true),
+            Fig7Cat::Sync
+        );
+        assert_eq!(
+            Fig7Cat::from_fig6(TimeCategory::CommWait, false),
+            Fig7Cat::Wait
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_and_totals_add() {
+        let mut b = Fig7Breakdown::default();
+        for (i, c) in Fig7Cat::ALL.into_iter().enumerate() {
+            assert_eq!(Fig7Cat::from_label(c.label()), Some(c));
+            assert_eq!(c.index(), i);
+            b.add(c, (i as u64 + 1) * 10);
+        }
+        assert_eq!(b.total(), 150);
+        let mut m = b;
+        m.merge(&b);
+        assert_eq!(m.total(), 300);
+        assert_eq!(m.get(Fig7Cat::Message), 100);
+    }
+}

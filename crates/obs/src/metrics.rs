@@ -1,0 +1,312 @@
+//! The typed metrics registry: protocol-event counters, virtual-time
+//! latency histograms, per-page heat, and per-link traffic.
+//!
+//! Everything here is plain data owned by one processor (no atomics, no
+//! locking) except [`LinkMetrics`], which the Memory Channel adapter shares
+//! across processors and therefore counts with relaxed atomics. Recording
+//! into a registry never allocates: histograms have fixed log2 bins and
+//! counters are plain integers, so hooks on the engine hot path stay
+//! allocation-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cashmere_sim::Nanos;
+
+/// Number of log2-spaced bins in a [`VtHistogram`]. Bin `i` holds samples in
+/// `[2^(i-1), 2^i)` nanoseconds (bin 0 holds zero-duration samples), so 40
+/// bins cover everything up to ~9 virtual minutes.
+pub const HIST_BINS: usize = 40;
+
+/// A fixed-size log2 histogram of virtual-time durations.
+///
+/// Recording is allocation-free and O(1); the exporters turn the bins into
+/// human-readable latency tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VtHistogram {
+    /// Sample counts per log2 bin.
+    pub bins: [u64; HIST_BINS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples, for exact means.
+    pub sum: Nanos,
+    /// Largest sample seen.
+    pub max: Nanos,
+}
+
+impl Default for VtHistogram {
+    fn default() -> Self {
+        Self {
+            bins: [0; HIST_BINS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl VtHistogram {
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&mut self, ns: Nanos) {
+        self.bins[Self::bin_of(ns)] += 1;
+        self.count += 1;
+        self.sum += ns;
+        self.max = self.max.max(ns);
+    }
+
+    /// The bin index a sample of `ns` lands in.
+    #[must_use]
+    pub fn bin_of(ns: Nanos) -> usize {
+        let bits = Nanos::BITS as usize - ns.leading_zeros() as usize;
+        bits.min(HIST_BINS - 1)
+    }
+
+    /// Inclusive lower edge of bin `i` in nanoseconds.
+    #[must_use]
+    pub fn bin_floor(i: usize) -> Nanos {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-processor protocol-event counters plus round-trip latency histograms.
+///
+/// The counter set mirrors the operations §3.3 of the paper attributes costs
+/// to; each is bumped at the same site as the corresponding `sim::Stats`
+/// counter, so `Report::counters` and `Report::obs` agree by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Page faults taken on reads.
+    pub read_faults: u64,
+    /// Page faults taken on writes.
+    pub write_faults: u64,
+    /// Twins created (fault-time and break-time).
+    pub twin_creations: u64,
+    /// Diffs flushed to a master copy.
+    pub diffs_sent: u64,
+    /// Incoming diffs applied to a local frame.
+    pub diffs_applied: u64,
+    /// Write notices posted at release.
+    pub write_notices: u64,
+    /// Directory-word updates written to the Memory Channel.
+    pub directory_updates: u64,
+    /// Remote requests that interrupt another host (page fetches from a
+    /// remote home plus exclusive breaks).
+    pub interrupts: u64,
+    /// Page fetches (local and remote).
+    pub fetches: u64,
+    /// Exclusive-mode breaks initiated.
+    pub breaks: u64,
+    /// Memory Channel lock acquisitions (home-node relocation).
+    pub mc_lock_acquires: u64,
+    /// Fetch round-trip virtual latency.
+    pub fetch_rtt: VtHistogram,
+    /// Exclusive-break round-trip virtual latency.
+    pub break_rtt: VtHistogram,
+    /// End-to-end page-fault service latency.
+    pub fault_ns: VtHistogram,
+}
+
+impl MetricsRegistry {
+    /// Folds another registry into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.read_faults += other.read_faults;
+        self.write_faults += other.write_faults;
+        self.twin_creations += other.twin_creations;
+        self.diffs_sent += other.diffs_sent;
+        self.diffs_applied += other.diffs_applied;
+        self.write_notices += other.write_notices;
+        self.directory_updates += other.directory_updates;
+        self.interrupts += other.interrupts;
+        self.fetches += other.fetches;
+        self.breaks += other.breaks;
+        self.mc_lock_acquires += other.mc_lock_acquires;
+        self.fetch_rtt.merge(&other.fetch_rtt);
+        self.break_rtt.merge(&other.break_rtt);
+        self.fault_ns.merge(&other.fault_ns);
+    }
+
+    /// Labelled snapshot of every scalar counter, for reports and JSON.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("read_faults", self.read_faults),
+            ("write_faults", self.write_faults),
+            ("twin_creations", self.twin_creations),
+            ("diffs_sent", self.diffs_sent),
+            ("diffs_applied", self.diffs_applied),
+            ("write_notices", self.write_notices),
+            ("directory_updates", self.directory_updates),
+            ("interrupts", self.interrupts),
+            ("fetches", self.fetches),
+            ("breaks", self.breaks),
+            ("mc_lock_acquires", self.mc_lock_acquires),
+        ]
+    }
+
+    /// Sets a counter by its [`Self::counters`] label; ignores unknown names
+    /// (forward compatibility for reports written by newer builds).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        match name {
+            "read_faults" => self.read_faults = v,
+            "write_faults" => self.write_faults = v,
+            "twin_creations" => self.twin_creations = v,
+            "diffs_sent" => self.diffs_sent = v,
+            "diffs_applied" => self.diffs_applied = v,
+            "write_notices" => self.write_notices = v,
+            "directory_updates" => self.directory_updates = v,
+            "interrupts" => self.interrupts = v,
+            "fetches" => self.fetches = v,
+            "breaks" => self.breaks = v,
+            "mc_lock_acquires" => self.mc_lock_acquires = v,
+            _ => {}
+        }
+    }
+}
+
+/// Shared per-link traffic counters for the Memory Channel adapter.
+///
+/// One slot per link; `record` is two relaxed atomic adds, cheap enough to
+/// sit on the `reserve_link` path (which every remote write, page transfer,
+/// and doubled store already goes through).
+#[derive(Debug, Default)]
+pub struct LinkMetrics {
+    slots: Vec<(AtomicU64, AtomicU64)>,
+}
+
+/// Snapshot of one link's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounts {
+    /// Transmissions reserved on the link.
+    pub messages: u64,
+    /// Bytes carried by those transmissions.
+    pub bytes: u64,
+}
+
+impl LinkMetrics {
+    /// A registry for `links` Memory Channel links.
+    #[must_use]
+    pub fn new(links: usize) -> Self {
+        Self {
+            slots: (0..links)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Counts one transmission of `bytes` on `link`.
+    #[inline]
+    pub fn record(&self, link: usize, bytes: u64) {
+        if let Some((m, b)) = self.slots.get(link) {
+            m.fetch_add(1, Ordering::Relaxed);
+            b.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-link totals.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<LinkCounts> {
+        self.slots
+            .iter()
+            .map(|(m, b)| LinkCounts {
+                messages: m.load(Ordering::Relaxed),
+                bytes: b.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_are_log2() {
+        assert_eq!(VtHistogram::bin_of(0), 0);
+        assert_eq!(VtHistogram::bin_of(1), 1);
+        assert_eq!(VtHistogram::bin_of(2), 2);
+        assert_eq!(VtHistogram::bin_of(3), 2);
+        assert_eq!(VtHistogram::bin_of(4), 3);
+        assert_eq!(VtHistogram::bin_of(u64::MAX), HIST_BINS - 1);
+        for i in 1..HIST_BINS - 1 {
+            let lo = VtHistogram::bin_floor(i);
+            assert_eq!(VtHistogram::bin_of(lo), i, "floor of bin {i} is in it");
+            assert_eq!(VtHistogram::bin_of(2 * lo - 1), i, "top of bin {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_record_and_merge() {
+        let mut a = VtHistogram::default();
+        a.record(10);
+        a.record(1000);
+        let mut b = VtHistogram::default();
+        b.record(0);
+        b.merge(&a);
+        assert_eq!(b.count, 3);
+        assert_eq!(b.sum, 1010);
+        assert_eq!(b.max, 1000);
+        assert!((b.mean() - 1010.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_counter_labels_round_trip() {
+        let m = MetricsRegistry {
+            twin_creations: 7,
+            interrupts: 3,
+            ..MetricsRegistry::default()
+        };
+        let mut back = MetricsRegistry::default();
+        for (name, v) in m.counters() {
+            back.set_counter(name, v);
+        }
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn link_metrics_count_messages_and_bytes() {
+        let lm = LinkMetrics::new(2);
+        lm.record(0, 4096);
+        lm.record(0, 8);
+        lm.record(1, 12);
+        lm.record(9, 999); // out of range: ignored, no panic
+        let snap = lm.snapshot();
+        assert_eq!(
+            snap[0],
+            LinkCounts {
+                messages: 2,
+                bytes: 4104
+            }
+        );
+        assert_eq!(
+            snap[1],
+            LinkCounts {
+                messages: 1,
+                bytes: 12
+            }
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! The per-processor span stack.
+//!
+//! A span is a named interval of one processor's virtual time: a lock
+//! acquire, a barrier episode, a page fault, a fetch or exclusive break
+//! inside it. Spans are strictly nested per processor (begun and ended in
+//! LIFO order by the engine hooks), which is what makes them exportable as
+//! Chrome `trace_event` complete events and lets the Figure-7 accountant
+//! resolve "was this stall synchronization or memory wait?" by whether a
+//! sync span is open.
+//!
+//! Recording is bounded: each processor keeps at most [`MAX_SPANS`] finished
+//! spans and counts the overflow in `spans_dropped` (never silently), while
+//! metrics, heat, and Figure-7 accounting continue uncapped.
+
+use cashmere_sim::{Nanos, ProcClock, TimeCategory};
+
+use crate::fig7::{Fig7Breakdown, Fig7Cat};
+use crate::metrics::MetricsRegistry;
+
+/// Cap on finished spans kept per processor; overflow is counted, not
+/// silently discarded.
+pub const MAX_SPANS: usize = 1 << 16;
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An application lock acquire (entry to exit of `Proc::lock`).
+    Lock,
+    /// A barrier episode (arrive to depart).
+    Barrier,
+    /// A flag wait or set.
+    Flag,
+    /// Release-side protocol actions (diff flush, write notices).
+    Release,
+    /// Acquire-side protocol actions (write-notice distribution and
+    /// invalidation).
+    Acquire,
+    /// One page-fault service, end to end.
+    Fault,
+    /// A page fetch inside a fault.
+    Fetch,
+    /// An exclusive-mode break inside a fault.
+    Break,
+    /// A Memory Channel lock hold (home-node relocation).
+    McLock,
+}
+
+impl SpanKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [SpanKind; 9] = [
+        SpanKind::Lock,
+        SpanKind::Barrier,
+        SpanKind::Flag,
+        SpanKind::Release,
+        SpanKind::Acquire,
+        SpanKind::Fault,
+        SpanKind::Fetch,
+        SpanKind::Break,
+        SpanKind::McLock,
+    ];
+
+    /// Display / JSON label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Lock => "lock",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Flag => "flag",
+            SpanKind::Release => "release",
+            SpanKind::Acquire => "acquire",
+            SpanKind::Fault => "fault",
+            SpanKind::Fetch => "fetch",
+            SpanKind::Break => "break",
+            SpanKind::McLock => "mc_lock",
+        }
+    }
+
+    /// Parses a [`Self::label`] back to the kind.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        SpanKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Whether time inside this span counts as Figure-7 "sync".
+    #[must_use]
+    pub fn is_sync(self) -> bool {
+        matches!(self, SpanKind::Lock | SpanKind::Barrier | SpanKind::Flag)
+    }
+}
+
+/// One finished span on one processor's virtual-time track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Protocol node of the processor.
+    pub node: u32,
+    /// Global processor id.
+    pub proc: u32,
+    /// Virtual begin time.
+    pub begin: Nanos,
+    /// Virtual end time (`>= begin`).
+    pub end: Nanos,
+    /// Page or sync-object the span concerns, `-1` when not applicable.
+    pub page: i64,
+}
+
+impl Span {
+    /// Span duration in virtual nanoseconds.
+    #[must_use]
+    pub fn dur(&self) -> Nanos {
+        self.end - self.begin
+    }
+}
+
+/// Snapshot of the Figure-6 bins, in `TimeCategory::ALL` order.
+fn snap(clock: &ProcClock) -> [Nanos; 5] {
+    let bd = clock.breakdown();
+    TimeCategory::ALL.map(|c| bd.get(c))
+}
+
+/// One processor's observability state: span stack, finished spans, metrics
+/// registry, per-page heat, and the Figure-7 accountant.
+///
+/// Owned by the processor's `ProcCtx` (boxed, `None` when observability is
+/// off), so recording needs no locking. All methods only *read* the clock —
+/// observability never charges virtual time, which is why goldens stay
+/// byte-identical even with it enabled.
+#[derive(Debug)]
+pub struct ProcObs {
+    /// Protocol node of this processor.
+    pub node: u32,
+    /// Global processor id.
+    pub proc: u32,
+    /// Protocol-event counters and latency histograms.
+    pub metrics: MetricsRegistry,
+    /// Page-fault count per page ("heat").
+    heat: Vec<u32>,
+    fig7: Fig7Breakdown,
+    stack: Vec<(SpanKind, Nanos, i64)>,
+    spans: Vec<Span>,
+    dropped: u64,
+    unclosed: u64,
+    mismatched: u64,
+    last_snap: [Nanos; 5],
+    sync_depth: u32,
+}
+
+impl ProcObs {
+    /// Fresh state for processor `proc` on protocol node `node`, tracking
+    /// `pages` heap pages of heat.
+    #[must_use]
+    pub fn new(node: u32, proc_id: u32, pages: usize) -> Self {
+        Self {
+            node,
+            proc: proc_id,
+            metrics: MetricsRegistry::default(),
+            heat: vec![0; pages],
+            fig7: Fig7Breakdown::default(),
+            stack: Vec::with_capacity(8),
+            spans: Vec::new(),
+            dropped: 0,
+            unclosed: 0,
+            mismatched: 0,
+            last_snap: [0; 5],
+            sync_depth: 0,
+        }
+    }
+
+    /// Attributes all virtual time charged since the last boundary to the
+    /// Figure-7 categories, using the current sync depth for `Comm & Wait`.
+    fn attribute(&mut self, clock: &ProcClock) {
+        let s = snap(clock);
+        for (i, cat) in TimeCategory::ALL.into_iter().enumerate() {
+            let d = s[i] - self.last_snap[i];
+            if d > 0 {
+                self.fig7
+                    .add(Fig7Cat::from_fig6(cat, self.sync_depth > 0), d);
+            }
+        }
+        self.last_snap = s;
+    }
+
+    /// Opens a span of `kind` at the clock's current virtual time.
+    pub fn begin(&mut self, kind: SpanKind, page: i64, clock: &ProcClock) {
+        self.attribute(clock);
+        self.stack.push((kind, clock.now(), page));
+        if kind.is_sync() {
+            self.sync_depth += 1;
+        }
+    }
+
+    /// Closes the innermost span, which should be of `kind` (a mismatch is
+    /// counted, and the span records under the kind that was actually
+    /// open). Returns the span's virtual duration.
+    pub fn end(&mut self, kind: SpanKind, clock: &ProcClock) -> Nanos {
+        self.attribute(clock);
+        let Some((open, begin, page)) = self.stack.pop() else {
+            self.mismatched += 1;
+            return 0;
+        };
+        if open != kind {
+            self.mismatched += 1;
+        }
+        if open.is_sync() {
+            self.sync_depth -= 1;
+        }
+        let end = clock.now().max(begin);
+        self.push_span(Span {
+            kind: open,
+            node: self.node,
+            proc: self.proc,
+            begin,
+            end,
+            page,
+        });
+        end - begin
+    }
+
+    /// Counts one fault on `page`.
+    #[inline]
+    pub fn heat(&mut self, page: usize) {
+        if let Some(h) = self.heat.get_mut(page) {
+            *h += 1;
+        }
+    }
+
+    /// Final flush at processor exit: attributes the tail of the run and
+    /// force-closes (and counts) any span still open.
+    pub fn finish(&mut self, clock: &ProcClock) {
+        self.attribute(clock);
+        while let Some((open, begin, page)) = self.stack.pop() {
+            self.unclosed += 1;
+            if open.is_sync() {
+                self.sync_depth = self.sync_depth.saturating_sub(1);
+            }
+            let end = clock.now().max(begin);
+            self.push_span(Span {
+                kind: open,
+                node: self.node,
+                proc: self.proc,
+                begin,
+                end,
+                page,
+            });
+        }
+    }
+
+    fn push_span(&mut self, s: Span) {
+        if self.spans.len() < MAX_SPANS {
+            self.spans.push(s);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Finished spans recorded so far.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The Figure-7 accounting so far; after [`Self::finish`] its total is
+    /// exactly the clock's total charged time.
+    #[must_use]
+    pub fn fig7(&self) -> &Fig7Breakdown {
+        &self.fig7
+    }
+
+    /// Per-page fault counts.
+    #[must_use]
+    pub fn page_heat(&self) -> &[u32] {
+        &self.heat
+    }
+
+    /// (dropped, unclosed, mismatched) span bookkeeping counters.
+    #[must_use]
+    pub fn anomalies(&self) -> (u64, u64, u64) {
+        (self.dropped, self.unclosed, self.mismatched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_sim::ProcClock;
+
+    #[test]
+    fn spans_nest_and_fig7_accounts_every_nanosecond() {
+        let mut clock = ProcClock::default();
+        let mut o = ProcObs::new(0, 0, 4);
+        clock.charge(TimeCategory::User, 100);
+        o.begin(SpanKind::Lock, 3, &clock);
+        clock.charge(TimeCategory::CommWait, 40); // inside sync -> Sync
+        o.begin(SpanKind::Acquire, -1, &clock);
+        clock.charge(TimeCategory::Protocol, 25);
+        let d = o.end(SpanKind::Acquire, &clock);
+        assert_eq!(d, 25);
+        let d = o.end(SpanKind::Lock, &clock);
+        assert_eq!(d, 65);
+        clock.charge(TimeCategory::CommWait, 7); // outside sync -> Wait
+        clock.charge(TimeCategory::Polling, 3);
+        o.finish(&clock);
+
+        assert_eq!(o.fig7().get(Fig7Cat::Task), 100);
+        assert_eq!(o.fig7().get(Fig7Cat::Sync), 40);
+        assert_eq!(o.fig7().get(Fig7Cat::Protocol), 25);
+        assert_eq!(o.fig7().get(Fig7Cat::Wait), 7);
+        assert_eq!(o.fig7().get(Fig7Cat::Message), 3);
+        assert_eq!(o.fig7().total(), clock.now(), "exact identity");
+
+        let spans = o.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Acquire);
+        assert_eq!(spans[1].kind, SpanKind::Lock);
+        assert!(spans[0].begin >= spans[1].begin && spans[0].end <= spans[1].end);
+        assert_eq!(o.anomalies(), (0, 0, 0));
+    }
+
+    #[test]
+    fn unbalanced_ends_are_counted_not_panicked() {
+        let clock = ProcClock::default();
+        let mut o = ProcObs::new(0, 1, 0);
+        assert_eq!(o.end(SpanKind::Fault, &clock), 0);
+        o.begin(SpanKind::Fetch, 2, &clock);
+        o.end(SpanKind::Break, &clock); // wrong kind
+        o.begin(SpanKind::Barrier, 0, &clock);
+        o.finish(&clock); // force-closes the barrier
+        let (dropped, unclosed, mismatched) = o.anomalies();
+        assert_eq!(dropped, 0);
+        assert_eq!(unclosed, 1);
+        assert_eq!(mismatched, 2);
+    }
+
+    #[test]
+    fn heat_is_bounded_by_pages() {
+        let mut o = ProcObs::new(0, 0, 2);
+        o.heat(0);
+        o.heat(0);
+        o.heat(1);
+        o.heat(99); // ignored
+        assert_eq!(o.page_heat(), &[2, 1]);
+    }
+}

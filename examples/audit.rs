@@ -7,13 +7,17 @@
 //!     cargo run --example audit
 
 use cashmere::check::audit;
-use cashmere::{Cluster, ClusterConfig, ProtocolEvent, ProtocolKind, Topology};
+use cashmere::{Cluster, ClusterConfig, ProtocolEvent, ProtocolKind, SyncSpec, Topology};
 
 fn main() {
     // 2 nodes × 2 processors, two-level protocol, auditing on.
     let cfg = ClusterConfig::new(Topology::new(2, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(4)
-        .with_sync(4, 2, 2)
+        .with_sync(SyncSpec {
+            locks: 4,
+            barriers: 2,
+            flags: 2,
+        })
         .with_audit(true);
     let mut cluster = Cluster::new(cfg);
     let counter = cluster.alloc(4);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example bank_teller`
 
-use cashmere::{Cluster, ClusterConfig, ProtocolKind, Topology};
+use cashmere::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology};
 
 const ACCOUNTS: usize = 32;
 const INITIAL: u64 = 1_000;
@@ -12,7 +12,11 @@ const INITIAL: u64 = 1_000;
 fn main() {
     let cfg = ClusterConfig::new(Topology::new(4, 2), ProtocolKind::TwoLevel)
         .with_heap_pages(8)
-        .with_sync(ACCOUNTS, 2, 0);
+        .with_sync(SyncSpec {
+            locks: ACCOUNTS,
+            barriers: 2,
+            flags: 0,
+        });
     let mut cluster = Cluster::new(cfg);
     let accounts = cluster.alloc_page_aligned(ACCOUNTS);
     for a in 0..ACCOUNTS {

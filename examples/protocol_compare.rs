@@ -3,12 +3,16 @@
 //!
 //! Run with: `cargo run --release --example protocol_compare`
 
-use cashmere::{Cluster, ClusterConfig, ProtocolKind, Topology, PAGE_WORDS};
+use cashmere::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology, PAGE_WORDS};
 
 fn run(protocol: ProtocolKind) -> (f64, u64, u64) {
     let cfg = ClusterConfig::new(Topology::new(4, 4), protocol)
         .with_heap_pages(32)
-        .with_sync(4, 4, 0);
+        .with_sync(SyncSpec {
+            locks: 4,
+            barriers: 4,
+            flags: 0,
+        });
     let mut c = Cluster::new(cfg);
     let data = c.alloc_page_aligned(8 * PAGE_WORDS);
     let report = c.run(|p| {

@@ -3,14 +3,18 @@
 //!
 //! Run with: `cargo run --release --example sor_stencil`
 
-use cashmere::{Cluster, ClusterConfig, ProtocolKind, Topology};
+use cashmere::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology};
 
 fn run_sor(nodes: usize, ppn: usize) -> (f64, u64) {
     let n = 64usize; // n×n interior grid
     let cols = n + 2;
     let cfg = ClusterConfig::new(Topology::new(nodes, ppn), ProtocolKind::TwoLevel)
         .with_heap_pages(((n + 2) * cols / 1024) + 4)
-        .with_sync(1, 2, 0);
+        .with_sync(SyncSpec {
+            locks: 1,
+            barriers: 2,
+            flags: 0,
+        });
     let mut c = Cluster::new(cfg);
     let grid = c.alloc_page_aligned((n + 2) * cols);
     for j in 0..cols {

@@ -10,6 +10,9 @@
 #            drift gate against the committed results/ baselines
 #   soak   — opt-in (CHECK_SOAK=1): fixed-seed fault-injection campaign
 #            (zero-fault golden identity + fault matrix with clean audits)
+#   obs    — opt-in (CHECK_OBS=1): observability gate (obs-on/off golden
+#            identity, Figure-7 breakdown sums vs total VT, span-nesting
+#            audit, Chrome-trace schema lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +26,9 @@ fi
 
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
     scripts/soak.sh
+fi
+
+if [[ "${CHECK_OBS:-0}" == "1" ]]; then
+    cargo build --release -p cashmere-bench --offline
+    target/release/obsgate
 fi
