@@ -1,0 +1,147 @@
+//! Host-side hot-path microbenchmarks (`cargo run --release -p
+//! cashmere-bench --bin hotpath`).
+//!
+//! Times the three paths the PR-5 allocation/contention pass optimized, in
+//! isolation, so future changes can see them without a full sweep:
+//!
+//! * **twin acquire/release** — pooled ([`PagePool`]) versus a fresh
+//!   `Box::new` allocation per twin, including the snapshot copy;
+//! * **write-notice post/drain** — striped [`ProcNoticeList`] inserts and
+//!   drains, plus first-level [`NoticeBoard`] post/drain round trips;
+//! * **directory reads** — [`Directory::read_word`] through the cached
+//!   replica handles, and the `sharers` scan built on it.
+//!
+//! Numbers are host nanoseconds per operation (median of
+//! `HOTPATH_ROUNDS` rounds, default 5). Virtual time is not involved:
+//! everything here is charge-free host machinery (DESIGN.md §10).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cashmere_core::config::DirectoryMode;
+use cashmere_core::directory::{DirWord, Directory, PermBits};
+use cashmere_core::write_notice::{NoticeBoard, ProcNoticeList};
+use cashmere_memchan::MemoryChannel;
+use cashmere_sim::CostModel;
+use cashmere_vmpage::{make_twin, Frame, PagePool};
+use std::sync::Arc;
+
+/// Median ns/op over `rounds` timing rounds of `iters` calls each.
+fn bench(rounds: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_op: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_op.sort_by(f64::total_cmp);
+    per_op[rounds / 2]
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:42} {ns:10.1} ns/op");
+}
+
+fn main() {
+    let rounds = std::env::var("HOTPATH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(5);
+    println!("hotpath microbenchmarks ({rounds} rounds, median reported)");
+
+    // --- twin acquire/release -------------------------------------------
+    let frame = Frame::new();
+    frame.store(17, 0xDEAD_BEEF);
+    let fresh = bench(rounds, 2_000, || {
+        black_box(make_twin(black_box(&frame)));
+    });
+    report("twin: fresh Box::new + snapshot", fresh);
+
+    let pool = PagePool::new();
+    let warm = pool.twin_of(&frame);
+    pool.release(warm);
+    let pooled = bench(rounds, 2_000, || {
+        let t = pool.twin_of(black_box(&frame));
+        pool.release(black_box(t));
+    });
+    report("twin: pooled acquire + snapshot + release", pooled);
+    println!(
+        "  pool reuses so far: {} (idle buffers: {})",
+        pool.reuses(),
+        pool.idle()
+    );
+
+    // --- write-notice posting -------------------------------------------
+    const PAGES: usize = 4096;
+    let list = ProcNoticeList::new(PAGES, 4);
+    let mut page = 0u32;
+    let insert = bench(rounds, 10_000, || {
+        list.insert(black_box(page % PAGES as u32), (page % 4) as usize);
+        page = page.wrapping_add(1);
+    });
+    report("ProcNoticeList::insert (striped)", insert);
+    let drain = bench(rounds, 200, || {
+        for p in 0..64u32 {
+            list.insert(p, (p % 4) as usize);
+        }
+        black_box(list.drain());
+    });
+    report("ProcNoticeList: 64 inserts + drain", drain);
+
+    let board = NoticeBoard::new(4, DirectoryMode::LockFree, 0);
+    let mut n = 0u32;
+    let post = bench(rounds, 10_000, || {
+        board.post(
+            (n % 4) as usize,
+            ((n / 4) % 4) as usize,
+            black_box(n % PAGES as u32),
+            0,
+        );
+        n = n.wrapping_add(1);
+    });
+    report("NoticeBoard::post", post);
+    let board_drain = bench(rounds, 200, || {
+        for p in 0..64u32 {
+            board.post(1, (p % 4) as usize, p, 0);
+        }
+        black_box(board.drain(1));
+    });
+    report("NoticeBoard: 64 posts + drain", board_drain);
+
+    // --- directory reads ------------------------------------------------
+    let pnodes = 8;
+    let mc = Arc::new(MemoryChannel::new(
+        (0..pnodes).map(|e| e % 2).collect(),
+        2,
+        CostModel::default(),
+    ));
+    let dir = Directory::new(mc, pnodes, 256, DirectoryMode::LockFree);
+    for p in 0..256 {
+        dir.write_my_word(
+            p,
+            p % pnodes,
+            DirWord {
+                perm: PermBits::Read,
+                exclusive: false,
+                excl_proc: 0,
+            },
+            0,
+        );
+    }
+    let mut i = 0usize;
+    let read = bench(rounds, 50_000, || {
+        black_box(dir.read_word(black_box(i % 256), i % pnodes, (i / 7) % pnodes));
+        i = i.wrapping_add(1);
+    });
+    report("Directory::read_word (replica cache)", read);
+    let mut j = 0usize;
+    let sharers = bench(rounds, 10_000, || {
+        black_box(dir.sharers(black_box(j % 256), j % pnodes, usize::MAX));
+        j = j.wrapping_add(1);
+    });
+    report("Directory::sharers (8-node scan)", sharers);
+}

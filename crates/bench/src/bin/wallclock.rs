@@ -20,7 +20,9 @@
 //!    reproduce that file byte-for-byte or the harness exits nonzero.
 //!
 //! 2. **Wall-clock timing.** Times the quick32 suite (eight apps × the four
-//!    paper protocols at 32:4) through `cashmere_bench::sweep::run_sweep`,
+//!    paper protocols at 32:4) through `cashmere_bench::sweep`, pinned to a
+//!    single job so timing reps never share the host with a sibling cell
+//!    (`CASHMERE_JOBS` is echoed into the JSON for provenance only),
 //!    best-of-`WALLCLOCK_REPS` (default 3), and writes
 //!    `BENCH_wallclock.json` with per-cell wall seconds, pages diffed, diff
 //!    bytes moved, and — when `results/wallclock_baseline.jsonl` exists —
@@ -46,7 +48,7 @@ use std::path::Path;
 
 use cashmere_apps::{suite, Scale};
 use cashmere_bench::golden::{build_goldens, check_table2, field_f64};
-use cashmere_bench::sweep::{run_sweep, Cell, SweepSpec};
+use cashmere_bench::sweep::{jobs_from_env, run_sweep_with_jobs, Cell, SweepSpec};
 use cashmere_bench::{fmt_json_f64, json_f64, json_str, obsout, RunOpts};
 use cashmere_core::ProtocolKind;
 
@@ -150,7 +152,11 @@ fn main() {
         seed: args.seed,
         ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
     };
-    let cells = run_sweep(&spec, |c| {
+    // The timed sweep is pinned to one job: a timing rep sharing the host
+    // with a sibling cell would inflate its wall seconds. `CASHMERE_JOBS`
+    // still parallelizes the soak/obsgate sweeps; it is echoed into the
+    // bench JSON below purely for provenance.
+    let cells = run_sweep_with_jobs(&spec, 1, |c| {
         let (pages_diffed, diff_bytes) = diff_traffic(c);
         println!(
             "{:8} {:4} wall={:7.3}s  exec={:8.3}s  pages_diffed={:6}  diff_bytes={}",
@@ -196,7 +202,12 @@ fn main() {
         .exists()
         .then(|| std::fs::read_to_string(baseline_path).expect("read wallclock_baseline.jsonl"));
     let mut out = String::from("{\"experiment\":\"wallclock\",\"config\":\"32:4\",");
-    let _ = write!(out, "\"seed\":{},\"reps\":{reps},\"cells\":[", args.seed);
+    let _ = write!(
+        out,
+        "\"seed\":{},\"reps\":{reps},\"jobs\":{},\"cells\":[",
+        args.seed,
+        jobs_from_env()
+    );
     let mut speedups = Vec::new();
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {

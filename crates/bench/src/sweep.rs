@@ -13,8 +13,19 @@
 //! [`FaultPlan`] accumulates injection statistics, so sharing one across
 //! cells would conflate their fault counts and perturb the per-cell
 //! schedules.
+//!
+//! Cells fan out across a bounded worker pool sized by `CASHMERE_JOBS`
+//! (default: available parallelism; `1` restores the serial loop). Each
+//! cell's virtual-time result is deterministic regardless of host
+//! interleaving — the golden gates prove it byte-for-byte — so only
+//! wall-clock *measurement* needs serialization, which `wallclock` gets by
+//! pinning its timed phase to one job via [`run_sweep_with_jobs`]. The
+//! callback still fires in deterministic iteration order (apps outermost,
+//! then protocols, then plans): finished cells are buffered and released
+//! only when every earlier cell has been delivered.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use cashmere_apps::{AppOutcome, Benchmark};
@@ -100,50 +111,133 @@ pub struct Cell {
     pub wall_secs: f64,
 }
 
+/// Worker count from `CASHMERE_JOBS` (default: available parallelism).
+pub fn jobs_from_env() -> usize {
+    match std::env::var("CASHMERE_JOBS") {
+        Ok(v) => v.trim().parse().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs one cell: best-of-`reps` over fresh per-repetition fault plans.
+fn run_cell(
+    spec: &SweepSpec<'_>,
+    app: &dyn Benchmark,
+    protocol: ProtocolKind,
+    flavor: &SweepPlan,
+) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..spec.reps.max(1) {
+        let plan = flavor.build.map(|build| Arc::new(build(spec.seed)));
+        let t = Instant::now();
+        let (outcome, trace) = run_with(
+            app,
+            protocol,
+            spec.total,
+            spec.per_node,
+            spec.opts,
+            plan,
+            spec.audit,
+        );
+        let wall_secs = t.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+            best = Some(Cell {
+                app: app.name().to_string(),
+                protocol,
+                plan: flavor.name,
+                outcome,
+                trace,
+                wall_secs,
+            });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 /// Runs the sweep, invoking `on_cell` as each cell completes, and returns
-/// every cell in iteration order.
-pub fn run_sweep(spec: &SweepSpec<'_>, mut on_cell: impl FnMut(&Cell)) -> Vec<Cell> {
+/// every cell in iteration order. Worker count comes from `CASHMERE_JOBS`
+/// (see [`jobs_from_env`]); callbacks are delivered in iteration order
+/// regardless of which worker finishes first.
+pub fn run_sweep(spec: &SweepSpec<'_>, on_cell: impl FnMut(&Cell)) -> Vec<Cell> {
+    run_sweep_with_jobs(spec, jobs_from_env(), on_cell)
+}
+
+/// [`run_sweep`] with an explicit worker count. `jobs <= 1` runs the exact
+/// sequential loop (used by `wallclock`'s timed phase so measured numbers
+/// never share the host with a sibling cell).
+pub fn run_sweep_with_jobs(
+    spec: &SweepSpec<'_>,
+    jobs: usize,
+    mut on_cell: impl FnMut(&Cell),
+) -> Vec<Cell> {
     let fault_free = [SweepPlan::NONE];
     let plans = if spec.plans.is_empty() {
         &fault_free[..]
     } else {
         spec.plans
     };
-    let mut cells = Vec::with_capacity(spec.apps.len() * spec.protocols.len() * plans.len());
-    for app in spec.apps {
-        for &protocol in spec.protocols {
-            for flavor in plans {
-                let mut best: Option<Cell> = None;
-                for _ in 0..spec.reps.max(1) {
-                    let plan = flavor.build.map(|build| Arc::new(build(spec.seed)));
-                    let t = Instant::now();
-                    let (outcome, trace) = run_with(
-                        app.as_ref(),
-                        protocol,
-                        spec.total,
-                        spec.per_node,
-                        spec.opts,
-                        plan,
-                        spec.audit,
-                    );
-                    let wall_secs = t.elapsed().as_secs_f64();
-                    if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
-                        best = Some(Cell {
-                            app: app.name().to_string(),
-                            protocol,
-                            plan: flavor.name,
-                            outcome,
-                            trace,
-                            wall_secs,
-                        });
-                    }
+    // Flatten the triple loop into the deterministic iteration order the
+    // callers (and the golden gates) rely on.
+    let combos: Vec<(&dyn Benchmark, ProtocolKind, &SweepPlan)> = spec
+        .apps
+        .iter()
+        .flat_map(|app| {
+            spec.protocols.iter().flat_map(move |&protocol| {
+                plans
+                    .iter()
+                    .map(move |flavor| (app.as_ref(), protocol, flavor))
+            })
+        })
+        .collect();
+
+    if jobs <= 1 || combos.len() <= 1 {
+        let mut cells = Vec::with_capacity(combos.len());
+        for (app, protocol, flavor) in combos {
+            let cell = run_cell(spec, app, protocol, flavor);
+            on_cell(&cell);
+            cells.push(cell);
+        }
+        return cells;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Cell)>();
+    let workers = jobs.min(combos.len());
+    let mut slots: Vec<Option<Cell>> = (0..combos.len()).map(|_| None).collect();
+    let mut cells = Vec::with_capacity(combos.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let combos = &combos;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(app, protocol, flavor)) = combos.get(i) else {
+                    break;
+                };
+                let cell = run_cell(spec, app, protocol, flavor);
+                if tx.send((i, cell)).is_err() {
+                    break;
                 }
-                let cell = best.expect("reps >= 1");
+            });
+        }
+        drop(tx);
+        // Release finished cells strictly in iteration order: buffer
+        // out-of-order completions until the prefix is contiguous.
+        let mut delivered = 0;
+        for (i, cell) in rx {
+            slots[i] = Some(cell);
+            while delivered < slots.len() {
+                let Some(cell) = slots[delivered].take() else {
+                    break;
+                };
                 on_cell(&cell);
                 cells.push(cell);
+                delivered += 1;
             }
         }
-    }
+    });
+    assert_eq!(cells.len(), slots.len(), "every sweep cell must complete");
     cells
 }
 
@@ -177,6 +271,37 @@ mod tests {
             assert_eq!(c.plan, "");
             assert!(c.outcome.report.exec_ns > 0);
             assert!(c.trace.is_empty(), "no audit requested");
+        }
+    }
+
+    /// Forcing 4 workers must deliver callbacks in the same deterministic
+    /// iteration order as the serial loop, with every cell computing the
+    /// same answer — the parallel executor only changes host scheduling,
+    /// never what a cell computes or the order it is reported. (Per-cell
+    /// virtual time already varies with thread interleaving inside a single
+    /// run, parallel or not; the *sequential* goldens are what the byte
+    /// gates pin.)
+    #[test]
+    fn parallel_executor_matches_serial_order_and_results() {
+        let apps = suite(Scale::Test);
+        let apps = &apps[..3];
+        let protocols = [ProtocolKind::TwoLevel, ProtocolKind::OneLevelDiff];
+        let spec = SweepSpec::new(apps, &protocols);
+        let mut serial_seen = Vec::new();
+        let serial = run_sweep_with_jobs(&spec, 1, |c| {
+            serial_seen.push((c.app.clone(), c.protocol));
+        });
+        let mut par_seen = Vec::new();
+        let parallel = run_sweep_with_jobs(&spec, 4, |c| {
+            par_seen.push((c.app.clone(), c.protocol));
+        });
+        assert_eq!(serial_seen, par_seen, "callback order must match serial");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.app, p.app);
+            assert_eq!(s.protocol, p.protocol);
+            assert_eq!(s.outcome.checksum, p.outcome.checksum, "{}", s.app);
+            assert!(p.outcome.report.exec_ns > 0);
         }
     }
 

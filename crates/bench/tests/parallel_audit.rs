@@ -1,0 +1,36 @@
+//! The full application suite × all four paper protocols, run under the
+//! parallel sweep executor with the protocol auditor on: every cell must
+//! audit clean. This is the gate proving the PR-5 concurrency work (twin
+//! pooling, striped write-notice posting, lock-free directory reads, the
+//! worker-pool executor itself) cannot corrupt protocol state no matter
+//! how the host interleaves the cells (DESIGN.md §10).
+
+use cashmere_apps::{suite, Scale};
+use cashmere_bench::sweep::{run_sweep_with_jobs, SweepSpec};
+use cashmere_check::audit;
+use cashmere_core::ProtocolKind;
+
+#[test]
+fn full_sweep_audits_clean_under_the_parallel_executor() {
+    let apps = suite(Scale::Test);
+    let mut spec = SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR);
+    spec.audit = true;
+    let cells = run_sweep_with_jobs(&spec, 4, |_| {});
+    assert_eq!(cells.len(), apps.len() * ProtocolKind::PAPER_FOUR.len());
+    for cell in &cells {
+        assert!(
+            !cell.trace.is_empty(),
+            "{} {}: audit requested but no trace recorded",
+            cell.app,
+            cell.protocol.label()
+        );
+        let report = audit(&cell.trace);
+        assert!(
+            report.is_clean(),
+            "{} {}: {}",
+            cell.app,
+            cell.protocol.label(),
+            report.summary()
+        );
+    }
+}

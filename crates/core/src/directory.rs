@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use cashmere_memchan::{MemoryChannel, RegionId};
+use cashmere_memchan::{MemoryChannel, RegionId, RxBuffer};
 use cashmere_sim::{Nanos, Resource};
 use cashmere_vmpage::Perm;
 
@@ -128,6 +128,13 @@ pub struct Directory {
     pnodes: usize,
     pages: usize,
     mode: DirectoryMode,
+    /// Cached per-node receive-buffer handles, one per protocol node. Every
+    /// directory read is an atomic load straight through the handle — no
+    /// region-table lock, no `Arc` bump per word. This is the host-side
+    /// analogue of the paper's lock-free directory (§2.3): the words are
+    /// single-writer, so readers never need mutual exclusion, only the
+    /// acquire/release ordering the atomics already provide (DESIGN.md §10).
+    replicas: Vec<RxBuffer>,
     /// Virtual-time serialization gates for the GlobalLock ablation (one per
     /// page entry; unused — empty — in LockFree mode).
     gates: Vec<Resource>,
@@ -144,6 +151,12 @@ impl Directory {
         for e in 0..pnodes {
             mc.attach_rx(region, e);
         }
+        let replicas = (0..pnodes)
+            .map(|e| {
+                mc.rx_buffer(region, e)
+                    .expect("replica attached immediately above")
+            })
+            .collect();
         let gates = match mode {
             DirectoryMode::LockFree => Vec::new(),
             DirectoryMode::GlobalLock => (0..pages).map(|_| Resource::new()).collect(),
@@ -154,6 +167,7 @@ impl Directory {
             pnodes,
             pages,
             mode,
+            replicas,
             gates,
             rec: None,
         }
@@ -189,12 +203,11 @@ impl Directory {
     }
 
     /// Reads node `pnode`'s word of `page`'s entry from `reader`'s local
-    /// replica (an ordinary memory read).
+    /// replica (an ordinary memory read): a single atomic load through the
+    /// cached receive-buffer handle, with no lock on the read path.
+    #[inline]
     pub fn read_word(&self, page: usize, pnode: usize, reader: usize) -> DirWord {
-        DirWord::unpack(
-            self.mc
-                .read_local(self.region, reader, self.word_idx(page, pnode)),
-        )
+        DirWord::unpack(self.replicas[reader].load(self.word_idx(page, pnode)))
     }
 
     /// Writes `me`'s own word of `page`'s entry: broadcast over the Memory
@@ -225,14 +238,15 @@ impl Directory {
         });
         let idx = self.word_idx(page, me);
         let done = self.mc.write(self.region, me, idx, w.pack(), start);
-        self.mc.write_local(self.region, me, idx, w.pack());
+        self.replicas[me].store(idx, w.pack());
         done
     }
 
     /// Reads the home word from `reader`'s replica. Returns `None` if no
     /// home has been assigned yet.
+    #[inline]
     pub fn read_home(&self, page: usize, reader: usize) -> Option<HomeInfo> {
-        let v = self.mc.read_local(self.region, reader, self.home_idx(page));
+        let v = self.replicas[reader].load(self.home_idx(page));
         if v & 1 == 0 {
             None
         } else {
@@ -250,7 +264,7 @@ impl Directory {
         });
         let idx = self.home_idx(page);
         let done = self.mc.write(self.region, me, idx, h.pack(), now);
-        self.mc.write_local(self.region, me, idx, h.pack());
+        self.replicas[me].store(idx, h.pack());
         done
     }
 
@@ -258,8 +272,8 @@ impl Directory {
     /// run); writes every replica directly with no cost.
     pub fn init_home(&self, page: usize, h: HomeInfo) {
         let idx = self.home_idx(page);
-        for e in 0..self.pnodes {
-            self.mc.write_local(self.region, e, idx, h.pack());
+        for r in &self.replicas {
+            r.store(idx, h.pack());
         }
     }
 
@@ -414,6 +428,86 @@ mod tests {
             assert_eq!(h.pnode, 0);
             assert!(!h.is_default);
         }
+    }
+
+    /// Interleaving schedule for the lock-free read fast path: a writer
+    /// publishes a sequence of distinct directory words while a reader spins
+    /// on `read_word` with `yield_now` between loads. Every observed word
+    /// must be one the writer actually published (single-writer words can
+    /// never tear or go backwards past the final state), and once the writer
+    /// finishes the reader must observe the last write.
+    #[test]
+    fn lock_free_reads_never_observe_torn_or_phantom_words() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let d = Arc::new(dir(2, DirectoryMode::LockFree));
+        let published: Vec<DirWord> = (0..64u16)
+            .map(|i| DirWord {
+                perm: if i % 2 == 0 {
+                    PermBits::Read
+                } else {
+                    PermBits::Write
+                },
+                exclusive: i % 3 == 0,
+                excl_proc: i,
+            })
+            .collect();
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let writer = {
+                let d = Arc::clone(&d);
+                let published = published.clone();
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    for (t, w) in published.iter().enumerate() {
+                        d.write_my_word(1, 0, *w, t as Nanos);
+                        std::thread::yield_now();
+                    }
+                    done.store(true, Ordering::Release);
+                })
+            };
+            let reader = {
+                let d = Arc::clone(&d);
+                let published = published.clone();
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let w = d.read_word(1, 0, 1);
+                        if w != DirWord::default() {
+                            assert!(
+                                published.contains(&w),
+                                "reader observed a word the writer never published: {w:?}"
+                            );
+                            seen.push(w);
+                        }
+                        if finished {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            };
+            writer.join().unwrap();
+            let seen = reader.join().unwrap();
+            assert_eq!(
+                seen.last(),
+                Some(published.last().unwrap()),
+                "reader must observe the final published word"
+            );
+            // The observation sequence must be a subsequence of the publish
+            // order — a cached or locked read path that replayed stale words
+            // out of order would violate this.
+            let mut cursor = 0;
+            for w in &seen {
+                let pos = published[cursor..]
+                    .iter()
+                    .position(|p| p == w)
+                    .expect("observations must move forward through the publish order");
+                cursor += pos;
+            }
+        });
     }
 
     #[test]

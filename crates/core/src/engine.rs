@@ -43,7 +43,7 @@ use cashmere_sim::{
     Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
 };
 use cashmere_vmpage::{
-    apply_incoming_diff, diff_against_twin, flush_update_twin, make_twin, DiffRuns, Frame,
+    apply_incoming_diff, diff_against_twin, flush_update_twin, DiffRuns, Frame, PagePool,
     PageTable, Perm, Twin, PAGE_BYTES, PAGE_WORDS,
 };
 
@@ -260,6 +260,10 @@ struct PNode {
     distribute: Mutex<()>,
     pages: Vec<Mutex<NodePage>>,
     procs: Vec<LocalProc>,
+    /// Recycles twin / whole-frame snapshot buffers for this node's faults
+    /// and exclusive-mode breaks (DESIGN.md §10). Host-side only: no
+    /// virtual-time charge depends on where a twin's memory came from.
+    twin_pool: PagePool,
 }
 
 /// The protocol engine. One per cluster; shared by all processors.
@@ -309,23 +313,54 @@ fn trace_on() -> bool {
     *ON.get_or_init(|| std::env::var_os("CASHMERE_TRACE").is_some())
 }
 
-/// In-memory trace ring (diagnostics only; populated when `CASHMERE_TRACE`
-/// is set).
-static TRACE_RING: Mutex<Vec<String>> = Mutex::new(Vec::new());
+/// Capacity of the diagnostic trace ring. Once full, the oldest entry is
+/// overwritten, so arbitrarily long traced runs hold at most this many
+/// lines (the old implementation grew an unbounded `Vec` and periodically
+/// discarded *everything*, losing the recent tail a diagnosis needs).
+const TRACE_RING_CAP: usize = 65_536;
 
-/// Dumps and clears the diagnostic trace ring.
+/// Fixed-capacity diagnostic ring (populated when `CASHMERE_TRACE` is set).
+struct TraceRing {
+    buf: Vec<String>,
+    /// Oldest entry / next overwrite slot once `buf` reached capacity.
+    next: usize,
+}
+
+/// In-memory trace ring (diagnostics only).
+static TRACE_RING: Mutex<TraceRing> = Mutex::new(TraceRing {
+    buf: Vec::new(),
+    next: 0,
+});
+
+/// Appends one diagnostic line, overwriting the oldest once the ring is at
+/// [`TRACE_RING_CAP`]. Public so the ring's bounding behavior is testable
+/// without enabling `CASHMERE_TRACE`; the [`trace!`] macro is the real
+/// producer.
+pub fn push_trace(line: String) {
+    let mut ring = TRACE_RING.lock();
+    if ring.buf.len() < TRACE_RING_CAP {
+        ring.buf.push(line);
+    } else {
+        let i = ring.next;
+        ring.buf[i] = line;
+        ring.next = (i + 1) % TRACE_RING_CAP;
+    }
+}
+
+/// Dumps and clears the diagnostic trace ring, oldest entry first.
 pub fn dump_trace() -> Vec<String> {
-    std::mem::take(&mut *TRACE_RING.lock())
+    let mut ring = TRACE_RING.lock();
+    let n = ring.next;
+    ring.next = 0;
+    let mut v = std::mem::take(&mut ring.buf);
+    v.rotate_left(n);
+    v
 }
 
 macro_rules! trace {
     ($($arg:tt)*) => {
         if trace_on() {
-            let mut ring = TRACE_RING.lock();
-            if ring.len() > 100_000 {
-                ring.clear();
-            }
-            ring.push(format!($($arg)*));
+            $crate::engine::push_trace(format!($($arg)*));
         }
     };
 }
@@ -342,6 +377,13 @@ impl Engine {
             .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
             .collect();
         let link_metrics = cfg.obs.then(|| Arc::new(LinkMetrics::new(topo.nodes())));
+        // The `cfg.cost.clone()` below is the one construction-time deep
+        // clone that is semantically required: `MemoryChannel` *owns* its
+        // `CostModel` (the link layer must keep charging consistently even
+        // if a caller later tweaks its config copy). `fault_plan` and
+        // `link_metrics` are `Option<Arc<_>>`, so their `.clone()`s are
+        // reference-count bumps sharing one plan / one counter set —
+        // exactly what the fault and observability designs need.
         let mc = Arc::new(MemoryChannel::with_observers(
             link_of,
             topo.nodes(),
@@ -377,31 +419,41 @@ impl Engine {
             );
         }
 
+        let total_procs = topo.total_procs();
         let pnodes = (0..n_pnodes)
-            .map(|pn| PNode {
-                clock: AtomicU64::new(1),
-                last_release: AtomicU64::new(0),
-                distribute: Mutex::new(()),
-                pages: (0..pages)
-                    .map(|_| Mutex::new(NodePage::default()))
-                    .collect(),
-                procs: map
-                    .procs_of(&topo, cashmere_sim::NodeId(pn))
-                    .into_iter()
-                    .enumerate()
-                    .map(|(li, p)| LocalProc {
-                        wn: match &rec {
-                            Some(r) => {
-                                ProcNoticeList::new(pages).with_identity(pn, li, Arc::clone(r))
-                            }
-                            None => ProcNoticeList::new(pages),
-                        },
-                        nle: NleList::new(),
-                        pt: Arc::new(PageTable::new(pages)),
-                        global: p,
-                        in_write: AtomicBool::new(false),
-                    })
-                    .collect(),
+            .map(|pn| {
+                let locals = map.procs_of(&topo, cashmere_sim::NodeId(pn));
+                // Notice-list stripes: one per local poster; NLE stripes:
+                // one per cluster processor (exclusive-mode breakers post
+                // on the holder's behalf from any node).
+                let nlocal = locals.len();
+                PNode {
+                    clock: AtomicU64::new(1),
+                    last_release: AtomicU64::new(0),
+                    distribute: Mutex::new(()),
+                    pages: (0..pages)
+                        .map(|_| Mutex::new(NodePage::default()))
+                        .collect(),
+                    procs: locals
+                        .into_iter()
+                        .enumerate()
+                        .map(|(li, p)| LocalProc {
+                            wn: match &rec {
+                                Some(r) => ProcNoticeList::new(pages, nlocal).with_identity(
+                                    pn,
+                                    li,
+                                    Arc::clone(r),
+                                ),
+                                None => ProcNoticeList::new(pages, nlocal),
+                            },
+                            nle: NleList::new(total_procs),
+                            pt: Arc::new(PageTable::new(pages)),
+                            global: p,
+                            in_write: AtomicBool::new(false),
+                        })
+                        .collect(),
+                    twin_pool: PagePool::new(),
+                }
             })
             .collect();
 
@@ -953,7 +1005,9 @@ impl Engine {
             }
             o.heat(page);
         }
-        let c = self.cfg.cost.clone();
+        // Borrow, don't clone: every call below takes `&self`, so the fault
+        // path no longer deep-copies the whole cost table per fault.
+        let c = &self.cfg.cost;
         ctx.clock.charge(TimeCategory::Protocol, c.page_fault);
         let home = self.resolve_home(ctx, page);
         let my_home = self.acts_as_home(ctx, home);
@@ -1060,7 +1114,7 @@ impl Engine {
                     dirtied = true;
                     if !np.is_home && np.twin.is_none() && !self.cfg.protocol.write_through() {
                         let frame = np.frame.as_ref().unwrap();
-                        np.twin = Some(make_twin(frame));
+                        np.twin = Some(self.pnodes[ctx.pnode].twin_pool.twin_of(frame));
                         emit(&self.rec, || ProtocolEvent::TwinCreate {
                             pnode: ctx.pnode,
                             page,
@@ -1090,7 +1144,7 @@ impl Engine {
             if !np.is_home && np.ts_update < np.ts_wn {
                 self.pnodes[ctx.pnode].procs[ctx.local]
                     .wn
-                    .insert(page as u32);
+                    .insert(page as u32, ctx.local);
             }
             // Emitted while the node-page lock is still held, so the fault
             // is sequenced before any later protocol action on this page.
@@ -1396,6 +1450,7 @@ impl Engine {
                 self.flush_diff_to_master(ctx, page, home, &diff);
                 np.ts_flush = node_now;
             }
+            self.pnodes[ctx.pnode].twin_pool.release(twin);
         }
     }
 
@@ -1453,7 +1508,8 @@ impl Engine {
         holder_proc: u16,
         home: usize,
     ) {
-        let c = self.cfg.cost.clone();
+        // Borrow, don't clone (see `fault_common`).
+        let c = &self.cfg.cost;
         self.stats.remote_requests.inc();
 
         // Fault recovery: a lost break interrupt times out in virtual time
@@ -1526,7 +1582,9 @@ impl Engine {
         // twin: any concurrent store by a *remaining* local writer then
         // either made it into both (already flushed) or neither (still
         // differs from the twin, flushed at that writer's next release).
-        let mut buf = [0u64; PAGE_WORDS];
+        // The buffer comes from the holder's pool: it either becomes the
+        // twin below or goes straight back.
+        let mut buf = hnode.twin_pool.acquire();
         np.frame
             .as_ref()
             .expect("exclusive page has a frame")
@@ -1557,7 +1615,7 @@ impl Engine {
         // leave no-longer-exclusive notices for them.
         let other_writers = np.writers & !(1u64 << excl_local);
         if other_writers != 0 {
-            np.twin = Some(Box::new(buf));
+            np.twin = Some(buf);
             emit(&self.rec, || ProtocolEvent::TwinCreate {
                 pnode: holder,
                 page,
@@ -1574,9 +1632,12 @@ impl Engine {
                         pnode: holder,
                         page,
                     });
-                    lp.nle.push(page as u32);
+                    // The breaker (`ctx`) is the poster, from any node.
+                    lp.nle.push(page as u32, ctx.id.0);
                 }
             }
+        } else {
+            hnode.twin_pool.release(buf);
         }
 
         // The page leaves exclusive mode.
@@ -1782,6 +1843,7 @@ impl Engine {
                                 .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
                         }
                     }
+                    self.pnodes[ctx.pnode].twin_pool.release(twin);
                 }
                 // Retiring the twin may drop the residue-sharer Read claim
                 // (see `NodePage::effective_perm`): with no mapped local
@@ -1816,7 +1878,10 @@ impl Engine {
         }
         let entered = self.try_enter_exclusive(ctx, page, np);
         if entered {
-            np.twin = None;
+            // Exclusive mode needs no twin; recycle it.
+            if let Some(twin) = np.twin.take() {
+                self.pnodes[ctx.pnode].twin_pool.release(twin);
+            }
         }
         entered
     }
@@ -1870,7 +1935,7 @@ impl Engine {
                 ctx.clock.charge(TimeCategory::Protocol, 500);
                 for (i, lp) in self.pnodes[ctx.pnode].procs.iter().enumerate() {
                     if mapped >> i & 1 == 1 {
-                        lp.wn.insert(page32);
+                        lp.wn.insert(page32, ctx.local);
                     }
                 }
             }
@@ -2022,5 +2087,36 @@ impl Engine {
     /// Protocol-node count.
     pub fn protocol_nodes(&self) -> usize {
         self.pnodes.len()
+    }
+}
+
+#[cfg(test)]
+mod trace_ring_tests {
+    use super::{dump_trace, push_trace, TRACE_RING_CAP};
+
+    /// One test owns the (process-global) ring: fill far past capacity and
+    /// check both the bound and that the *newest* entries survive in order.
+    #[test]
+    fn trace_ring_is_bounded_and_keeps_the_newest_entries() {
+        dump_trace();
+        let total = TRACE_RING_CAP + 1000;
+        for i in 0..total {
+            push_trace(format!("line {i}"));
+        }
+        let dumped = dump_trace();
+        assert_eq!(dumped.len(), TRACE_RING_CAP, "ring never exceeds capacity");
+        for (k, line) in dumped.iter().enumerate() {
+            assert_eq!(
+                line,
+                &format!("line {}", total - TRACE_RING_CAP + k),
+                "oldest-first order with the oldest overflow entries evicted"
+            );
+        }
+        assert!(dump_trace().is_empty(), "dump clears the ring");
+
+        // A partially filled ring dumps exactly what was pushed.
+        push_trace("a".into());
+        push_trace("b".into());
+        assert_eq!(dump_trace(), vec!["a".to_string(), "b".to_string()]);
     }
 }

@@ -10,8 +10,11 @@
 //!   MC circular buffer; the Memory Channel latency/bandwidth of posting a
 //!   notice is charged by the engine.
 //! * Each *processor* has a second-level list consisting of a **bitmap plus
-//!   a queue**, protected by a cheap node-local lock. The bitmap suppresses
-//!   redundant notices: inserting a page already present is a no-op.
+//!   a queue**. The bitmap suppresses redundant notices: inserting a page
+//!   already present is a no-op. Host-side, the bitmap is a shared atomic
+//!   word array and the queue is striped per posting processor, so
+//!   concurrent posters never contend on one lock (DESIGN.md §10); drains
+//!   merge the stripes back into deterministic post order.
 //!
 //! On an acquire, a processor drains the node's global bins, distributing
 //! each notice to the per-processor lists of the local processors that have
@@ -21,6 +24,7 @@
 //! single-writer discipline with one global-locked list per node, modeled by
 //! serializing posts through a per-node virtual-time gate.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::queue::SegQueue;
@@ -130,27 +134,46 @@ impl NoticeBoard {
     }
 }
 
-/// A processor's second-level write-notice list: bitmap + queue under a
-/// node-local lock (§2.3, Figure 4).
+/// A processor's second-level write-notice list: a shared freshness bitmap
+/// plus **one queue stripe per posting processor** (§2.3, Figure 4).
+///
+/// The pre-striping implementation kept one `Mutex<bitmap + queue>`, so
+/// every poster into the same list — the owner's self-notices and every
+/// sibling's acquire-time distributions — serialized on one lock. Now each
+/// poster claims a page by winning the 0→1 transition on the shared atomic
+/// bitmap (`fetch_or`) and appends to *its own* stripe, so concurrent
+/// posters touch disjoint locks and an uncontended atomic word.
+///
+/// **Order-preserving deterministic drain:** every queued entry carries a
+/// ticket from a per-list post counter; [`drain`](Self::drain) locks all
+/// stripes, merges entries by ticket, and clears the bitmap while still
+/// holding every stripe lock. The merged order equals the old single-queue
+/// insertion order in any deterministic execution, and the merge itself is
+/// a pure function of the stripe contents. Holding every stripe lock across
+/// the bitmap clear keeps inserts atomic with respect to drains (an insert
+/// holds its stripe lock across its `fetch_or` and push), preserving the
+/// exactly-once queuing invariant.
 pub struct ProcNoticeList {
-    inner: Mutex<ProcListInner>,
+    /// Shared freshness bitmap; bit set ⟺ page currently queued.
+    bits: Vec<AtomicU64>,
+    /// `stripes[from]` is appended only by posting processor `from`.
+    stripes: Vec<Mutex<Vec<(u64, u32)>>>,
+    /// Post-order tickets for the drain merge.
+    ticket: AtomicU64,
     /// `(pnode, lproc)` identity plus the auditor stream, when enabled.
     ident: Option<(usize, usize, Arc<TraceRecorder>)>,
 }
 
-struct ProcListInner {
-    bits: Vec<u64>,
-    queue: Vec<u32>,
-}
-
 impl ProcNoticeList {
-    /// Creates an empty list covering `pages` pages.
-    pub fn new(pages: usize) -> Self {
+    /// Creates an empty list covering `pages` pages, striped for `posters`
+    /// posting processors (the node's local processor count).
+    pub fn new(pages: usize, posters: usize) -> Self {
         Self {
-            inner: Mutex::new(ProcListInner {
-                bits: vec![0; pages.div_ceil(64)],
-                queue: Vec::new(),
-            }),
+            bits: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            stripes: (0..posters.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            ticket: AtomicU64::new(0),
             ident: None,
         }
     }
@@ -162,14 +185,17 @@ impl ProcNoticeList {
         self
     }
 
-    /// Inserts a notice for `page`. Returns `true` if the page was newly
-    /// queued, `false` if the bitmap already recorded it (the redundant-
-    /// notice suppression of §2.3).
-    pub fn insert(&self, page: u32) -> bool {
-        let mut g = self.inner.lock();
+    /// Inserts a notice for `page`, posted by local processor `from`.
+    /// Returns `true` if the page was newly queued, `false` if the bitmap
+    /// already recorded it (the redundant-notice suppression of §2.3).
+    pub fn insert(&self, page: u32, from: usize) -> bool {
+        let mut stripe = self.stripes[from].lock();
         let (w, b) = (page as usize / 64, page as usize % 64);
-        let fresh = g.bits[w] >> b & 1 == 0;
-        // Emitted inside the list mutex so inserts and drains of the same
+        // The stripe lock is held across the claim and the push, so a
+        // drain (which holds every stripe lock while clearing the bitmap)
+        // can never observe a claimed-but-unqueued page.
+        let fresh = self.bits[w].fetch_or(1 << b, Ordering::AcqRel) >> b & 1 == 0;
+        // Emitted inside the stripe lock so inserts and drains of the same
         // list are sequenced consistently with their real order.
         if let Some((pnode, lproc, rec)) = &self.ident {
             rec.emit(ProtocolEvent::WnInsert {
@@ -182,18 +208,26 @@ impl ProcNoticeList {
         if !fresh {
             return false;
         }
-        g.bits[w] |= 1 << b;
-        g.queue.push(page);
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        stripe.push((t, page));
         true
     }
 
-    /// Flushes the queue and clears the bitmap, returning the queued pages.
+    /// Flushes every stripe and clears the bitmap, returning the queued
+    /// pages merged into post order.
     pub fn drain(&self) -> Vec<u32> {
-        let mut g = self.inner.lock();
-        for w in &mut g.bits {
-            *w = 0;
+        let mut guards: Vec<_> = self.stripes.iter().map(|s| s.lock()).collect();
+        let mut entries: Vec<(u64, u32)> = Vec::new();
+        for g in &mut guards {
+            entries.append(g);
         }
-        let pages = std::mem::take(&mut g.queue);
+        for w in &self.bits {
+            w.store(0, Ordering::Release);
+        }
+        // Stripes are individually FIFO, so sorting by ticket is the k-way
+        // merge restoring global post order.
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let pages: Vec<u32> = entries.into_iter().map(|(_, p)| p).collect();
         if let Some((pnode, lproc, rec)) = &self.ident {
             if !pages.is_empty() {
                 rec.emit(ProtocolEvent::WnProcDrain {
@@ -206,41 +240,48 @@ impl ProcNoticeList {
         pages
     }
 
-    /// Whether the list is empty.
+    /// Whether the list is empty (no page currently queued in any stripe).
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().queue.is_empty()
+        self.bits.iter().all(|w| w.load(Ordering::Acquire) == 0)
     }
 }
 
 /// A processor's no-longer-exclusive (NLE) list: pages broken out of
 /// exclusive mode by a remote request while this processor held a write
-/// mapping; writable by all local processors (§2.3, §2.4.1).
+/// mapping (§2.3, §2.4.1). Writable by *any* processor in the cluster (the
+/// breaker posts on behalf of the holder), so it is striped per posting
+/// processor like [`ProcNoticeList`]. No tickets are needed: the only
+/// drain site merges NLE pages into the release's dirty-page list and
+/// sorts + dedups the union, so any deterministic stripe order is
+/// equivalent — stripes are concatenated in poster-index order.
 pub struct NleList {
-    inner: Mutex<Vec<u32>>,
+    /// `stripes[from]` is appended only by cluster processor `from`.
+    stripes: Vec<Mutex<Vec<u32>>>,
 }
 
 impl NleList {
-    /// Creates an empty list.
-    pub fn new() -> Self {
+    /// Creates an empty list striped for `posters` cluster processors.
+    pub fn new(posters: usize) -> Self {
         Self {
-            inner: Mutex::new(Vec::new()),
+            stripes: (0..posters.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 
-    /// Adds `page` (duplicates are tolerated; releases handle them).
-    pub fn push(&self, page: u32) {
-        self.inner.lock().push(page);
+    /// Adds `page`, posted by cluster processor `from` (duplicates are
+    /// tolerated; releases handle them).
+    pub fn push(&self, page: u32, from: usize) {
+        self.stripes[from].lock().push(page);
     }
 
-    /// Takes all pending entries.
+    /// Takes all pending entries, stripe by stripe in poster order.
     pub fn drain(&self) -> Vec<u32> {
-        std::mem::take(&mut self.inner.lock())
-    }
-}
-
-impl Default for NleList {
-    fn default() -> Self {
-        Self::new()
+        let mut out = Vec::new();
+        for s in &self.stripes {
+            out.append(&mut s.lock());
+        }
+        out
     }
 }
 
@@ -286,29 +327,48 @@ mod tests {
 
     #[test]
     fn proc_list_suppresses_redundant_notices() {
-        let l = ProcNoticeList::new(128);
-        assert!(l.insert(7));
-        assert!(!l.insert(7), "bitmap hit → no duplicate queue entry");
-        assert!(l.insert(64));
+        let l = ProcNoticeList::new(128, 2);
+        assert!(l.insert(7, 0));
+        assert!(!l.insert(7, 0), "bitmap hit → no duplicate queue entry");
+        assert!(!l.insert(7, 1), "bitmap is shared across stripes");
+        assert!(l.insert(64, 1));
         let mut d = l.drain();
         d.sort_unstable();
         assert_eq!(d, vec![7, 64]);
         // Bitmap cleared by drain: the page can be queued again.
-        assert!(l.insert(7));
+        assert!(l.insert(7, 1));
         assert_eq!(l.drain(), vec![7]);
         assert!(l.is_empty());
     }
 
     #[test]
+    fn drain_merges_stripes_in_post_order() {
+        // Posts from different processors land in different stripes; the
+        // drain must still return them in global post order, not stripe
+        // concatenation order. This is the test that catches a merge that
+        // ignores the tickets.
+        let l = ProcNoticeList::new(128, 3);
+        assert!(l.insert(10, 2));
+        assert!(l.insert(11, 0));
+        assert!(l.insert(12, 1));
+        assert!(l.insert(13, 0));
+        assert_eq!(l.drain(), vec![10, 11, 12, 13]);
+        // And again after the bitmap reset, with a different interleaving.
+        assert!(l.insert(5, 1));
+        assert!(l.insert(4, 2));
+        assert_eq!(l.drain(), vec![5, 4]);
+    }
+
+    #[test]
     fn concurrent_inserts_queue_once() {
         use std::sync::Arc;
-        let l = Arc::new(ProcNoticeList::new(64));
+        let l = Arc::new(ProcNoticeList::new(64, 4));
         let hs: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|from| {
                 let l = Arc::clone(&l);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        l.insert(3);
+                        l.insert(3, from);
                     }
                 })
             })
@@ -319,17 +379,101 @@ mod tests {
         assert_eq!(
             l.drain(),
             vec![3],
-            "page queued exactly once despite 4000 inserts"
+            "page queued exactly once despite 4000 inserts across 4 stripes"
         );
     }
 
     #[test]
+    fn striped_posts_deliver_exactly_once_under_concurrent_drains() {
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        // 4 posting threads (one stripe each, disjoint page ranges, plus a
+        // shared contended page) race a continuously draining thread. Every
+        // distinct page posted must come out exactly once per epoch it was
+        // queued in, and per-poster FIFO order must survive the merge.
+        const PER: u32 = 500;
+        let l = Arc::new(ProcNoticeList::new(4 * PER as usize + 1, 4));
+        let posters: Vec<_> = (0..4u32)
+            .map(|from| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        l.insert(from * PER + i, from as usize);
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let drainer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..200 {
+                    got.extend(l.drain());
+                    std::thread::yield_now();
+                }
+                got
+            })
+        };
+        for h in posters {
+            h.join().unwrap();
+        }
+        let mut all = drainer.join().unwrap();
+        all.extend(l.drain());
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for p in &all {
+            *counts.entry(*p).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4 * PER as usize, "every page delivered");
+        assert!(
+            counts.values().all(|&c| c == 1),
+            "disjoint pages queued in one epoch each → delivered exactly once"
+        );
+        for from in 0..4u32 {
+            let mine: Vec<u32> = all.iter().copied().filter(|p| p / PER == from).collect();
+            assert!(
+                mine.windows(2).all(|w| w[0] < w[1]),
+                "poster {from}'s pages left the merge in post order"
+            );
+        }
+    }
+
+    #[test]
     fn nle_list_accumulates() {
-        let n = NleList::new();
-        n.push(1);
-        n.push(2);
-        assert_eq!(n.drain(), vec![1, 2]);
+        let n = NleList::new(2);
+        n.push(1, 0);
+        n.push(2, 1);
+        n.push(3, 0);
+        assert_eq!(n.drain(), vec![1, 3, 2], "stripes concatenated in order");
         assert!(n.drain().is_empty());
+    }
+
+    #[test]
+    fn nle_stripes_do_not_lose_concurrent_posts() {
+        use std::sync::Arc;
+        let n = Arc::new(NleList::new(3));
+        let hs: Vec<_> = (0..3usize)
+            .map(|from| {
+                let n = Arc::clone(&n);
+                std::thread::spawn(move || {
+                    for i in 0..400u32 {
+                        n.push(from as u32 * 1000 + i, from);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut got = n.drain();
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..3u32)
+            .flat_map(|f| (0..400).map(move |i| f * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -426,9 +570,9 @@ mod tests {
     fn proc_list_records_suppression_and_drain() {
         use crate::trace::ProtocolEvent as E;
         let rec = Arc::new(TraceRecorder::new());
-        let l = ProcNoticeList::new(128).with_identity(1, 2, Arc::clone(&rec));
-        assert!(l.insert(7));
-        assert!(!l.insert(7));
+        let l = ProcNoticeList::new(128, 2).with_identity(1, 2, Arc::clone(&rec));
+        assert!(l.insert(7, 0));
+        assert!(!l.insert(7, 1));
         assert_eq!(l.drain(), vec![7]);
         let evs: Vec<_> = rec.take().into_iter().map(|e| e.ev).collect();
         assert_eq!(

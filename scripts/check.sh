@@ -7,7 +7,13 @@
 #   test   — the full workspace suite; note `--workspace`: a bare
 #            `cargo test` at the root only tests the facade package
 #   bench  — opt-in (CHECK_BENCH=1): wall-clock harness + virtual-time
-#            drift gate against the committed results/ baselines
+#            drift gate against the committed results/ baselines, plus a
+#            wall-clock *regression* gate: the fresh geomean speedup vs
+#            results/wallclock_baseline.jsonl may not drop more than
+#            WALLCLOCK_TOLERANCE (default 0.25, i.e. 25%) below the geomean
+#            committed in BENCH_wallclock.json — wall time is noisy, so the
+#            tolerance absorbs host jitter while still catching real
+#            hot-path regressions
 #   soak   — opt-in (CHECK_SOAK=1): fixed-seed fault-injection campaign
 #            (zero-fault golden identity + fault matrix with clean audits)
 #   obs    — opt-in (CHECK_OBS=1): observability gate (obs-on/off golden
@@ -20,8 +26,29 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test --workspace --offline -q
 
+geomean_of() {
+    # Pulls "geomean_speedup":N out of a bench JSON; empty if absent.
+    sed -n 's/.*"geomean_speedup":\([0-9.eE+-]*\).*/\1/p' "$1" 2>/dev/null || true
+}
+
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    # Snapshot the committed geomean before bench.sh overwrites the file.
+    committed_geomean="$(geomean_of BENCH_wallclock.json)"
     scripts/bench.sh
+    fresh_geomean="$(geomean_of BENCH_wallclock.json)"
+    if [[ -n "$committed_geomean" && -n "$fresh_geomean" ]]; then
+        tol="${WALLCLOCK_TOLERANCE:-0.25}"
+        awk -v fresh="$fresh_geomean" -v committed="$committed_geomean" -v tol="$tol" '
+            BEGIN {
+                floor = committed * (1 - tol)
+                printf "wallclock regression gate: fresh=%.3f committed=%.3f floor=%.3f\n",
+                       fresh, committed, floor
+                exit !(fresh >= floor)
+            }' || {
+            echo "FAIL: wall-clock geomean regressed past the tolerance" >&2
+            exit 1
+        }
+    fi
 fi
 
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
