@@ -211,6 +211,9 @@ pub fn run_sweep_with_jobs(
             let next = &next;
             let combos = &combos;
             s.spawn(move || loop {
+                // relaxed-ok: work-stealing index; claims only need to be
+                // unique, which single-location RMW coherence guarantees,
+                // and results travel through the channel's own ordering.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(app, protocol, flavor)) = combos.get(i) else {
                     break;

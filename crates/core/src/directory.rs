@@ -242,6 +242,38 @@ impl Directory {
         done
     }
 
+    /// A deliberately wrong `write_my_word` kept for the model checker's
+    /// mutation battery (DESIGN.md §11): the manual local double is done as
+    /// *two* stores — a partial word carrying only the permission bits, then
+    /// the full word. A reader's single atomic load can land between them
+    /// and observe a word the writer never published (the torn state the
+    /// real single-store double rules out). The model tests assert the
+    /// explorer finds such a schedule within the default budget.
+    #[doc(hidden)]
+    pub fn write_my_word_mutant_torn_local_double(
+        &self,
+        page: usize,
+        me: usize,
+        w: DirWord,
+        now: Nanos,
+    ) -> Nanos {
+        emit(&self.rec, || ProtocolEvent::DirWrite {
+            pnode: me,
+            page,
+            perm: match w.perm {
+                PermBits::None => 0,
+                PermBits::Read => 1,
+                PermBits::Write => 2,
+            },
+            exclusive: w.exclusive,
+        });
+        let idx = self.word_idx(page, me);
+        let done = self.mc.write(self.region, me, idx, w.pack(), now);
+        self.replicas[me].store(idx, w.pack() & 0b11);
+        self.replicas[me].store(idx, w.pack());
+        done
+    }
+
     /// Reads the home word from `reader`'s replica. Returns `None` if no
     /// home has been assigned yet.
     #[inline]
@@ -435,79 +467,12 @@ mod tests {
     /// on `read_word` with `yield_now` between loads. Every observed word
     /// must be one the writer actually published (single-writer words can
     /// never tear or go backwards past the final state), and once the writer
-    /// finishes the reader must observe the last write.
+    /// finishes the reader must observe the last write. The scenario body is
+    /// shared with `tests/model_directory.rs`, which runs the same
+    /// assertions under the interleaving explorer (DESIGN.md §11).
     #[test]
     fn lock_free_reads_never_observe_torn_or_phantom_words() {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        let d = Arc::new(dir(2, DirectoryMode::LockFree));
-        let published: Vec<DirWord> = (0..64u16)
-            .map(|i| DirWord {
-                perm: if i % 2 == 0 {
-                    PermBits::Read
-                } else {
-                    PermBits::Write
-                },
-                exclusive: i % 3 == 0,
-                excl_proc: i,
-            })
-            .collect();
-        let done = Arc::new(AtomicBool::new(false));
-        std::thread::scope(|s| {
-            let writer = {
-                let d = Arc::clone(&d);
-                let published = published.clone();
-                let done = Arc::clone(&done);
-                s.spawn(move || {
-                    for (t, w) in published.iter().enumerate() {
-                        d.write_my_word(1, 0, *w, t as Nanos);
-                        std::thread::yield_now();
-                    }
-                    done.store(true, Ordering::Release);
-                })
-            };
-            let reader = {
-                let d = Arc::clone(&d);
-                let published = published.clone();
-                let done = Arc::clone(&done);
-                s.spawn(move || {
-                    let mut seen = Vec::new();
-                    loop {
-                        let finished = done.load(Ordering::Acquire);
-                        let w = d.read_word(1, 0, 1);
-                        if w != DirWord::default() {
-                            assert!(
-                                published.contains(&w),
-                                "reader observed a word the writer never published: {w:?}"
-                            );
-                            seen.push(w);
-                        }
-                        if finished {
-                            break;
-                        }
-                        std::thread::yield_now();
-                    }
-                    seen
-                })
-            };
-            writer.join().unwrap();
-            let seen = reader.join().unwrap();
-            assert_eq!(
-                seen.last(),
-                Some(published.last().unwrap()),
-                "reader must observe the final published word"
-            );
-            // The observation sequence must be a subsequence of the publish
-            // order — a cached or locked read path that replayed stale words
-            // out of order would violate this.
-            let mut cursor = 0;
-            for w in &seen {
-                let pos = published[cursor..]
-                    .iter()
-                    .position(|p| p == w)
-                    .expect("observations must move forward through the publish order");
-                cursor += pos;
-            }
-        });
+        crate::model_scenarios::directory_single_writer_reads(64, usize::MAX, false);
     }
 
     #[test]

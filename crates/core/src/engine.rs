@@ -544,7 +544,7 @@ impl Engine {
     }
 
     fn node_now(&self, pnode: usize) -> u64 {
-        // Relaxed suffices here: the only property the protocol needs from
+        // relaxed-ok: the only property the protocol needs from
         // the clock is that draws on one node are distinct and allocated
         // monotonically, which `fetch_add` guarantees through the atomic's
         // modification order under *any* memory ordering. No consumer reads
@@ -1668,7 +1668,7 @@ impl Engine {
     pub fn release_actions(&self, ctx: &mut ProcCtx) {
         ctx.obs_begin(SpanKind::Release, -1);
         let release_begin = self.node_now(ctx.pnode);
-        // Relaxed suffices: `last_release` is monotonic bookkeeping that no
+        // relaxed-ok: `last_release` is monotonic bookkeeping that no
         // protocol path currently reads (the overlapping-release skip below
         // compares the per-page `ts_flush` against this release's own
         // `release_begin` instead); `fetch_max` on one atomic is coherent

@@ -32,6 +32,8 @@ pub mod config;
 pub mod directory;
 pub mod engine;
 pub mod mc_lock;
+#[doc(hidden)]
+pub mod model_scenarios;
 pub mod proc;
 pub mod recovery;
 pub mod report;

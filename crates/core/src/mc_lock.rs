@@ -17,8 +17,10 @@
 //! through the [`crate::sync::CarrierLock`] carrier, which blocks instead of
 //! spinning; the cost model is identical.)
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+use cashmere_model::{ModelAtomicBool, ModelAtomicU64};
 
 use cashmere_memchan::{MemoryChannel, RegionId};
 use cashmere_sim::Nanos;
@@ -30,14 +32,16 @@ pub struct McLock {
     mc: Arc<MemoryChannel>,
     region: RegionId,
     /// The per-node test-and-set flag ("acquired first using ll/sc").
-    node_flags: Vec<AtomicBool>,
+    /// [`ModelAtomicBool`] routes the test-and-set through the model
+    /// scheduler when the interleaving explorer is active (DESIGN.md §11).
+    node_flags: Vec<ModelAtomicBool>,
     pnodes: usize,
     /// Virtual time of the most recent release. The *real* spin loop below
     /// provides mutual exclusion; virtual time is reconciled against this
     /// (an acquire completes no earlier than the previous release) so that
     /// simulated cost does not depend on real-machine scheduling of the
     /// spin attempts.
-    release_vt: AtomicU64,
+    release_vt: ModelAtomicU64,
     /// Auditor event stream, when enabled.
     rec: Option<Arc<TraceRecorder>>,
 }
@@ -53,9 +57,9 @@ impl McLock {
         Self {
             mc,
             region,
-            node_flags: (0..pnodes).map(|_| AtomicBool::new(false)).collect(),
+            node_flags: (0..pnodes).map(|_| ModelAtomicBool::new(false)).collect(),
             pnodes,
-            release_vt: AtomicU64::new(0),
+            release_vt: ModelAtomicU64::new(0),
             rec: None,
         }
     }
@@ -74,6 +78,9 @@ impl McLock {
     pub fn acquire(&self, me: usize, now: Nanos, attempt_cost: Nanos) -> Nanos {
         // Step 1: the intra-node ll/sc flag.
         let mut spins = 0u32;
+        // relaxed-ok: the failure load only decides whether to retry; the
+        // successful exchange carries Acquire, and no data is read under
+        // the flag until the exchange succeeds.
         while self.node_flags[me]
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
@@ -110,6 +117,40 @@ impl McLock {
         }
     }
 
+    /// A deliberately wrong `acquire` kept for the model checker's mutation
+    /// battery (DESIGN.md §11): it reads the array *before* setting its own
+    /// entry (check-then-set instead of the paper's set-then-check). Two
+    /// nodes can both read an all-clear array, then both set their entries
+    /// and both believe they won — the model tests assert the explorer
+    /// finds a two-holders schedule within the default budget.
+    #[doc(hidden)]
+    pub fn acquire_mutant_check_before_set(
+        &self,
+        me: usize,
+        now: Nanos,
+        attempt_cost: Nanos,
+    ) -> Nanos {
+        let mut spins = 0u32;
+        // relaxed-ok: same retry-only failure load as `acquire`.
+        while self.node_flags[me]
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(&mut spins);
+        }
+        let mut spins = 0u32;
+        loop {
+            let others_set =
+                (0..self.pnodes).any(|n| n != me && self.mc.read_local(self.region, me, n) == 1);
+            if !others_set {
+                let vt = self.mc.write(self.region, me, me, 1, now);
+                emit(&self.rec, || ProtocolEvent::McLockAcquire { pnode: me });
+                return vt.max(now) + attempt_cost;
+            }
+            backoff(&mut spins);
+        }
+    }
+
     /// Releases the lock held by node `me` at virtual time `vt`.
     pub fn release(&self, me: usize, vt: Nanos) -> Nanos {
         // Producer: emit before clearing the entry, so the next acquirer's
@@ -127,15 +168,18 @@ fn backoff(spins: &mut u32) {
     if *spins < 8 {
         std::hint::spin_loop();
     } else {
-        std::thread::yield_now();
+        // Routed through the model facade so the explorer sees the backoff
+        // as a schedule point; plain `yield_now` outside exploration.
+        cashmere_model::thread::yield_now();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cashmere_model::thread;
     use cashmere_sim::CostModel;
-    use std::sync::Mutex;
+    use parking_lot::Mutex;
 
     fn mc(pnodes: usize) -> Arc<MemoryChannel> {
         Arc::new(MemoryChannel::new(vec![0; pnodes], 1, CostModel::default()))
@@ -158,31 +202,10 @@ mod tests {
 
     #[test]
     fn excludes_across_threads_and_nodes() {
-        let l = Arc::new(McLock::new(mc(4), 4));
-        let shared = Arc::new(Mutex::new((0u64, false)));
-        let hs: Vec<_> = (0..4)
-            .map(|node| {
-                let l = Arc::clone(&l);
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    for _ in 0..100 {
-                        let vt = l.acquire(node, 0, 11_000);
-                        {
-                            let mut g = shared.lock().unwrap();
-                            assert!(!g.1, "two holders inside the critical section");
-                            g.1 = true;
-                            g.0 += 1;
-                            g.1 = false;
-                        }
-                        l.release(node, vt);
-                    }
-                })
-            })
-            .collect();
-        for h in hs {
-            h.join().unwrap();
-        }
-        assert_eq!(shared.lock().unwrap().0, 400);
+        // OS-thread run of the shared mutual-exclusion scenario; the model
+        // variant in `tests/model_mclock.rs` explores the same assertions
+        // exhaustively and catches the check-before-set mutant.
+        crate::model_scenarios::mc_lock_exclusion(4, 100, false);
     }
 
     #[test]
@@ -221,10 +244,10 @@ mod tests {
             .map(|node| {
                 let l = Arc::clone(&l);
                 let total = Arc::clone(&total);
-                std::thread::spawn(move || loop {
+                thread::spawn(move || loop {
                     let vt = l.acquire(node, 0, 11_000);
                     let done = {
-                        let mut g = total.lock().unwrap();
+                        let mut g = total.lock();
                         g[node] += 1;
                         g.iter().sum::<u64>() >= 200
                     };
@@ -232,14 +255,14 @@ mod tests {
                     if done {
                         return;
                     }
-                    std::thread::yield_now();
+                    thread::yield_now();
                 })
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
-        let g = *total.lock().unwrap();
+        let g = *total.lock();
         for (node, &n) in g.iter().enumerate() {
             assert!(n > 0, "node {node} never acquired the lock: {g:?}");
         }
@@ -284,18 +307,18 @@ mod tests {
             .map(|_| {
                 let l = Arc::clone(&l);
                 let counter = Arc::clone(&counter);
-                std::thread::spawn(move || {
+                thread::spawn(move || {
                     for _ in 0..200 {
                         let vt = l.acquire(0, 0, 11_000);
-                        *counter.lock().unwrap() += 1;
+                        *counter.lock() += 1;
                         l.release(0, vt);
                     }
                 })
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
-        assert_eq!(*counter.lock().unwrap(), 400);
+        assert_eq!(*counter.lock(), 400);
     }
 }

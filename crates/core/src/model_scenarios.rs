@@ -1,0 +1,284 @@
+//! Shared concurrency scenarios for the interleaving explorer (DESIGN.md
+//! §11).
+//!
+//! Each function here is a complete concurrent scenario — threads, shared
+//! structure, and assertions — parameterized by size and by whether to run
+//! the real implementation or a known-wrong mutant. The same scenario runs
+//! two ways:
+//!
+//! * as a plain OS-thread stress test (large parameters, real scheduler),
+//!   from this crate's unit tests, and
+//! * under the bounded interleaving explorer (small parameters, exhaustive
+//!   schedules), from the `model_*` integration tests.
+//!
+//! Threads are spawned through [`cashmere_model::thread`], which routes
+//! through the model scheduler when an exploration is active and falls back
+//! to `std::thread` otherwise, so both modes exercise byte-for-byte the
+//! same code and assertions.
+//!
+//! Hidden from docs: this is test plumbing that lives in the library only
+//! so unit tests and integration tests can share it.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cashmere_memchan::MemoryChannel;
+use cashmere_model::{thread, ModelAtomicBool, ModelAtomicU64};
+use cashmere_sim::{CostModel, Nanos};
+
+use crate::config::DirectoryMode;
+use crate::directory::{DirWord, Directory, PermBits};
+use crate::mc_lock::McLock;
+use crate::write_notice::ProcNoticeList;
+
+/// Striped write-notice lists: `posters` threads insert disjoint page
+/// ranges (`per` pages each) while a drainer runs `drains` concurrent
+/// drains. Every page must be delivered exactly once and per-poster FIFO
+/// order must survive the ticket merge.
+pub fn striped_notice_exactly_once(posters: u32, per: u32, drains: usize) {
+    let l = Arc::new(ProcNoticeList::new(
+        (posters * per) as usize + 1,
+        posters as usize,
+    ));
+    let hs: Vec<_> = (0..posters)
+        .map(|from| {
+            let l = Arc::clone(&l);
+            thread::spawn(move || {
+                for i in 0..per {
+                    l.insert(from * per + i, from as usize);
+                    if i % 64 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    let drainer = {
+        let l = Arc::clone(&l);
+        thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..drains {
+                got.extend(l.drain());
+                thread::yield_now();
+            }
+            got
+        })
+    };
+    for h in hs {
+        h.join();
+    }
+    let mut all = drainer.join();
+    all.extend(l.drain());
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for p in &all {
+        *counts.entry(*p).or_default() += 1;
+    }
+    assert_eq!(
+        counts.len(),
+        (posters * per) as usize,
+        "every page delivered"
+    );
+    assert!(
+        counts.values().all(|&c| c == 1),
+        "disjoint pages queued in one epoch each → delivered exactly once"
+    );
+    for from in 0..posters {
+        let mine: Vec<u32> = all.iter().copied().filter(|p| p / per == from).collect();
+        assert!(
+            mine.windows(2).all(|w| w[0] < w[1]),
+            "poster {from}'s pages left the merge in post order"
+        );
+    }
+}
+
+/// Two posters race to insert the *same* page while a drainer runs
+/// concurrent drains. The exactly-once queuing invariant says a single
+/// drain can never deliver a duplicate (the bitmap admits at most one
+/// queued entry per page per epoch), and every fresh claim is delivered
+/// exactly once. With `mutant`, the insert claims the bitmap bit outside
+/// the stripe lock, so a drain between claim and push lets the page queue
+/// twice — some schedule then delivers a duplicate in one drain.
+pub fn contended_insert_exactly_once(mutant: bool) {
+    let l = Arc::new(ProcNoticeList::new(64, 2));
+    let posters: Vec<_> = (0..2usize)
+        .map(|from| {
+            let l = Arc::clone(&l);
+            thread::spawn(move || {
+                if mutant {
+                    l.insert_mutant_claim_outside_stripe_lock(3, from)
+                } else {
+                    l.insert(3, from)
+                }
+            })
+        })
+        .collect();
+    let drainer = {
+        let l = Arc::clone(&l);
+        thread::spawn(move || {
+            let mut epochs = Vec::new();
+            for _ in 0..2 {
+                epochs.push(l.drain());
+                thread::yield_now();
+            }
+            epochs
+        })
+    };
+    let fresh: u64 = posters.into_iter().map(|h| u64::from(h.join())).sum();
+    let mut epochs = drainer.join();
+    epochs.push(l.drain());
+    for d in &epochs {
+        let mut s = d.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(
+            s.len(),
+            d.len(),
+            "a single drain delivered a duplicate page: {d:?}"
+        );
+    }
+    let delivered = epochs.iter().map(Vec::len).sum::<usize>() as u64;
+    assert_eq!(
+        delivered, fresh,
+        "every fresh claim delivered exactly once (fresh={fresh})"
+    );
+}
+
+/// The lock-free directory read fast path: a single writer publishes
+/// `words` distinct directory words while a reader polls both its own and
+/// the writer's replica (the broadcast path and the manual local double,
+/// respectively) up to `max_reads` times. Every observed non-default word
+/// must be one the writer actually published, observations must move
+/// forward through the publish order, and — if the reader saw the writer
+/// finish — the last observation must be the final published word. With
+/// `mutant`, the local double is torn into two stores and the explorer
+/// must find a schedule observing the partial word.
+pub fn directory_single_writer_reads(words: u16, max_reads: usize, mutant: bool) {
+    let pnodes = 2usize;
+    let mc = Arc::new(MemoryChannel::new(
+        (0..pnodes).map(|e| e % 2).collect(),
+        2,
+        CostModel::default(),
+    ));
+    let d = Arc::new(Directory::new(mc, pnodes, 4, DirectoryMode::LockFree));
+    // `excl_proc` starts at 1 so a torn perm-only word (excl_proc = 0,
+    // exclusive = false) can never collide with a published word.
+    let published: Vec<DirWord> = (0..words)
+        .map(|i| DirWord {
+            perm: if i % 2 == 0 {
+                PermBits::Read
+            } else {
+                PermBits::Write
+            },
+            exclusive: i % 3 == 0,
+            excl_proc: i + 1,
+        })
+        .collect();
+    let done = Arc::new(ModelAtomicBool::new(false));
+    let writer = {
+        let d = Arc::clone(&d);
+        let published = published.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            for (t, w) in published.iter().enumerate() {
+                if mutant {
+                    d.write_my_word_mutant_torn_local_double(1, 0, *w, t as Nanos);
+                } else {
+                    d.write_my_word(1, 0, *w, t as Nanos);
+                }
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+    let reader = {
+        let d = Arc::clone(&d);
+        let published = published.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut seen: Vec<Vec<DirWord>> = vec![Vec::new(); pnodes];
+            let mut finished = false;
+            for _ in 0..max_reads {
+                finished = done.load(Ordering::Acquire);
+                for (replica, log) in seen.iter_mut().enumerate() {
+                    let w = d.read_word(1, 0, replica);
+                    if w != DirWord::default() {
+                        assert!(
+                            published.contains(&w),
+                            "replica {replica} observed a word the writer never published: {w:?}"
+                        );
+                        log.push(w);
+                    }
+                }
+                if finished {
+                    break;
+                }
+                thread::yield_now();
+            }
+            (seen, finished)
+        })
+    };
+    writer.join();
+    let (seen, finished) = reader.join();
+    for (replica, s) in seen.iter().enumerate() {
+        if finished {
+            assert_eq!(
+                s.last(),
+                Some(published.last().unwrap()),
+                "replica {replica}: reader must observe the final published word"
+            );
+        }
+        // The observation sequence must be a subsequence of the publish
+        // order — a cached or locked read path that replayed stale words
+        // out of order would violate this.
+        let mut cursor = 0;
+        for w in s {
+            let pos = published[cursor..]
+                .iter()
+                .position(|p| p == w)
+                .expect("observations must move forward through the publish order");
+            cursor += pos;
+        }
+    }
+}
+
+/// Mutual exclusion through the Memory Channel lock: `nodes` threads (one
+/// per protocol node) each run `iters` critical sections guarded by the
+/// paper's set-then-check array protocol, with a yield inside the section
+/// to widen any exclusion hole. With `mutant`, acquire checks the array
+/// *before* setting its own entry, and the explorer must find a schedule
+/// with two simultaneous holders.
+pub fn mc_lock_exclusion(nodes: usize, iters: usize, mutant: bool) {
+    let mc = Arc::new(MemoryChannel::new(vec![0; nodes], 1, CostModel::default()));
+    let l = Arc::new(McLock::new(mc, nodes));
+    let in_section = Arc::new(ModelAtomicBool::new(false));
+    let total = Arc::new(ModelAtomicU64::new(0));
+    let hs: Vec<_> = (0..nodes)
+        .map(|node| {
+            let l = Arc::clone(&l);
+            let in_section = Arc::clone(&in_section);
+            let total = Arc::clone(&total);
+            thread::spawn(move || {
+                for _ in 0..iters {
+                    let vt = if mutant {
+                        l.acquire_mutant_check_before_set(node, 0, 11_000)
+                    } else {
+                        l.acquire(node, 0, 11_000)
+                    };
+                    assert!(
+                        !in_section.swap(true, Ordering::SeqCst),
+                        "two holders inside the critical section"
+                    );
+                    thread::yield_now();
+                    in_section.store(false, Ordering::SeqCst);
+                    total.fetch_add(1, Ordering::SeqCst);
+                    l.release(node, vt);
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join();
+    }
+    assert_eq!(total.load(Ordering::SeqCst), (nodes * iters) as u64);
+}

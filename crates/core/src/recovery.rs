@@ -9,6 +9,11 @@
 //! per-protocol-node counters those paths maintain and the plain-value
 //! summary [`crate::Report`] carries.
 
+// Recovery code must degrade gracefully, never panic: a recovery path that
+// unwraps turns an injected fault into a crash (scripts/lint.sh pins this
+// for the whole file, including future additions).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use cashmere_sim::Counter;
 
 /// Live per-protocol-node recovery counters (atomic; owned by the engine).

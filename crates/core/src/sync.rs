@@ -268,7 +268,7 @@ mod tests {
             .map(|_| {
                 let l = Arc::clone(&l);
                 let counter = Arc::clone(&counter);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     for _ in 0..500 {
                         let vt = l.acquire(0);
                         *counter.lock() += 1;
@@ -278,7 +278,7 @@ mod tests {
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
         assert_eq!(*counter.lock(), 2000);
     }
@@ -287,9 +287,9 @@ mod tests {
     fn barrier_departs_at_max_plus_cost() {
         let b = Arc::new(CarrierBarrier::new());
         let b2 = Arc::clone(&b);
-        let h = std::thread::spawn(move || b2.wait(2, 1_000, 50));
+        let h = cashmere_model::thread::spawn(move || b2.wait(2, 1_000, 50));
         let me = b.wait(2, 3_000, 50);
-        let other = h.join().unwrap();
+        let other = h.join();
         assert_eq!(me.departure_vt, 3_050);
         assert_eq!(other.departure_vt, 3_050);
         assert_ne!(me.was_last, other.was_last, "exactly one last arriver");
@@ -300,9 +300,9 @@ mod tests {
         let b = Arc::new(CarrierBarrier::new());
         for round in 0..5u64 {
             let b2 = Arc::clone(&b);
-            let h = std::thread::spawn(move || b2.wait(2, round * 10, 1));
+            let h = cashmere_model::thread::spawn(move || b2.wait(2, round * 10, 1));
             let me = b.wait(2, round * 10 + 5, 1);
-            let other = h.join().unwrap();
+            let other = h.join();
             assert_eq!(me.departure_vt, round * 10 + 6);
             assert_eq!(other.departure_vt, me.departure_vt);
         }
@@ -312,11 +312,11 @@ mod tests {
     fn flag_wait_reconciles_with_set_time() {
         let f = Arc::new(CarrierFlag::new());
         let f2 = Arc::clone(&f);
-        let h = std::thread::spawn(move || f2.wait(10));
+        let h = cashmere_model::thread::spawn(move || f2.wait(10));
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert!(!f.is_set());
         f.set(9_999);
-        assert_eq!(h.join().unwrap(), 9_999);
+        assert_eq!(h.join(), 9_999);
         // A late waiter keeps its own (later) time.
         assert_eq!(f.wait(20_000), 20_000);
         f.reset();

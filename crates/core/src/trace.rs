@@ -288,6 +288,9 @@ impl TraceRecorder {
 
     /// Records `ev` with the next global sequence number.
     pub fn emit(&self, ev: ProtocolEvent) {
+        // relaxed-ok: sequence numbers only need to be unique and allocated
+        // monotonically, which single-location RMW coherence guarantees;
+        // the event itself is published under the events mutex below.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.events.lock().push(TraceEvent { seq, ev });
     }
@@ -341,7 +344,7 @@ mod tests {
         let hs: Vec<_> = (0..4)
             .map(|n| {
                 let r = Arc::clone(&r);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     for p in 0..500 {
                         r.emit(ProtocolEvent::Fetch { pnode: n, page: p });
                     }
@@ -349,7 +352,7 @@ mod tests {
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
         let evs = r.take();
         assert_eq!(evs.len(), 2000);

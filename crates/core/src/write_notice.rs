@@ -24,9 +24,10 @@
 //! single-writer discipline with one global-locked list per node, modeled by
 //! serializing posts through a per-node virtual-time gate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use cashmere_model::ModelAtomicU64;
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
@@ -154,12 +155,15 @@ impl NoticeBoard {
 /// holds its stripe lock across its `fetch_or` and push), preserving the
 /// exactly-once queuing invariant.
 pub struct ProcNoticeList {
-    /// Shared freshness bitmap; bit set ⟺ page currently queued.
-    bits: Vec<AtomicU64>,
+    /// Shared freshness bitmap; bit set ⟺ page currently queued. The
+    /// [`ModelAtomicU64`] wrapper routes every access through the model
+    /// scheduler when the interleaving explorer is active (DESIGN.md §11)
+    /// and compiles down to a bare `AtomicU64` otherwise.
+    bits: Vec<ModelAtomicU64>,
     /// `stripes[from]` is appended only by posting processor `from`.
     stripes: Vec<Mutex<Vec<(u64, u32)>>>,
     /// Post-order tickets for the drain merge.
-    ticket: AtomicU64,
+    ticket: ModelAtomicU64,
     /// `(pnode, lproc)` identity plus the auditor stream, when enabled.
     ident: Option<(usize, usize, Arc<TraceRecorder>)>,
 }
@@ -169,11 +173,13 @@ impl ProcNoticeList {
     /// posting processors (the node's local processor count).
     pub fn new(pages: usize, posters: usize) -> Self {
         Self {
-            bits: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            bits: (0..pages.div_ceil(64))
+                .map(|_| ModelAtomicU64::new(0))
+                .collect(),
             stripes: (0..posters.max(1))
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
-            ticket: AtomicU64::new(0),
+            ticket: ModelAtomicU64::new(0),
             ident: None,
         }
     }
@@ -208,6 +214,31 @@ impl ProcNoticeList {
         if !fresh {
             return false;
         }
+        // relaxed-ok: ticket values only need to be unique and monotone per
+        // claim, which single-location RMW coherence guarantees; the entry
+        // they order is published under the stripe lock taken above.
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        stripe.push((t, page));
+        true
+    }
+
+    /// A deliberately wrong `insert` kept for the model checker's mutation
+    /// battery (DESIGN.md §11): it claims the bitmap bit *before* taking the
+    /// stripe lock. A drain that runs between the claim and the push clears
+    /// the bit while the entry is still unqueued, so a second insert of the
+    /// same page wins a fresh claim and the page ends up queued twice —
+    /// one drain then delivers a duplicate. The model tests assert the
+    /// explorer finds such a schedule within the default budget.
+    #[doc(hidden)]
+    pub fn insert_mutant_claim_outside_stripe_lock(&self, page: u32, from: usize) -> bool {
+        let (w, b) = (page as usize / 64, page as usize % 64);
+        let fresh = self.bits[w].fetch_or(1 << b, Ordering::AcqRel) >> b & 1 == 0;
+        if !fresh {
+            return false;
+        }
+        let mut stripe = self.stripes[from].lock();
+        // relaxed-ok: same ticket-uniqueness argument as `insert`; the bug
+        // under study is the claim/lock ordering above, not this RMW.
         let t = self.ticket.fetch_add(1, Ordering::Relaxed);
         stripe.push((t, page));
         true
@@ -366,7 +397,7 @@ mod tests {
         let hs: Vec<_> = (0..4)
             .map(|from| {
                 let l = Arc::clone(&l);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     for _ in 0..1000 {
                         l.insert(3, from);
                     }
@@ -374,7 +405,7 @@ mod tests {
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
         assert_eq!(
             l.drain(),
@@ -385,58 +416,20 @@ mod tests {
 
     #[test]
     fn striped_posts_deliver_exactly_once_under_concurrent_drains() {
-        use std::collections::HashMap;
-        use std::sync::Arc;
-        // 4 posting threads (one stripe each, disjoint page ranges, plus a
-        // shared contended page) race a continuously draining thread. Every
-        // distinct page posted must come out exactly once per epoch it was
-        // queued in, and per-poster FIFO order must survive the merge.
-        const PER: u32 = 500;
-        let l = Arc::new(ProcNoticeList::new(4 * PER as usize + 1, 4));
-        let posters: Vec<_> = (0..4u32)
-            .map(|from| {
-                let l = Arc::clone(&l);
-                std::thread::spawn(move || {
-                    for i in 0..PER {
-                        l.insert(from * PER + i, from as usize);
-                        if i % 64 == 0 {
-                            std::thread::yield_now();
-                        }
-                    }
-                })
-            })
-            .collect();
-        let drainer = {
-            let l = Arc::clone(&l);
-            std::thread::spawn(move || {
-                let mut got = Vec::new();
-                for _ in 0..200 {
-                    got.extend(l.drain());
-                    std::thread::yield_now();
-                }
-                got
-            })
-        };
-        for h in posters {
-            h.join().unwrap();
-        }
-        let mut all = drainer.join().unwrap();
-        all.extend(l.drain());
-        let mut counts: HashMap<u32, usize> = HashMap::new();
-        for p in &all {
-            *counts.entry(*p).or_default() += 1;
-        }
-        assert_eq!(counts.len(), 4 * PER as usize, "every page delivered");
-        assert!(
-            counts.values().all(|&c| c == 1),
-            "disjoint pages queued in one epoch each → delivered exactly once"
-        );
-        for from in 0..4u32 {
-            let mine: Vec<u32> = all.iter().copied().filter(|p| p / PER == from).collect();
-            assert!(
-                mine.windows(2).all(|w| w[0] < w[1]),
-                "poster {from}'s pages left the merge in post order"
-            );
+        // 4 posting threads (one stripe each, disjoint page ranges) race a
+        // continuously draining thread. The scenario body is shared with
+        // `tests/model_notice.rs`, which runs the same assertions under the
+        // interleaving explorer with small parameters (DESIGN.md §11).
+        crate::model_scenarios::striped_notice_exactly_once(4, 500, 200);
+    }
+
+    #[test]
+    fn contended_inserts_deliver_exactly_once_per_drain() {
+        // OS-thread run of the shared contended-page scenario; the model
+        // variant explores it exhaustively and catches the claim-outside-
+        // lock mutant.
+        for _ in 0..50 {
+            crate::model_scenarios::contended_insert_exactly_once(false);
         }
     }
 
@@ -457,7 +450,7 @@ mod tests {
         let hs: Vec<_> = (0..3usize)
             .map(|from| {
                 let n = Arc::clone(&n);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     for i in 0..400u32 {
                         n.push(from as u32 * 1000 + i, from);
                     }
@@ -465,7 +458,7 @@ mod tests {
             })
             .collect();
         for h in hs {
-            h.join().unwrap();
+            h.join();
         }
         let mut got = n.drain();
         got.sort_unstable();
@@ -502,7 +495,7 @@ mod tests {
         let posters: Vec<_> = (1..4usize)
             .map(|from| {
                 let b = Arc::clone(&b);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     for i in 0..500u32 {
                         b.post(0, from, i, 0);
                     }
@@ -512,7 +505,7 @@ mod tests {
         let drainers: Vec<_> = (0..2)
             .map(|_| {
                 let b = Arc::clone(&b);
-                std::thread::spawn(move || {
+                cashmere_model::thread::spawn(move || {
                     let mut got = Vec::new();
                     for _ in 0..2000 {
                         got.extend(b.drain(0));
@@ -522,11 +515,11 @@ mod tests {
             })
             .collect();
         for h in posters {
-            h.join().unwrap();
+            h.join();
         }
         let mut all: Vec<(usize, u32)> = Vec::new();
         for h in drainers {
-            all.extend(h.join().unwrap());
+            all.extend(h.join());
         }
         all.extend(b.drain(0));
         let mut counts: HashMap<(usize, u32), usize> = HashMap::new();

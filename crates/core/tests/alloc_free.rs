@@ -19,6 +19,8 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // relaxed-ok: allocation counter; the single-threaded test reads it
+        // on the same thread that increments it.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
@@ -28,6 +30,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // relaxed-ok: allocation counter (see alloc above).
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -49,6 +52,7 @@ fn assert_hot_path_allocation_free(obs: bool) {
     for page in 0..4 {
         engine.write_word(&mut ctx, page * 512, 1);
     }
+    // relaxed-ok: same-thread counter reads around a single-threaded loop.
     let before = ALLOCS.load(Ordering::Relaxed);
     for round in 0..100u64 {
         for page in 0..4 {
@@ -57,6 +61,7 @@ fn assert_hot_path_allocation_free(obs: bool) {
             engine.write_word(&mut ctx, addr, v + 1);
         }
     }
+    // relaxed-ok: same-thread counter read (see above).
     let delta = ALLOCS.load(Ordering::Relaxed) - before;
     assert_eq!(delta, 0, "hot path allocated {delta} times with obs={obs}");
 }

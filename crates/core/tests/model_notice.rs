@@ -1,0 +1,53 @@
+//! Model tests for the striped write-notice lists (DESIGN.md §11): the
+//! exactly-once insert + ticket-ordered drain invariants run under the
+//! bounded interleaving explorer, sharing their scenario bodies with the
+//! OS-thread stress tests in `src/write_notice.rs`. The mutation battery
+//! reintroduces the claim-outside-stripe-lock ordering and asserts the
+//! explorer finds a violating schedule within the default budget and
+//! replays it deterministically from the printed seed.
+
+use cashmere_core::model_scenarios as sc;
+use cashmere_model::{expect_violation, explore, replay, ModelConfig};
+
+#[test]
+fn model_notice_striped_posts_deliver_exactly_once() {
+    let explored = explore("notice-striped-exactly-once", || {
+        sc::striped_notice_exactly_once(2, 2, 2);
+    });
+    // Golden budget: every schedule in the default budget runs to
+    // completion — posts and drains are loop-free, so truncation would
+    // mean a structural regression.
+    assert_eq!(explored.truncated, 0, "notice schedules must not truncate");
+    assert!(explored.schedules > 0);
+}
+
+#[test]
+fn model_notice_contended_insert_exactly_once() {
+    let explored = explore("notice-contended-exactly-once", || {
+        sc::contended_insert_exactly_once(false);
+    });
+    assert_eq!(
+        explored.truncated, 0,
+        "contended schedules must not truncate"
+    );
+}
+
+#[test]
+fn model_notice_mutant_claim_outside_stripe_lock_is_caught() {
+    let cfg = ModelConfig::default();
+    let v = expect_violation("notice-mutant-claim-outside-lock", &cfg, || {
+        sc::contended_insert_exactly_once(true);
+    });
+    assert!(
+        v.message.contains("duplicate") || v.message.contains("exactly once"),
+        "unexpected failure mode: {}",
+        v.message
+    );
+    // The printed (seed, bound) must reproduce the exact failure.
+    let again = replay(&cfg, v.seed, v.bound, || {
+        sc::contended_insert_exactly_once(true);
+    })
+    .expect_err("failing schedule must replay deterministically");
+    assert_eq!(again.message, v.message);
+    assert_eq!(again.steps, v.steps);
+}

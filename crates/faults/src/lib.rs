@@ -26,6 +26,12 @@
 //! configuration is byte-identical in virtual time to a build without the
 //! interposition layer (`results/vt_golden.jsonl` pins this).
 //!
+// Fault-handling code must degrade gracefully, never panic: an injection or
+// recovery path that unwraps turns the fault under study into a crash. Tests
+// are exempt (asserting on fixtures is fine). scripts/lint.sh pins the same
+// contract with a source scan.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! # Fault kinds and who recovers
 //!
 //! * [`FaultKind::DropWrite`] / [`FaultKind::DuplicateWrite`] /
@@ -268,6 +274,9 @@ impl FaultStats {
     /// Labelled snapshot of every counter, for reports.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        // relaxed-ok: statistics counters read for reporting; single-location
+        // RMW coherence keeps each count exact, and reports are only
+        // consulted after the run's threads have joined.
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         vec![
             ("writes_dropped", g(&self.writes_dropped)),
@@ -287,6 +296,8 @@ impl FaultStats {
     }
 
     fn bump(&self, c: &AtomicU64) {
+        // relaxed-ok: statistics counter; increments need atomicity, not
+        // ordering (see snapshot above).
         c.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -643,6 +654,7 @@ mod tests {
             assert_eq!(always.write_fault(2, 1, now), WriteFault::Drop);
         }
         assert_eq!(never.stats().total(), 0);
+        // relaxed-ok: test-side counter read after all injections completed.
         assert_eq!(always.stats().writes_dropped.load(Ordering::Relaxed), 500);
     }
 
@@ -806,6 +818,7 @@ mod tests {
             .with_rule(FaultRule::new(FaultKind::DelayWrite, 1.0).windowed(10, 20));
         let _ = p.write_fault(0, 0, 5);
         let _ = p.write_fault(0, 0, 15);
+        // relaxed-ok: test-side counter reads after all injections completed.
         assert_eq!(p.stats().writes_dropped.load(Ordering::Relaxed), 1);
         assert_eq!(p.stats().writes_delayed.load(Ordering::Relaxed), 1);
         assert_eq!(p.stats().total(), 2);

@@ -49,9 +49,10 @@
 //! `cashmere-core`). With no plan (or an empty one) every path is
 //! byte-identical in virtual time to the pre-fault-layer simulator.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 
+use cashmere_model::ModelAtomicU64;
 use parking_lot::{Mutex, RwLock};
 
 use cashmere_faults::{FaultPlan, WriteFault};
@@ -72,11 +73,14 @@ struct Region {
     order: Mutex<()>,
     /// Receive copies, indexed by endpoint; attached lazily (a mapping
     /// created after some writes does not see history, as on real hardware).
-    rx: Vec<OnceLock<Box<[AtomicU64]>>>,
+    /// The words are model-routed atomics so the interleaving explorer can
+    /// schedule around the lock-free directory reads built on them
+    /// (DESIGN.md §11); outside model tests they are plain `AtomicU64`s.
+    rx: Vec<OnceLock<Box<[ModelAtomicU64]>>>,
 }
 
 impl Region {
-    fn rx_of(&self, endpoint: usize) -> Option<&[AtomicU64]> {
+    fn rx_of(&self, endpoint: usize) -> Option<&[ModelAtomicU64]> {
         self.rx[endpoint].get().map(|b| &b[..])
     }
 }
@@ -180,7 +184,8 @@ impl MemoryChannel {
     /// starts zeroed and only observes writes delivered after attachment.
     pub fn attach_rx(&self, r: RegionId, endpoint: usize) {
         let region = self.region(r);
-        region.rx[endpoint].get_or_init(|| (0..region.words).map(|_| AtomicU64::new(0)).collect());
+        region.rx[endpoint]
+            .get_or_init(|| (0..region.words).map(|_| ModelAtomicU64::new(0)).collect());
     }
 
     /// Whether `endpoint` has a receive mapping for `r`.
@@ -242,7 +247,7 @@ impl MemoryChannel {
         from: usize,
         bytes: Nanos,
         now: Nanos,
-        deliver: impl Fn(&[AtomicU64]),
+        deliver: impl Fn(&[ModelAtomicU64]),
     ) -> Nanos {
         let (link_done, deliveries) = self.reserve_link(from, bytes, now);
         let done = link_done + self.cost.mc_write_latency;

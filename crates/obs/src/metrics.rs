@@ -221,6 +221,9 @@ impl LinkMetrics {
     #[inline]
     pub fn record(&self, link: usize, bytes: u64) {
         if let Some((m, b)) = self.slots.get(link) {
+            // relaxed-ok: statistics counters on the transmit hot path;
+            // single-location RMW coherence keeps the totals exact and no
+            // other data is published through them.
             m.fetch_add(1, Ordering::Relaxed);
             b.fetch_add(bytes, Ordering::Relaxed);
         }
@@ -232,6 +235,8 @@ impl LinkMetrics {
         self.slots
             .iter()
             .map(|(m, b)| LinkCounts {
+                // relaxed-ok: statistics counters read for reporting after
+                // the run's threads have joined (see record above).
                 messages: m.load(Ordering::Relaxed),
                 bytes: b.load(Ordering::Relaxed),
             })

@@ -10,6 +10,11 @@
 //! posts is charged by the engine's cost model either way, so protocol
 //! timing results are unaffected.
 
+// Shim crate: exempt from the workspace concurrency lint (clippy.toml); its
+// own tests may spawn raw threads to exercise the queue from outside the
+// model scheduler.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 /// Concurrent queues.
 pub mod queue {
     use parking_lot::Mutex;

@@ -1,0 +1,46 @@
+//! Model test for the vendored `SegQueue`: the queue is built on the
+//! parking_lot shim, so its lock traffic is routed through the explorer
+//! automatically — exactly-once delivery must hold across every explored
+//! interleaving of producers and a draining consumer.
+
+use cashmere_model::{explore, thread};
+use crossbeam::queue::SegQueue;
+use std::sync::Arc;
+
+#[test]
+fn model_segqueue_delivers_exactly_once() {
+    explore("crossbeam-segqueue-exactly-once", || {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..2u64 {
+                        q.push(t * 10 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..4 {
+                    if let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        for p in producers {
+            p.join();
+        }
+        let mut all = consumer.join();
+        while let Some(v) = q.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 10, 11], "every push popped exactly once");
+    });
+}

@@ -12,10 +12,35 @@
 //!
 //! Only the types actually imported by the workspace are provided: [`Mutex`]
 //! (with `const fn new`), [`Condvar`], and [`RwLock`].
+//!
+//! # Model hooks
+//!
+//! Every acquire, release, and try-acquire routes through
+//! [`cashmere-model`](cashmere_model)'s schedule controller (re-exported
+//! here as [`model`]). Without the `model` feature those hooks are empty
+//! inline functions; with it, code running under `model::explore` has its
+//! lock operations interleaved systematically (see DESIGN.md §11). This is
+//! the reason the workspace bans `std::sync::{Mutex,RwLock}` outside the
+//! shims (`scripts/lint.sh`): a lock that bypasses this facade is invisible
+//! to the explorer.
+
+// This crate IS the shim layer the workspace concurrency bans funnel
+// everyone into; it legitimately builds on the raw std primitives.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
+
+/// The interleaving explorer whose hooks these primitives call; model tests
+/// reach it as `parking_lot::model` (or depend on `cashmere-model`
+/// directly).
+pub use cashmere_model as model;
+
+/// Stable per-primitive location id for the model's conflict relation.
+fn loc_of<T: ?Sized>(x: &T) -> usize {
+    std::ptr::from_ref(x).cast::<()>() as usize
+}
 
 /// A mutual-exclusion primitive with `parking_lot`'s unpoisoned interface.
 #[derive(Debug, Default)]
@@ -25,6 +50,7 @@ pub struct Mutex<T: ?Sized> {
 
 /// RAII guard for [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    loc: usize,
     // `Option` so `Condvar::wait` can move the std guard out and back while
     // the caller retains the `&mut MutexGuard`.
     inner: Option<std::sync::MutexGuard<'a, T>>,
@@ -47,27 +73,46 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the mutex, blocking until available.
+    /// Acquires the mutex, blocking until available. Under an active model
+    /// exploration the thread is scheduled only once the modeled lock is
+    /// free, so the inner `std` lock never actually contends there.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let loc = loc_of(self);
+        model::on_mutex_lock(loc);
         MutexGuard {
+            loc,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let loc = loc_of(self);
+        model::on_mutex_try(loc);
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        model::on_mutex_acquired(loc);
+        Some(MutexGuard {
+            loc,
+            inner: Some(g),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release schedule point fires before the real unlock (the inner
+        // guard drops after this body), keeping the modeled lock table
+        // authoritative for who may be granted the lock next.
+        model::on_mutex_unlock(self.loc);
     }
 }
 
@@ -86,6 +131,10 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 /// A condition variable pairing with [`Mutex`], `parking_lot`-style
 /// (`wait` takes the guard by `&mut`).
+///
+/// Not supported under an active model exploration ("release the lock and
+/// sleep" has no bounded-schedule semantics); [`model::on_condvar_wait`]
+/// fails the schedule if a model thread reaches one.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: std::sync::Condvar,
@@ -102,6 +151,7 @@ impl Condvar {
     /// Atomically releases the guard's mutex and waits for a notification,
     /// reacquiring before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        model::on_condvar_wait();
         let g = guard.inner.take().expect("guard invariant");
         let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(g);
@@ -110,6 +160,7 @@ impl Condvar {
     /// As [`Condvar::wait`] with a timeout; returns `true` if the wait timed
     /// out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        model::on_condvar_wait();
         let g = guard.inner.take().expect("guard invariant");
         let (g, res) = self
             .inner
@@ -138,11 +189,13 @@ pub struct RwLock<T: ?Sized> {
 
 /// RAII guard for [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    loc: usize,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    loc: usize,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -158,16 +211,34 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let loc = loc_of(self);
+        model::on_rwlock_read(loc);
         RwLockReadGuard {
+            loc,
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let loc = loc_of(self);
+        model::on_rwlock_write(loc);
         RwLockWriteGuard {
+            loc,
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
         }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        model::on_rwlock_unlock_read(self.loc);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        model::on_rwlock_unlock_write(self.loc);
     }
 }
 

@@ -177,7 +177,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..8 {
             let r = Arc::clone(&r);
-            handles.push(std::thread::spawn(move || {
+            handles.push(cashmere_model::thread::spawn(move || {
                 let mut ends = Vec::new();
                 for _ in 0..1000 {
                     ends.push(r.acquire(0, 7));
@@ -185,10 +185,7 @@ mod tests {
                 ends
             }));
         }
-        let mut all: Vec<Nanos> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
+        let mut all: Vec<Nanos> = handles.into_iter().flat_map(|h| h.join()).collect();
         all.sort_unstable();
         // 8000 grants of 7 ns each, all requested at t=0, must produce
         // distinct, exactly-spaced completion times.

@@ -31,8 +31,8 @@
 //! affects virtual time: the protocol layer charges costs from **dirty-word
 //! counts** ([`DiffRuns::words`]), never from the representation.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
 
 /// Words per coherence page (8 KB / 8-byte words).
 pub const PAGE_WORDS: usize = 1024;
@@ -162,18 +162,22 @@ impl Frame {
     /// Loads word `i`.
     #[inline]
     pub fn load(&self, i: usize) -> u64 {
+        // relaxed-ok: DRF page data; cross-processor ordering comes from the
+        // protocol's acquire/release synchronization, not data accesses.
         self.words[i].load(Ordering::Relaxed)
     }
 
     /// Stores `v` at word `i`.
     #[inline]
     pub fn store(&self, i: usize, v: u64) {
+        // relaxed-ok: DRF page data (see Frame docs and load above).
         self.words[i].store(v, Ordering::Relaxed);
     }
 
     /// Block-loads the [`CHUNK_WORDS`] words starting at `base` (relaxed).
     #[inline]
     fn load_chunk(&self, base: usize) -> [u64; CHUNK_WORDS] {
+        // relaxed-ok: DRF page data (see Frame docs).
         std::array::from_fn(|k| self.words[base + k].load(Ordering::Relaxed))
     }
 
@@ -188,6 +192,7 @@ impl Frame {
     pub fn fill_from(&self, src: &[u64; PAGE_WORDS]) {
         for base in (0..PAGE_WORDS).step_by(CHUNK_WORDS) {
             for k in 0..CHUNK_WORDS {
+                // relaxed-ok: DRF page data (see Frame docs).
                 self.words[base + k].store(src[base + k], Ordering::Relaxed);
             }
         }
@@ -198,6 +203,7 @@ impl Frame {
     #[inline]
     pub fn store_run(&self, start: usize, vals: &[u64]) {
         for (w, &v) in self.words[start..start + vals.len()].iter().zip(vals) {
+            // relaxed-ok: DRF page data (see Frame docs).
             w.store(v, Ordering::Relaxed);
         }
     }
@@ -208,6 +214,7 @@ impl Frame {
     pub fn load_run(&self, start: usize, out: &mut [u64]) {
         let words = &self.words[start..start + out.len()];
         for (o, w) in out.iter_mut().zip(words) {
+            // relaxed-ok: DRF page data (see Frame docs).
             *o = w.load(Ordering::Relaxed);
         }
     }
@@ -257,7 +264,10 @@ impl PagePool {
 
     /// Pops a recycled zeroed buffer, or allocates a fresh one.
     pub fn acquire(&self) -> Twin {
-        if let Some(buf) = self.free.lock().unwrap().pop() {
+        if let Some(buf) = self.free.lock().pop() {
+            // relaxed-ok: statistics counter; single-location RMW coherence
+            // makes increments exact, and readers only consume it after the
+            // threads of interest joined.
             self.reuses.fetch_add(1, Ordering::Relaxed);
             debug_assert!(buf.iter().all(|&w| w == 0), "reset-on-return violated");
             buf
@@ -276,19 +286,36 @@ impl PagePool {
     }
 
     /// Returns `buf` to the pool, zeroing it first (the reset-on-return
-    /// contract).
+    /// contract). The zeroing happens *before* the buffer is shelved: once
+    /// it is reachable from the free list, a concurrent [`acquire`] may pop
+    /// it at any moment.
     pub fn release(&self, mut buf: Twin) {
         buf.fill(0);
-        self.free.lock().unwrap().push(buf);
+        self.free.lock().push(buf);
+    }
+
+    /// Known-wrong variant of [`release`](Self::release) kept as a model
+    /// mutation target (DESIGN.md §11): it shelves the buffer dirty and
+    /// zeroes it in a *second* critical section. Sequentially
+    /// indistinguishable from the real thing; under a concurrent `acquire`
+    /// the reset-on-return contract breaks. The interleaving explorer must
+    /// catch this within its default budget (`model_pool.rs`).
+    #[doc(hidden)]
+    pub fn release_mutant_reset_after_shelve(&self, buf: Twin) {
+        self.free.lock().push(buf);
+        if let Some(b) = self.free.lock().last_mut() {
+            b.fill(0);
+        }
     }
 
     /// Buffers currently shelved (test/microbench introspection).
     pub fn idle(&self) -> usize {
-        self.free.lock().unwrap().len()
+        self.free.lock().len()
     }
 
     /// How many acquisitions were served from the free list.
     pub fn reuses(&self) -> u64 {
+        // relaxed-ok: statistics counter read for reporting; see fetch_add.
         self.reuses.load(Ordering::Relaxed)
     }
 }
@@ -656,7 +683,7 @@ mod tests {
         use std::sync::Arc;
         let pt = Arc::new(PageTable::new(1));
         let pt2 = Arc::clone(&pt);
-        let h = std::thread::spawn(move || {
+        let h = cashmere_model::thread::spawn(move || {
             for _ in 0..1000 {
                 pt2.set(0, Perm::Write);
                 pt2.set(0, Perm::Read);
@@ -666,6 +693,6 @@ mod tests {
             let p = pt.get(0);
             assert!(p == Perm::Read || p == Perm::Write || p == Perm::None);
         }
-        h.join().unwrap();
+        h.join();
     }
 }

@@ -1,0 +1,76 @@
+//! Model tests for [`PagePool`]'s reset-on-return contract under concurrent
+//! return/acquire (DESIGN.md §11): every interleaving must hand `acquire`
+//! callers a buffer indistinguishable from a fresh zeroed allocation, and
+//! the known-wrong mutant (reset *after* shelving) must be caught by the
+//! explorer within the default budget and replay from its printed seed.
+
+use cashmere_model::{expect_violation, explore, replay, thread, ModelConfig};
+use cashmere_vmpage::{PagePool, PAGE_WORDS};
+use std::sync::Arc;
+
+/// A dirty buffer the releaser returns while an acquirer races it.
+fn dirty_twin() -> Box<[u64; PAGE_WORDS]> {
+    let mut buf = Box::new([0u64; PAGE_WORDS]);
+    buf[1] = 0xDEAD;
+    buf[PAGE_WORDS - 1] = 0xBEEF;
+    buf
+}
+
+fn pool_scenario(mutant: bool) -> impl Fn() + Send + Sync {
+    move || {
+        let pool = Arc::new(PagePool::new());
+        let releaser = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                if mutant {
+                    pool.release_mutant_reset_after_shelve(dirty_twin());
+                } else {
+                    pool.release(dirty_twin());
+                }
+            })
+        };
+        let acquirer = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let buf = pool.acquire();
+                assert!(
+                    buf.iter().all(|&w| w == 0),
+                    "acquired buffer carries a previous tenant's words"
+                );
+                pool.release(buf);
+            })
+        };
+        releaser.join();
+        acquirer.join();
+    }
+}
+
+#[test]
+fn model_pool_reset_on_return_under_concurrent_return_acquire() {
+    let explored = explore("vmpage-pool-reset-on-return", pool_scenario(false));
+    // Golden budget: this structure needs no truncation headroom — every
+    // schedule in the default budget must run to completion. If a future
+    // change makes schedules blow the step cap, this fails loudly.
+    assert_eq!(explored.truncated, 0, "pool schedules must not truncate");
+    assert!(explored.schedules > 0);
+}
+
+#[test]
+fn model_pool_mutant_reset_after_shelve_is_caught() {
+    let cfg = ModelConfig::default();
+    let v = expect_violation(
+        "vmpage-pool-mutant-reset-after-shelve",
+        &cfg,
+        pool_scenario(true),
+    );
+    assert!(
+        v.message.contains("previous tenant") || v.message.contains("reset-on-return"),
+        "unexpected failure mode: {}",
+        v.message
+    );
+    // The printed (seed, bound) must reproduce the exact failure.
+    let again = replay(&cfg, v.seed, v.bound, pool_scenario(true))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(again.message, v.message);
+    assert_eq!(again.steps, v.steps);
+}

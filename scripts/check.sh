@@ -19,6 +19,12 @@
 #   obs    — opt-in (CHECK_OBS=1): observability gate (obs-on/off golden
 #            identity, Figure-7 breakdown sums vs total VT, span-nesting
 #            audit, Chrome-trace schema lint)
+#   model  — opt-in (CHECK_MODEL=1): the concurrency lint (scripts/lint.sh:
+#            relaxed-ok tags, std-primitive bans, recovery no-panic scan)
+#            plus the bounded interleaving explorer over every model_* test
+#            (DESIGN.md §11). MODEL_BUDGET overrides the per-scenario
+#            schedule budget (default 256); each exploration echoes its
+#            schedule/truncation counts
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,4 +64,11 @@ fi
 if [[ "${CHECK_OBS:-0}" == "1" ]]; then
     cargo build --release -p cashmere-bench --offline
     target/release/obsgate
+fi
+
+if [[ "${CHECK_MODEL:-0}" == "1" ]]; then
+    scripts/lint.sh
+    echo "model: exploring interleavings (MODEL_BUDGET=${MODEL_BUDGET:-256} schedules per scenario)"
+    MODEL_BUDGET="${MODEL_BUDGET:-256}" \
+        cargo test --workspace --offline -q model_ -- --nocapture
 fi

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Workspace concurrency lint (DESIGN.md §11): the textual checks that
+# clippy's disallowed-types/methods config (clippy.toml) cannot express.
+#
+#   relaxed-ok — every `Ordering::Relaxed` site must carry a
+#       `// relaxed-ok: <reason>` tag on the same line or within the
+#       preceding 10-line comment window, and may appear only in files
+#       registered below. Upgrading a site to Acquire/Release removes it;
+#       adding a new Relaxed means updating the registry *and* writing the
+#       justification.
+#   std bans — std::sync::{Mutex,RwLock} and raw std::thread::spawn are
+#       banned outside crates/shims: the shims route locks and spawns
+#       through the model explorer, and std primitives are invisible to it
+#       (std::thread::scope is fine — scoped fan-out cannot leak threads).
+#   recovery no-panic — unwrap()/expect() are banned in recovery paths
+#       (crates/core/src/recovery.rs and crates/faults non-test code): a
+#       recovery path that panics turns the injected fault into a crash.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- relaxed-ok tags -------------------------------------------------------
+
+# Files permitted to contain Ordering::Relaxed at all. Adding a file here is
+# a reviewable act; each site still needs its own relaxed-ok tag.
+RELAXED_REGISTRY="
+crates/bench/src/sweep.rs
+crates/core/src/engine.rs
+crates/core/src/mc_lock.rs
+crates/core/src/trace.rs
+crates/core/src/write_notice.rs
+crates/core/tests/alloc_free.rs
+crates/faults/src/lib.rs
+crates/obs/src/metrics.rs
+crates/sim/src/stats.rs
+crates/vmpage/src/lib.rs
+"
+
+relaxed_files="$(grep -rl --include='*.rs' 'Ordering::Relaxed' crates | sort || true)"
+
+for f in $relaxed_files; do
+    if ! grep -qxF "$f" <<<"$RELAXED_REGISTRY"; then
+        echo "FAIL lint(relaxed-registry): $f uses Ordering::Relaxed but is not registered in scripts/lint.sh" >&2
+        fail=1
+    fi
+done
+
+relaxed_sites=0
+if [[ -n "$relaxed_files" ]]; then
+    relaxed_sites="$(grep -c 'Ordering::Relaxed' $relaxed_files | awk -F: '{s+=$NF} END {print s+0}')"
+    untagged="$(awk '
+        FNR == 1 { last_tag = 0 }
+        /relaxed-ok:/ { last_tag = FNR }
+        /Ordering::Relaxed/ {
+            if (!($0 ~ /relaxed-ok:/ || (last_tag && FNR - last_tag <= 10)))
+                printf "%s:%d: Ordering::Relaxed without a relaxed-ok tag\n", FILENAME, FNR
+        }
+    ' $relaxed_files)"
+    if [[ -n "$untagged" ]]; then
+        echo "FAIL lint(relaxed-ok): every Relaxed site needs a \`// relaxed-ok: <reason>\` tag" >&2
+        echo "$untagged" >&2
+        fail=1
+    fi
+fi
+echo "lint(relaxed-ok): $relaxed_sites tagged sites across $(wc -w <<<"$relaxed_files") registered files"
+
+# --- std primitive bans outside the shims ----------------------------------
+
+std_sync="$(grep -rnE --include='*.rs' \
+    'std::sync::(Mutex|RwLock)[^a-zA-Z]|use std::sync::\{[^}]*(Mutex|RwLock)' \
+    crates | grep -v '^crates/shims/' || true)"
+if [[ -n "$std_sync" ]]; then
+    echo "FAIL lint(std-sync): std::sync::{Mutex,RwLock} are banned outside crates/shims (use the parking_lot shim)" >&2
+    echo "$std_sync" >&2
+    fail=1
+fi
+
+raw_spawn="$(grep -rn --include='*.rs' 'std::thread::spawn' crates \
+    | grep -v '^crates/shims/' || true)"
+if [[ -n "$raw_spawn" ]]; then
+    echo "FAIL lint(raw-spawn): std::thread::spawn is banned outside crates/shims (use cashmere_model::thread::spawn)" >&2
+    echo "$raw_spawn" >&2
+    fail=1
+fi
+echo "lint(std-bans): no std locks or raw spawns outside crates/shims"
+
+# --- no unwrap/expect in recovery paths ------------------------------------
+
+recovery_viol="$(grep -n '\.unwrap()\|\.expect(' crates/core/src/recovery.rs || true)"
+if [[ -n "$recovery_viol" ]]; then
+    echo "FAIL lint(recovery-no-panic): unwrap/expect banned in crates/core/src/recovery.rs" >&2
+    echo "$recovery_viol" >&2
+    fail=1
+fi
+faults_viol="$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /\.unwrap\(\)|\.expect\(/ { printf "crates/faults/src/lib.rs:%d: %s\n", FNR, $0 }
+' crates/faults/src/lib.rs)"
+if [[ -n "$faults_viol" ]]; then
+    echo "FAIL lint(recovery-no-panic): unwrap/expect banned in crates/faults non-test code" >&2
+    echo "$faults_viol" >&2
+    fail=1
+fi
+echo "lint(recovery-no-panic): recovery paths free of unwrap/expect"
+
+exit "$fail"
