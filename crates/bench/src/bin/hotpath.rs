@@ -144,4 +144,36 @@ fn main() {
         j = j.wrapping_add(1);
     });
     report("Directory::sharers (8-node scan)", sharers);
+
+    // --- region-table lookups -------------------------------------------
+    // Every transmit and local read resolves a RegionId first. The lock-free
+    // bucket table replaced an RwLock<Vec<Arc<Region>>>; the baseline row
+    // recreates that layout (same Arc indirection, same read-side work plus
+    // the lock) so the delta isolates the lock acquisition itself.
+    const REGIONS: usize = 512;
+    let mc2 = Arc::new(MemoryChannel::new(vec![0, 0], 1, CostModel::default()));
+    let ids: Vec<_> = (0..REGIONS)
+        .map(|_| {
+            let r = mc2.create_region(4, true);
+            mc2.attach_rx(r, 0);
+            mc2.write_local(r, 0, 0, 7);
+            r
+        })
+        .collect();
+    let mut k = 0usize;
+    let lockfree = bench(rounds, 50_000, || {
+        black_box(mc2.read_local(black_box(ids[k % REGIONS]), 0, 0));
+        k = k.wrapping_add(1);
+    });
+    report("region lookup: lock-free bucket table", lockfree);
+
+    let locked: parking_lot::RwLock<Vec<Arc<[u64; 4]>>> =
+        parking_lot::RwLock::new((0..REGIONS).map(|_| Arc::new([7u64; 4])).collect());
+    let mut l = 0usize;
+    let rwlock = bench(rounds, 50_000, || {
+        let regions = locked.read();
+        black_box(regions[black_box(l % REGIONS)][0]);
+        l = l.wrapping_add(1);
+    });
+    report("region lookup: RwLock<Vec<Arc<..>>> baseline", rwlock);
 }

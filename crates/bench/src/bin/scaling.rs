@@ -1,0 +1,506 @@
+//! Scaling-curve experiment past the paper's 8×4 (DESIGN.md §12).
+//!
+//! The paper's prototype tops out at eight 4-processor nodes. This harness
+//! sweeps the same protocols across progressively larger clusters —
+//! 8×4 → 16×8 → 32×8 → 64×16 by default — under both directory layouts:
+//!
+//! * `replicated` — the paper's per-node full replica (the default
+//!   [`DirectoryMode::LockFree`]), whose update broadcast and memory grow
+//!   linearly in protocol-node count;
+//! * `sparse` — the home-sharded directory, O(pages) total memory and O(1)
+//!   update messages.
+//!
+//! Every cell runs with the protocol auditor on and its checksum compared
+//! against the app's sequential baseline; the harness **fails** if any
+//! audit is dirty, any checksum drifts, the largest shape completes fewer
+//! than two applications under 2L, or the sparse/replicated protocol-byte
+//! ratio fails to shrink strictly as the cluster grows (the sub-linearity
+//! claim this experiment exists to demonstrate).
+//!
+//! Before any cell runs, the deterministic virtual-time goldens are
+//! regenerated and byte-compared against `results/vt_golden.jsonl` (plus
+//! the `table2.jsonl` sequential rows): scaling work must not move the
+//! default 8×4 replicated path by a single byte.
+//!
+//! Usage:
+//!   scaling [--ci] [--seed N] [SHAPE ...]
+//!
+//! `--ci` restricts the sweep to the CI-sized subset (8x4, 16x8). Shapes
+//! parse through `Topology`'s grammar: `16x8` (nodes × procs/node) or the
+//! paper's `128:8` (total procs : per node). `CASHMERE_JOBS` bounds how
+//! many cells run concurrently (default: available parallelism). Output:
+//! `BENCH_scaling.json`, seed/jobs/shapes echoed for provenance.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use cashmere_apps::{Benchmark, Gauss, Scale, Sor};
+use cashmere_bench::golden::{build_goldens, check_table2};
+use cashmere_bench::sweep::jobs_from_env;
+use cashmere_bench::{fmt_json_f64, json_key, json_str, sequential};
+use cashmere_check::audit;
+use cashmere_core::directory::DirUsage;
+use cashmere_core::{DirectoryMode, ProtocolKind, RunSpec, Topology};
+
+/// The default scaling ladder; `--ci` keeps the first two rungs.
+const FULL_SHAPES: [&str; 4] = ["8x4", "16x8", "32x8", "64x16"];
+const CI_SHAPES: [&str; 2] = ["8x4", "16x8"];
+
+/// The two applications scaled: one nearest-neighbor (SOR), one broadcast-
+/// heavy (Gauss). `Scale::Test` instances stay sub-second per cell even at
+/// 64×16, where idle bands just ride the barriers.
+fn apps() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Sor::new(Scale::Test)),
+        Box::new(Gauss::new(Scale::Test)),
+    ]
+}
+
+fn mode_label(mode: DirectoryMode) -> &'static str {
+    match mode {
+        DirectoryMode::Sparse => "sparse",
+        _ => "replicated",
+    }
+}
+
+/// One completed cell of the shape × protocol × directory-mode × app
+/// matrix.
+struct Cell {
+    app: &'static str,
+    protocol: ProtocolKind,
+    mode: DirectoryMode,
+    topo: Topology,
+    pnodes: usize,
+    exec_ns: u64,
+    speedup: f64,
+    checksum_ok: bool,
+    audit_clean: bool,
+    usage: DirUsage,
+}
+
+impl Cell {
+    fn to_json(&self, seed: u64) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        json_str(&mut s, "experiment", "scaling");
+        let _ = write!(s, ",\"seed\":{seed},");
+        json_str(&mut s, "app", self.app);
+        s.push(',');
+        json_str(&mut s, "protocol", self.protocol.label());
+        s.push(',');
+        json_str(&mut s, "directory", mode_label(self.mode));
+        s.push(',');
+        json_str(&mut s, "shape", &self.topo.to_string());
+        s.push(',');
+        json_str(
+            &mut s,
+            "config",
+            &format!("{}:{}", self.topo.total_procs(), self.topo.procs_per_node()),
+        );
+        let _ = write!(
+            s,
+            ",\"pnodes\":{},\"exec_secs\":{},\"speedup\":{},\
+             \"checksum_ok\":{},\"audit_clean\":{}",
+            self.pnodes,
+            fmt_json_f64(self.exec_ns as f64 / 1e9),
+            fmt_json_f64(self.speedup),
+            self.checksum_ok,
+            self.audit_clean
+        );
+        let u = &self.usage;
+        let _ = write!(
+            s,
+            ",\"protocol_bytes\":{},\"dir_updates\":{},\"dir_update_bytes\":{},\
+             \"dir_probes\":{},\"dir_probe_bytes\":{},\"dir_misses\":{},\
+             \"dir_miss_bytes\":{},\"dir_mc_bytes\":{},\"dir_cache_bytes\":{}}}",
+            u.protocol_bytes(),
+            u.updates,
+            u.update_bytes,
+            u.probes,
+            u.probe_bytes,
+            u.misses,
+            u.miss_bytes,
+            u.mc_bytes,
+            u.cache_bytes
+        );
+        s
+    }
+}
+
+/// Runs one cell: build the cluster, execute the app, audit the trace, and
+/// read the directory's traffic/memory accounting back off the engine.
+fn run_cell(
+    app: &dyn Benchmark,
+    name: &'static str,
+    protocol: ProtocolKind,
+    mode: DirectoryMode,
+    topo: Topology,
+    seq: &BTreeMap<&'static str, (u64, u64)>,
+) -> Cell {
+    let spec = RunSpec::new(topo, protocol)
+        .with_directory(mode)
+        .with_audit(true);
+    let mut cluster = spec.build_cluster(|cfg| app.configure(cfg));
+    let out = app.execute(&mut cluster);
+    let trace = cluster.take_trace();
+    let usage = cluster.engine().directory().usage();
+    let (seq_ns, seq_checksum) = seq[name];
+    Cell {
+        app: name,
+        protocol,
+        mode,
+        topo,
+        pnodes: protocol.node_map().protocol_nodes(&topo),
+        exec_ns: out.report.exec_ns,
+        speedup: if out.report.exec_ns > 0 {
+            seq_ns as f64 / out.report.exec_ns as f64
+        } else {
+            0.0
+        },
+        checksum_ok: out.checksum == seq_checksum,
+        audit_clean: audit(&trace).is_clean(),
+        usage,
+    }
+}
+
+fn main() {
+    let mut shapes: Vec<String> = Vec::new();
+    let mut seed: u64 = 0x5CA1E;
+    let mut ci = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ci" => ci = true,
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
+            s => shapes.push(s.to_string()),
+        }
+    }
+    if shapes.is_empty() {
+        let defaults = if ci { &CI_SHAPES[..] } else { &FULL_SHAPES[..] };
+        shapes = defaults.iter().map(|s| s.to_string()).collect();
+    }
+    let topos: Vec<Topology> = shapes
+        .iter()
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let jobs = jobs_from_env();
+
+    // --- Preflight: scaling work must not move the default path ----------
+    let bench_apps = cashmere_apps::suite(Scale::Bench);
+    let g = build_goldens(&bench_apps, None, false, false, false);
+    let golden_path = std::path::Path::new("results/vt_golden.jsonl");
+    let mut failures = 0usize;
+    match std::fs::read_to_string(golden_path) {
+        Ok(committed) if committed == g.jsonl => {
+            println!(
+                "preflight: vt_golden OK ({} lines, byte-identical)",
+                g.jsonl.lines().count()
+            );
+        }
+        Ok(_) => {
+            failures += 1;
+            eprintln!(
+                "preflight: DRIFT — regenerated goldens differ from {}",
+                golden_path.display()
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("preflight: cannot read {}: {e}", golden_path.display());
+        }
+    }
+    failures += check_table2(&g.seq_secs);
+    if failures > 0 {
+        eprintln!("FAIL: scaling preflight ({failures} failures) — default 8×4 path moved");
+        std::process::exit(1);
+    }
+
+    // --- Sequential baselines (speedup denominator + checksum oracle) ----
+    let apps = apps();
+    let seq: BTreeMap<&'static str, (u64, u64)> = apps
+        .iter()
+        .map(|a| {
+            let out = sequential(a.as_ref());
+            (a.name(), (out.report.exec_ns, out.checksum))
+        })
+        .collect();
+
+    // --- The matrix: shape × protocol × directory mode × app -------------
+    let modes = [DirectoryMode::LockFree, DirectoryMode::Sparse];
+    let mut combos: Vec<(Topology, ProtocolKind, DirectoryMode, &dyn Benchmark)> = Vec::new();
+    for &t in &topos {
+        for p in ProtocolKind::PAPER_FOUR {
+            for &m in &modes {
+                for a in &apps {
+                    combos.push((t, p, m, a.as_ref()));
+                }
+            }
+        }
+    }
+    println!(
+        "scaling: {} cells ({} shapes × 4 protocols × 2 directory modes × {} apps), {jobs} jobs",
+        combos.len(),
+        topos.len(),
+        apps.len()
+    );
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Cell)>();
+    let mut slots: Vec<Option<Cell>> = (0..combos.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(combos.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let combos = &combos;
+            let seq = &seq;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(&(topo, protocol, mode, app)) = combos.get(i) else {
+                    break;
+                };
+                let cell = run_cell(app, app.name(), protocol, mode, topo, seq);
+                if tx.send((i, cell)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, cell) in rx {
+            println!(
+                "{:7} {:4} {:10} {:6} pnodes={:4} exec={:9.4}s speedup={:6.2} \
+                 proto_bytes={:10} dir_mem={:8}B audit={} checksum={}",
+                cell.topo.to_string(),
+                cell.protocol.label(),
+                mode_label(cell.mode),
+                cell.app,
+                cell.pnodes,
+                cell.exec_ns as f64 / 1e9,
+                cell.speedup,
+                cell.usage.protocol_bytes(),
+                cell.usage.mc_bytes + cell.usage.cache_bytes,
+                if cell.audit_clean { "clean" } else { "DIRTY" },
+                if cell.checksum_ok { "ok" } else { "DRIFT" },
+            );
+            slots[i] = Some(cell);
+        }
+    });
+    let cells: Vec<Cell> = slots
+        .into_iter()
+        .map(|c| c.expect("every scaling cell must complete"))
+        .collect();
+
+    // --- Gates ------------------------------------------------------------
+    let mut fail = 0usize;
+    for c in &cells {
+        if !c.audit_clean {
+            eprintln!(
+                "FAIL: dirty audit — {} {} {} {}",
+                c.topo,
+                c.protocol.label(),
+                mode_label(c.mode),
+                c.app
+            );
+            fail += 1;
+        }
+        if !c.checksum_ok {
+            eprintln!(
+                "FAIL: checksum drift — {} {} {} {}",
+                c.topo,
+                c.protocol.label(),
+                mode_label(c.mode),
+                c.app
+            );
+            fail += 1;
+        }
+    }
+    // The largest shape must complete at least two applications under 2L.
+    let largest = *topos
+        .iter()
+        .max_by_key(|t| t.total_procs())
+        .expect("at least one shape");
+    let at_largest = cells
+        .iter()
+        .filter(|c| c.topo == largest && c.protocol == ProtocolKind::TwoLevel && c.audit_clean)
+        .map(|c| c.app)
+        .collect::<std::collections::BTreeSet<_>>();
+    if at_largest.len() < 2 {
+        eprintln!(
+            "FAIL: only {} app(s) completed cleanly under 2L at {largest}",
+            at_largest.len()
+        );
+        fail += 1;
+    }
+    // Sub-linearity: per (app, protocol), two checks prove the sparse
+    // directory's traffic grows sub-linearly in node count vs replication.
+    //
+    // 1. Per-update fan-out bytes (deterministic by construction, immune
+    //    to the host-scheduling jitter in *how many* updates an app
+    //    issues): replicated delivery costs 8·(pnodes−1) bytes per update
+    //    and must grow with the cluster; a sparse update is a single
+    //    bounded home-shard message and must stay flat.
+    // 2. End-to-end, the sparse/replicated *total* protocol-byte ratio
+    //    must shrink from the smallest to the largest cluster. Totals are
+    //    workload-noisy between adjacent shapes (Gauss's lock hand-offs
+    //    reshuffle retries run to run), so this is an endpoint check, not
+    //    a per-step one.
+    let mut ratios: Vec<String> = Vec::new();
+    if topos.len() >= 2 {
+        struct Point {
+            pnodes: usize,
+            sparse_bytes: u64,
+            ratio: f64,
+            sparse_per_update: f64,
+            repl_per_update: f64,
+        }
+        for p in ProtocolKind::PAPER_FOUR {
+            for a in apps.iter().map(|a| a.name()) {
+                let curve: Vec<Point> = topos
+                    .iter()
+                    .map(|&t| {
+                        let by_mode = |m: DirectoryMode| {
+                            cells
+                                .iter()
+                                .find(|c| {
+                                    c.topo == t && c.protocol == p && c.mode == m && c.app == a
+                                })
+                                .map(|c| c.usage)
+                                .expect("full matrix")
+                        };
+                        let sparse = by_mode(DirectoryMode::Sparse);
+                        let repl = by_mode(DirectoryMode::LockFree);
+                        Point {
+                            pnodes: p.node_map().protocol_nodes(&t),
+                            sparse_bytes: sparse.protocol_bytes(),
+                            ratio: sparse.protocol_bytes() as f64
+                                / repl.protocol_bytes().max(1) as f64,
+                            sparse_per_update: sparse.update_bytes as f64
+                                / sparse.updates.max(1) as f64,
+                            repl_per_update: repl.update_bytes as f64 / repl.updates.max(1) as f64,
+                        }
+                    })
+                    .collect();
+                // A sparse update never exceeds one 12-byte shard message;
+                // replicated fan-out must grow with the cluster.
+                let flat = curve.iter().all(|pt| pt.sparse_per_update <= 12.0);
+                let growing = curve
+                    .windows(2)
+                    .all(|w| w[1].repl_per_update > w[0].repl_per_update);
+                // The endpoint totals need a wide node span to rise above
+                // workload noise; the CI subset (≤4× growth) relies on the
+                // deterministic per-update checks alone.
+                let (first, last) = (curve.first().unwrap(), curve.last().unwrap());
+                let ratio_checked = last.pnodes >= first.pnodes * 8;
+                let shrinking = !ratio_checked || last.ratio < first.ratio;
+                let ok = flat && growing && shrinking;
+                let mut row = String::new();
+                let _ = write!(row, "sublinear {:4} {:6}", p.label(), a);
+                for pt in &curve {
+                    let _ = write!(
+                        row,
+                        "  n={}:{:.1}B/upd vs {:.1} (ratio {:.4})",
+                        pt.pnodes, pt.sparse_per_update, pt.repl_per_update, pt.ratio
+                    );
+                }
+                println!("{row}  {}", if ok { "OK" } else { "FAIL" });
+                ratios.push(format!(
+                    "{{\"protocol\":\"{}\",\"app\":\"{a}\",\"curve\":[{}],\
+                     \"sparse_per_update_flat\":{flat},\
+                     \"replicated_per_update_growing\":{growing},\
+                     \"ratio_checked\":{ratio_checked},\
+                     \"ratio_shrinking\":{shrinking}}}",
+                    p.label(),
+                    curve
+                        .iter()
+                        .map(|pt| format!(
+                            "{{\"pnodes\":{},\"sparse_bytes\":{},\
+                             \"sparse_over_replicated\":{},\
+                             \"sparse_bytes_per_update\":{},\
+                             \"replicated_bytes_per_update\":{}}}",
+                            pt.pnodes,
+                            pt.sparse_bytes,
+                            fmt_json_f64(pt.ratio),
+                            fmt_json_f64(pt.sparse_per_update),
+                            fmt_json_f64(pt.repl_per_update)
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+                if !flat {
+                    eprintln!(
+                        "FAIL: sparse per-update bytes exceed one shard message for {} {a}",
+                        p.label()
+                    );
+                    fail += 1;
+                }
+                if !growing {
+                    eprintln!(
+                        "FAIL: replicated per-update fan-out not growing with node count for {} {a}",
+                        p.label()
+                    );
+                    fail += 1;
+                }
+                if !shrinking {
+                    eprintln!(
+                        "FAIL: sparse/replicated byte ratio did not shrink from {} to {} nodes for {} {a}",
+                        first.pnodes,
+                        last.pnodes,
+                        p.label()
+                    );
+                    fail += 1;
+                }
+            }
+        }
+    }
+
+    // --- BENCH_scaling.json -----------------------------------------------
+    let mut out = String::with_capacity(cells.len() * 512);
+    out.push('{');
+    json_str(&mut out, "experiment", "scaling");
+    let _ = write!(out, ",\"seed\":{seed},\"jobs\":{jobs},");
+    json_key(&mut out, "shapes");
+    let _ = write!(
+        out,
+        "[{}],\"node_counts\":[{}],",
+        topos
+            .iter()
+            .map(|t| format!("\"{t}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        topos
+            .iter()
+            .map(|t| t.nodes().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    json_key(&mut out, "apps");
+    let _ = write!(
+        out,
+        "[{}],",
+        apps.iter()
+            .map(|a| format!("\"{}\"", a.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    json_key(&mut out, "sublinearity");
+    let _ = write!(out, "[{}],", ratios.join(","));
+    json_key(&mut out, "cells");
+    out.push('[');
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_json(seed));
+    }
+    out.push_str("]}");
+    std::fs::write("BENCH_scaling.json", &out).expect("write BENCH_scaling.json");
+    println!("[wrote BENCH_scaling.json: {} cells]", cells.len());
+
+    if fail > 0 {
+        eprintln!("FAIL: scaling gate ({fail} failures)");
+        std::process::exit(1);
+    }
+    println!("scaling: all gates passed");
+}

@@ -1,0 +1,59 @@
+//! The full application suite × all four paper protocols at 16:4 under
+//! `DirectoryMode::Sparse` (the home-sharded directory, DESIGN.md §12):
+//! every cell must audit clean, and every checksum must equal the same
+//! cell's checksum under the default replicated lock-free directory. The
+//! directory layout is a protocol-invisible representation choice — this
+//! gate proves the sparse fast path (invalidation-on-change caches, CAS
+//! mask/claim transitions, home-shard updates) never changes what an
+//! application computes or lets a stale mapping through the auditor.
+
+use cashmere_apps::{suite, Scale};
+use cashmere_bench::sweep::{run_sweep, SweepSpec};
+use cashmere_check::audit;
+use cashmere_core::{DirectoryMode, ProtocolKind};
+
+#[test]
+fn sparse_directory_audits_clean_and_matches_replicated_checksums() {
+    let apps = suite(Scale::Test);
+    let mut sparse = SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR);
+    sparse.total = 16;
+    sparse.per_node = 4;
+    sparse.opts.directory = DirectoryMode::Sparse;
+    sparse.audit = true;
+    let sparse_cells = run_sweep(&sparse, |_| {});
+
+    let mut replicated = SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR);
+    replicated.total = 16;
+    replicated.per_node = 4;
+    let replicated_cells = run_sweep(&replicated, |_| {});
+
+    assert_eq!(
+        sparse_cells.len(),
+        apps.len() * ProtocolKind::PAPER_FOUR.len()
+    );
+    assert_eq!(sparse_cells.len(), replicated_cells.len());
+    for (s, r) in sparse_cells.iter().zip(&replicated_cells) {
+        assert_eq!((s.app.as_str(), s.protocol), (r.app.as_str(), r.protocol));
+        assert!(
+            !s.trace.is_empty(),
+            "{} {}: audit requested but no trace recorded",
+            s.app,
+            s.protocol.label()
+        );
+        let report = audit(&s.trace);
+        assert!(
+            report.is_clean(),
+            "{} {} (sparse): {}",
+            s.app,
+            s.protocol.label(),
+            report.summary()
+        );
+        assert_eq!(
+            s.outcome.checksum,
+            r.outcome.checksum,
+            "{} {}: sparse directory changed the computed answer",
+            s.app,
+            s.protocol.label()
+        );
+    }
+}

@@ -137,14 +137,24 @@ impl Default for SyncSpec {
 /// How the global directory and remote write-notice lists are protected
 /// (§3.3.5). `LockFree` is Cashmere-2L's per-node-word design; `GlobalLock`
 /// is the ablation that compresses each entry and serializes access with a
-/// cluster-wide lock.
+/// cluster-wide lock; `Sparse` is the beyond-the-paper scaling design
+/// (DESIGN.md §12) that shards entries across home nodes instead of
+/// replicating them everywhere.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DirectoryMode {
-    /// One word per node per entry; no locks (the paper's design).
+    /// One word per node per entry, replicated on every node; no locks (the
+    /// paper's design). O(pages × nodes) memory per node and a per-replica
+    /// broadcast per update.
     #[default]
     LockFree,
     /// Compressed entries protected by global locks (the ablation).
     GlobalLock,
+    /// Home-sharded entries: each page's directory entry lives only on its
+    /// home shard (`page % nodes`), readers consult the shard through a
+    /// per-node cache guarded by an invalidation-on-change word, and updates
+    /// are O(1) messages instead of an O(nodes) broadcast (DESIGN.md §12).
+    /// O(pages) total directory memory. Lock-free like the paper's design.
+    Sparse,
 }
 
 /// Virtual-time timeout/backoff policy for lost protocol requests (page

@@ -22,11 +22,32 @@
 //! are conceptually compressed into a single word, so every modification
 //! must take a cluster-wide lock — modeled by a per-entry virtual-time gate
 //! plus the paper's higher (16 µs vs 5 µs) update cost.
+//!
+//! # Sparse mode (beyond the paper — DESIGN.md §12)
+//!
+//! [`DirectoryMode::Sparse`] drops the replication entirely for scaling
+//! past the paper's 8×4 cluster: page `p`'s entry lives *only* on its home
+//! shard (`p % pnodes`), in a compact per-shard region — a change-version
+//! word, a home word, a single cluster-wide exclusive-claim word, and a
+//! 2-bit-per-node permission mask. Total directory memory is O(pages), not
+//! O(pages × nodes). Readers keep a node-local cache of each entry guarded
+//! by the entry's *invalidation-on-change* word: the common read is one
+//! sequentially consistent load of that word plus a couple of cached loads;
+//! only a version change pays a refill. Updates touch the one shard copy
+//! (host-side atomics standing in for the remote-atomic operations of a
+//! modern interconnect) and charge a single O(1) message through the
+//! sender's link via the tree primitive — contrast the replicated mode's
+//! per-replica broadcast. Exclusive-mode safety comes from the claim word's
+//! compare-and-swap plus the publish-claim-then-validate protocol the
+//! engine already runs: the version word's SeqCst bump/probe pair
+//! guarantees two racing claimants cannot both miss each other.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use cashmere_memchan::{MemoryChannel, RegionId, RxBuffer};
-use cashmere_sim::{Nanos, Resource};
+use cashmere_memchan::{MemoryChannel, RegionId, RxBuffer, TREE_FANOUT};
+use cashmere_model::ModelAtomicU64;
+use cashmere_sim::{Counter, Nanos, Resource};
 use cashmere_vmpage::Perm;
 
 use crate::config::DirectoryMode;
@@ -109,11 +130,18 @@ pub struct HomeInfo {
 
 impl HomeInfo {
     fn pack(self) -> u64 {
+        // Real (release-mode) checks: at 64×16 and beyond a silently
+        // truncated node id would scatter pages to the wrong homes.
+        assert!(
+            self.pnode <= MAX_PNODES,
+            "home node {} does not fit the home word's 16-bit field",
+            self.pnode
+        );
         1 | ((self.is_default as u64) << 1) | ((self.pnode as u64) << 8)
     }
 
     fn unpack(v: u64) -> Self {
-        debug_assert!(v & 1 == 1, "home word read before initialization");
+        assert!(v & 1 == 1, "home word read before initialization");
         Self {
             pnode: ((v >> 8) & 0xFFFF) as usize,
             is_default: (v >> 1) & 1 == 1,
@@ -121,7 +149,127 @@ impl HomeInfo {
     }
 }
 
-/// The replicated directory.
+/// Largest protocol-node id representable in the packed home and
+/// exclusive-claim words (16-bit fields).
+const MAX_PNODES: usize = 0xFFFF;
+
+/// Sparse-entry field offsets within one entry's `entry_words` window
+/// (DESIGN.md §12): the invalidation-on-change version word, the home word,
+/// the cluster-wide exclusive-claim word, then `⌈pnodes/32⌉` permission
+/// mask words holding 2 bits per node.
+const F_VERSION: usize = 0;
+const F_HOME: usize = 1;
+const F_EXCL: usize = 2;
+const F_MASK0: usize = 3;
+
+/// Sentinel stored in a cache line's version slot while a refill is in
+/// flight; concurrent readers fall back to reading the shard directly.
+const REFILLING: u64 = u64::MAX;
+
+/// Wire bytes modeled for one sparse directory update: one word of payload
+/// plus the entry index, the same 12-byte format as a diff word.
+const SPARSE_UPDATE_BYTES: u64 = 12;
+
+fn excl_pack(pnode: usize, excl_proc: u16) -> u64 {
+    assert!(
+        pnode <= MAX_PNODES,
+        "claimant node {pnode} does not fit the claim word's 16-bit field"
+    );
+    1 | ((pnode as u64) << 8) | ((excl_proc as u64) << 32)
+}
+
+fn excl_unpack(v: u64) -> Option<(usize, u16)> {
+    (v & 1 == 1).then_some((((v >> 8) & 0xFFFF) as usize, ((v >> 32) & 0xFFFF) as u16))
+}
+
+fn perm_code(p: PermBits) -> u64 {
+    match p {
+        PermBits::None => 0,
+        PermBits::Read => 1,
+        PermBits::Write => 2,
+    }
+}
+
+fn perm_decode(v: u64) -> PermBits {
+    match v & 0b11 {
+        0 => PermBits::None,
+        1 => PermBits::Read,
+        _ => PermBits::Write,
+    }
+}
+
+/// Charge-free directory traffic accounting, in modeled wire bytes. These
+/// counters feed the scaling experiment (`BENCH_scaling.json`) and are NOT
+/// part of [`cashmere_sim::Stats`] — the golden-pinned counter snapshot is
+/// untouched.
+#[derive(Default)]
+struct DirTraffic {
+    /// Directory-entry modifications (any mode).
+    updates: Counter,
+    /// Bytes delivered for updates: per-replica broadcast deliveries in the
+    /// replicated modes, one O(1) shard message in sparse mode.
+    update_bytes: Counter,
+    /// Sparse-mode remote probes of an entry's invalidation-on-change word.
+    probes: Counter,
+    probe_bytes: Counter,
+    /// Sparse-mode cache refills after a version change.
+    misses: Counter,
+    miss_bytes: Counter,
+}
+
+/// Snapshot of directory traffic and memory, for the scaling experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirUsage {
+    /// Entry modifications.
+    pub updates: u64,
+    /// Modeled wire bytes delivered for updates.
+    pub update_bytes: u64,
+    /// Remote change-word probes (sparse mode only).
+    pub probes: u64,
+    pub probe_bytes: u64,
+    /// Cache refills (sparse mode only).
+    pub misses: u64,
+    pub miss_bytes: u64,
+    /// Memory Channel bytes backing the directory: every node's replica in
+    /// the replicated modes, the single sharded copy in sparse mode.
+    pub mc_bytes: u64,
+    /// Node-local RAM spent on sparse read caches (0 when replicated).
+    pub cache_bytes: u64,
+}
+
+impl DirUsage {
+    /// Total modeled directory protocol bytes (updates + probes + misses).
+    pub fn protocol_bytes(&self) -> u64 {
+        self.update_bytes + self.probe_bytes + self.miss_bytes
+    }
+}
+
+/// Sparse-mode state: one compact region per home shard plus per-node read
+/// caches (DESIGN.md §12).
+struct SparseDir {
+    /// Words per entry: version + home + claim + permission mask.
+    entry_words: usize,
+    /// Shard `s`'s region handle (its own receive mapping — the single
+    /// authoritative copy of every entry homed on `s`).
+    shards: Vec<RxBuffer>,
+    /// Per-node entry caches, `pages × entry_words` each, mirroring the
+    /// shard layout; the version slot holds the shard version the line was
+    /// filled at, or [`REFILLING`]. Model-routed atomics so the
+    /// interleaving explorer schedules around the cached read path.
+    caches: Vec<Box<[ModelAtomicU64]>>,
+}
+
+/// Where a sparse read is served from (see `Directory::sparse_sync`).
+#[derive(Clone, Copy)]
+enum SparseSrc {
+    /// The reader's cache line is fresh.
+    Cache,
+    /// A concurrent refill owns the line; read the shard copy directly.
+    Shard,
+}
+
+/// The global page directory: replicated (the paper's design, plus the
+/// global-lock ablation) or home-sharded ([`DirectoryMode::Sparse`]).
 pub struct Directory {
     mc: Arc<MemoryChannel>,
     region: RegionId,
@@ -134,31 +282,92 @@ pub struct Directory {
     /// analogue of the paper's lock-free directory (§2.3): the words are
     /// single-writer, so readers never need mutual exclusion, only the
     /// acquire/release ordering the atomics already provide (DESIGN.md §10).
+    /// Empty in sparse mode.
     replicas: Vec<RxBuffer>,
+    /// Sparse-mode shards and caches (`None` in the replicated modes).
+    sparse: Option<SparseDir>,
     /// Virtual-time serialization gates for the GlobalLock ablation (one per
-    /// page entry; unused — empty — in LockFree mode).
+    /// page entry; unused — empty — in the lock-free modes).
     gates: Vec<Resource>,
+    /// Charge-free wire-byte accounting for the scaling experiment.
+    traffic: DirTraffic,
     /// Auditor event stream, when enabled.
     rec: Option<Arc<TraceRecorder>>,
 }
 
 impl Directory {
-    /// Builds the directory region for `pages` pages over `pnodes` protocol
-    /// nodes and attaches a receive mapping on every node.
+    /// Builds the directory for `pages` pages over `pnodes` protocol nodes:
+    /// one region replicated on every node in the replicated modes, or one
+    /// compact region per home shard in sparse mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics (a real error, not a debug assert) if `pnodes` exceeds the
+    /// packed words' 16-bit node fields or the entry layout's word indices
+    /// would overflow `usize` — silent wraparound at high node counts would
+    /// corrupt the directory.
     pub fn new(mc: Arc<MemoryChannel>, pnodes: usize, pages: usize, mode: DirectoryMode) -> Self {
-        let words = pages * (pnodes + 1);
-        let region = mc.create_region(words.max(1), false);
-        for e in 0..pnodes {
-            mc.attach_rx(region, e);
-        }
-        let replicas = (0..pnodes)
-            .map(|e| {
-                mc.rx_buffer(region, e)
-                    .expect("replica attached immediately above")
-            })
-            .collect();
+        assert!(
+            (1..=MAX_PNODES).contains(&pnodes),
+            "directory supports 1..={MAX_PNODES} protocol nodes, got {pnodes}"
+        );
+        let (region, replicas, sparse) = match mode {
+            DirectoryMode::LockFree | DirectoryMode::GlobalLock => {
+                let words = pages
+                    .checked_mul(pnodes + 1)
+                    .expect("directory word index overflows usize at this pages × nodes");
+                let region = mc.create_region(words.max(1), false);
+                for e in 0..pnodes {
+                    mc.attach_rx(region, e);
+                }
+                let replicas = (0..pnodes)
+                    .map(|e| {
+                        mc.rx_buffer(region, e)
+                            .expect("replica attached immediately above")
+                    })
+                    .collect();
+                (region, replicas, None)
+            }
+            DirectoryMode::Sparse => {
+                let entry_words = F_MASK0 + pnodes.div_ceil(32);
+                let cache_words = pages
+                    .checked_mul(entry_words)
+                    .expect("directory word index overflows usize at this pages × nodes");
+                // One compact region per shard, receive-mapped only on the
+                // shard itself: the single authoritative copy.
+                let shards = (0..pnodes)
+                    .map(|s| {
+                        let slots = if s >= pages {
+                            0
+                        } else {
+                            (pages - 1 - s) / pnodes + 1
+                        };
+                        let r = mc.create_region((slots * entry_words).max(1), false);
+                        mc.attach_rx(r, s);
+                        mc.rx_buffer(r, s)
+                            .expect("shard attached immediately above")
+                    })
+                    .collect();
+                let caches = (0..pnodes)
+                    .map(|_| {
+                        (0..cache_words.max(1))
+                            .map(|_| ModelAtomicU64::new(0))
+                            .collect()
+                    })
+                    .collect();
+                (
+                    RegionId(usize::MAX),
+                    Vec::new(),
+                    Some(SparseDir {
+                        entry_words,
+                        shards,
+                        caches,
+                    }),
+                )
+            }
+        };
         let gates = match mode {
-            DirectoryMode::LockFree => Vec::new(),
+            DirectoryMode::LockFree | DirectoryMode::Sparse => Vec::new(),
             DirectoryMode::GlobalLock => (0..pages).map(|_| Resource::new()).collect(),
         };
         Self {
@@ -168,7 +377,9 @@ impl Directory {
             pages,
             mode,
             replicas,
+            sparse,
             gates,
+            traffic: DirTraffic::default(),
             rec: None,
         }
     }
@@ -193,30 +404,211 @@ impl Directory {
         self.entry_base(page) + self.pnodes
     }
 
+    // --- sparse-mode plumbing (DESIGN.md §12) ---------------------------
+
+    /// The home shard serving `page`'s entry.
+    fn shard_of(&self, page: usize) -> usize {
+        page % self.pnodes
+    }
+
+    /// Offset of `field` within `page`'s entry in its shard's region.
+    fn shard_field(&self, page: usize, field: usize) -> usize {
+        let sp = self.sparse.as_ref().expect("sparse mode");
+        (page / self.pnodes) * sp.entry_words + field
+    }
+
+    /// Ensures `reader`'s cache line for `page` is at least as fresh as the
+    /// shard's invalidation-on-change word, refilling it on a version
+    /// change. Returns where this read should be served from: the cache
+    /// (common case — the probe plus a couple of cached loads), or the
+    /// shard directly when a concurrent refill owns the line.
+    ///
+    /// The probe is a SeqCst load pairing with the SeqCst bump in
+    /// [`sparse_update`](Self::sparse_update): in the engine's
+    /// publish-claim-then-validate exclusive entry, two racing claimants
+    /// cannot both have their validation probe ordered before the other's
+    /// bump, so at least one observes the other and backs off.
+    ///
+    /// The refill tags the line with the version loaded *before* copying
+    /// the fields, so a concurrent update can only make the line
+    /// conservatively fresh (newer data under an older tag — the next probe
+    /// refills again), never stale under a fresh tag.
+    fn sparse_sync(&self, page: usize, reader: usize) -> SparseSrc {
+        let sp = self.sparse.as_ref().expect("sparse mode");
+        let shard = self.shard_of(page);
+        let sv = sp.shards[shard].load_sc(self.shard_field(page, F_VERSION));
+        if reader != shard {
+            self.traffic.probes.inc();
+            self.traffic.probe_bytes.add(8);
+        }
+        let cache = &sp.caches[reader];
+        let vslot = page * sp.entry_words + F_VERSION;
+        let cv = cache[vslot].load(Ordering::Acquire);
+        if cv == sv {
+            return SparseSrc::Cache;
+        }
+        if cv == REFILLING
+            || cache[vslot]
+                .compare_exchange(cv, REFILLING, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+        {
+            // Another reader on this node owns the refill; don't wait — the
+            // shard copy is always authoritative.
+            return SparseSrc::Shard;
+        }
+        for f in F_HOME..sp.entry_words {
+            let v = sp.shards[shard].load(self.shard_field(page, f));
+            cache[page * sp.entry_words + f].store(v, Ordering::Release);
+        }
+        cache[vslot].store(sv, Ordering::Release);
+        if reader != shard {
+            self.traffic.misses.inc();
+            self.traffic.miss_bytes.add((sp.entry_words as u64 - 1) * 8);
+        }
+        SparseSrc::Cache
+    }
+
+    /// Loads `field` of `page`'s entry from wherever
+    /// [`sparse_sync`](Self::sparse_sync) said to read.
+    fn sparse_field(&self, page: usize, reader: usize, src: SparseSrc, field: usize) -> u64 {
+        let sp = self.sparse.as_ref().expect("sparse mode");
+        match src {
+            SparseSrc::Cache => {
+                sp.caches[reader][page * sp.entry_words + field].load(Ordering::Acquire)
+            }
+            SparseSrc::Shard => sp.shards[self.shard_of(page)].load(self.shard_field(page, field)),
+        }
+    }
+
+    /// Applies `me`'s word to `page`'s sparse entry on its home shard:
+    /// `me`'s two permission-mask bits move in a single compare-and-swap
+    /// (no torn intermediate is ever visible), the cluster-wide exclusive
+    /// claim word is claimed/updated/cleared by CAS, then the entry's
+    /// invalidation-on-change word is bumped — data before bump, so a
+    /// reader that refills on the new version always sees the new fields.
+    /// When `bump` is false the version bump is skipped (the mutant hook).
+    fn sparse_apply(&self, page: usize, me: usize, w: DirWord, bump: bool) {
+        let sp = self.sparse.as_ref().expect("sparse mode");
+        let sh = &sp.shards[self.shard_of(page)];
+        let moff = self.shard_field(page, F_MASK0 + me / 32);
+        let shift = (me % 32) * 2;
+        let bits = perm_code(w.perm) << shift;
+        loop {
+            let old = sh.load_sc(moff);
+            let new = (old & !(0b11 << shift)) | bits;
+            if old == new || sh.compare_exchange(moff, old, new).is_ok() {
+                break;
+            }
+        }
+        let eoff = self.shard_field(page, F_EXCL);
+        let cur = sh.load_sc(eoff);
+        if w.exclusive {
+            match excl_unpack(cur) {
+                // Refresh my own claim (e.g. a new holder processor).
+                Some((n, _)) if n == me => {
+                    let _ = sh.compare_exchange(eoff, cur, excl_pack(me, w.excl_proc));
+                }
+                // Claim from empty; losing the race leaves the winner's
+                // claim in place and my permission bits force the engine's
+                // validation step to back off.
+                None => {
+                    let _ = sh.compare_exchange(eoff, 0, excl_pack(me, w.excl_proc));
+                }
+                // Someone else's claim stands; validation resolves the race.
+                Some(_) => {}
+            }
+        } else if matches!(excl_unpack(cur), Some((n, _)) if n == me) {
+            // Clearing is only legal for my own claim (my own exit, or a
+            // breaker writing the holder's word under the holder's
+            // node-page lock).
+            let _ = sh.compare_exchange(eoff, cur, 0);
+        }
+        if bump {
+            sh.fetch_add(self.shard_field(page, F_VERSION), 1);
+        }
+    }
+
+    /// Traffic accounting + virtual-time link charge for one sparse update
+    /// from `me`; a shard-local update is an ordinary memory operation.
+    fn sparse_update_charge(&self, page: usize, me: usize, now: Nanos) -> Nanos {
+        self.traffic.updates.inc();
+        let shard = self.shard_of(page);
+        if me == shard {
+            return now;
+        }
+        self.traffic.update_bytes.add(SPARSE_UPDATE_BYTES);
+        // The degenerate (single-target) tree: exactly one fault-interposed
+        // link reservation plus latency — directory updates and the
+        // write-notice fan-out share the same broadcast primitive.
+        self.mc
+            .charge_tree(me, &[shard], TREE_FANOUT, SPARSE_UPDATE_BYTES, now)
+    }
+
+    /// Per-replica delivery accounting for one replicated-mode update.
+    fn replicated_update_traffic(&self) {
+        self.traffic.updates.inc();
+        // The hub fans the 8-byte word out to every other node's replica.
+        self.traffic.update_bytes.add(8 * (self.pnodes as u64 - 1));
+    }
+
     /// Per-modification cost under the configured mode (§3.1: 5 µs
-    /// lock-free, 16 µs when a global lock must be acquired).
+    /// lock-free, 16 µs when a global lock must be acquired; sparse keeps
+    /// the lock-free cost).
     pub fn update_cost(&self) -> Nanos {
         match self.mode {
-            DirectoryMode::LockFree => self.mc.cost().dir_update,
+            DirectoryMode::LockFree | DirectoryMode::Sparse => self.mc.cost().dir_update,
             DirectoryMode::GlobalLock => self.mc.cost().dir_update_locked,
         }
     }
 
-    /// Reads node `pnode`'s word of `page`'s entry from `reader`'s local
-    /// replica (an ordinary memory read): a single atomic load through the
-    /// cached receive-buffer handle, with no lock on the read path.
+    /// Reads node `pnode`'s word of `page`'s entry as seen by `reader`: a
+    /// single atomic load from `reader`'s local replica in the replicated
+    /// modes; in sparse mode, a change-word probe plus cached mask/claim
+    /// loads (DESIGN.md §12).
     #[inline]
     pub fn read_word(&self, page: usize, pnode: usize, reader: usize) -> DirWord {
-        DirWord::unpack(self.replicas[reader].load(self.word_idx(page, pnode)))
+        if self.sparse.is_none() {
+            return DirWord::unpack(self.replicas[reader].load(self.word_idx(page, pnode)));
+        }
+        let src = self.sparse_sync(page, reader);
+        let mask = self.sparse_field(page, reader, src, F_MASK0 + pnode / 32);
+        let perm = perm_decode(mask >> ((pnode % 32) * 2));
+        match excl_unpack(self.sparse_field(page, reader, src, F_EXCL)) {
+            Some((n, p)) if n == pnode => DirWord {
+                perm,
+                exclusive: true,
+                excl_proc: p,
+            },
+            _ => DirWord {
+                perm,
+                exclusive: false,
+                excl_proc: 0,
+            },
+        }
     }
 
-    /// Writes `me`'s own word of `page`'s entry: broadcast over the Memory
-    /// Channel plus the manual double into the local replica. Returns the
-    /// completion time; under [`DirectoryMode::GlobalLock`] the write also
-    /// serializes through the entry's global-lock gate.
+    /// Writes `me`'s own word of `page`'s entry. Replicated modes:
+    /// broadcast over the Memory Channel plus the manual double into the
+    /// local replica (under [`DirectoryMode::GlobalLock`] the write also
+    /// serializes through the entry's global-lock gate). Sparse mode: CAS
+    /// transitions on the home shard's single copy followed by the
+    /// invalidation-on-change bump, charged as one O(1) message. Returns
+    /// the completion time.
     pub fn write_my_word(&self, page: usize, me: usize, w: DirWord, now: Nanos) -> Nanos {
+        // Producer: emit before the write so any read that observes the new
+        // word is sequenced after it.
+        emit(&self.rec, || ProtocolEvent::DirWrite {
+            pnode: me,
+            page,
+            perm: perm_code(w.perm) as u8,
+            exclusive: w.exclusive,
+        });
+        if self.sparse.is_some() {
+            self.sparse_apply(page, me, w, true);
+            return self.sparse_update_charge(page, me, now);
+        }
         let start = match self.mode {
-            DirectoryMode::LockFree => now,
+            DirectoryMode::LockFree | DirectoryMode::Sparse => now,
             // Model the global lock's serialization: hold the gate for the
             // difference between the locked and lock-free update costs.
             DirectoryMode::GlobalLock => {
@@ -224,22 +616,40 @@ impl Directory {
                 self.gates[page].acquire(now, hold)
             }
         };
-        // Producer: emit before the write so any read that observes the new
-        // word is sequenced after it.
-        emit(&self.rec, || ProtocolEvent::DirWrite {
-            pnode: me,
-            page,
-            perm: match w.perm {
-                PermBits::None => 0,
-                PermBits::Read => 1,
-                PermBits::Write => 2,
-            },
-            exclusive: w.exclusive,
-        });
+        self.replicated_update_traffic();
         let idx = self.word_idx(page, me);
         let done = self.mc.write(self.region, me, idx, w.pack(), start);
         self.replicas[me].store(idx, w.pack());
         done
+    }
+
+    /// A deliberately wrong sparse `write_my_word` kept for the model
+    /// checker's mutation battery (DESIGN.md §11/§12): the
+    /// invalidation-on-change word is bumped *before* the mask and claim
+    /// words are written. A reader that refills between the bump and the
+    /// data writes caches the stale fields under the new version — and
+    /// since the version never moves again, the staleness is permanent: the
+    /// reader's final observation misses the last published word. The model
+    /// tests assert the explorer finds such a schedule within the default
+    /// budget.
+    #[doc(hidden)]
+    pub fn write_my_word_mutant_version_before_data(
+        &self,
+        page: usize,
+        me: usize,
+        w: DirWord,
+        now: Nanos,
+    ) -> Nanos {
+        emit(&self.rec, || ProtocolEvent::DirWrite {
+            pnode: me,
+            page,
+            perm: perm_code(w.perm) as u8,
+            exclusive: w.exclusive,
+        });
+        let sp = self.sparse.as_ref().expect("sparse-mode mutant");
+        sp.shards[self.shard_of(page)].fetch_add(self.shard_field(page, F_VERSION), 1);
+        self.sparse_apply(page, me, w, false);
+        self.sparse_update_charge(page, me, now)
     }
 
     /// A deliberately wrong `write_my_word` kept for the model checker's
@@ -274,11 +684,16 @@ impl Directory {
         done
     }
 
-    /// Reads the home word from `reader`'s replica. Returns `None` if no
-    /// home has been assigned yet.
+    /// Reads the home word as seen by `reader`. Returns `None` if no home
+    /// has been assigned yet.
     #[inline]
     pub fn read_home(&self, page: usize, reader: usize) -> Option<HomeInfo> {
-        let v = self.replicas[reader].load(self.home_idx(page));
+        let v = if self.sparse.is_none() {
+            self.replicas[reader].load(self.home_idx(page))
+        } else {
+            let src = self.sparse_sync(page, reader);
+            self.sparse_field(page, reader, src, F_HOME)
+        };
         if v & 1 == 0 {
             None
         } else {
@@ -287,13 +702,21 @@ impl Directory {
     }
 
     /// Writes the home word (caller must hold the global home-selection
-    /// lock). Broadcast + local double, as for node words.
+    /// lock). Broadcast + local double in the replicated modes; a shard
+    /// store plus version bump in sparse mode.
     pub fn write_home(&self, page: usize, me: usize, h: HomeInfo, now: Nanos) -> Nanos {
         emit(&self.rec, || ProtocolEvent::HomeWrite {
             pnode: me,
             page,
             to: h.pnode,
         });
+        if let Some(sp) = &self.sparse {
+            let sh = &sp.shards[self.shard_of(page)];
+            sh.store(self.shard_field(page, F_HOME), h.pack());
+            sh.fetch_add(self.shard_field(page, F_VERSION), 1);
+            return self.sparse_update_charge(page, me, now);
+        }
+        self.replicated_update_traffic();
         let idx = self.home_idx(page);
         let done = self.mc.write(self.region, me, idx, h.pack(), now);
         self.replicas[me].store(idx, h.pack());
@@ -301,8 +724,14 @@ impl Directory {
     }
 
     /// Setup-time home initialization (round-robin assignment before the
-    /// run); writes every replica directly with no cost.
+    /// run); writes directly with no cost and no traffic.
     pub fn init_home(&self, page: usize, h: HomeInfo) {
+        if let Some(sp) = &self.sparse {
+            let sh = &sp.shards[self.shard_of(page)];
+            sh.store(self.shard_field(page, F_HOME), h.pack());
+            sh.fetch_add(self.shard_field(page, F_VERSION), 1);
+            return;
+        }
         let idx = self.home_idx(page);
         for r in &self.replicas {
             r.store(idx, h.pack());
@@ -310,32 +739,74 @@ impl Directory {
     }
 
     /// Protocol nodes (≠ `exclude`) that currently hold a copy of `page`,
-    /// per `reader`'s replica.
+    /// as seen by `reader`. Sparse mode scans the O(pnodes/32) mask words
+    /// after a single change-word probe instead of O(pnodes) replica loads.
     pub fn sharers(&self, page: usize, reader: usize, exclude: usize) -> Vec<usize> {
-        (0..self.pnodes)
-            .filter(|&n| n != exclude && self.read_word(page, n, reader).has_copy())
-            .collect()
+        let Some(sp) = &self.sparse else {
+            return (0..self.pnodes)
+                .filter(|&n| n != exclude && self.read_word(page, n, reader).has_copy())
+                .collect();
+        };
+        let src = self.sparse_sync(page, reader);
+        let mut out = Vec::new();
+        for mw in 0..sp.entry_words - F_MASK0 {
+            let mask = self.sparse_field(page, reader, src, F_MASK0 + mw);
+            if mask == 0 {
+                continue;
+            }
+            for bit in 0..32 {
+                let n = mw * 32 + bit;
+                if n < self.pnodes && n != exclude && (mask >> (bit * 2)) & 0b11 != 0 {
+                    out.push(n);
+                }
+            }
+        }
+        out
     }
 
     /// Whether any node other than `exclude` holds a copy or the exclusive
     /// flag for `page`.
     pub fn shared_by_others(&self, page: usize, reader: usize, exclude: usize) -> bool {
-        (0..self.pnodes).any(|n| {
-            if n == exclude {
-                return false;
+        let Some(sp) = &self.sparse else {
+            return (0..self.pnodes).any(|n| {
+                if n == exclude {
+                    return false;
+                }
+                let w = self.read_word(page, n, reader);
+                w.has_copy() || w.exclusive
+            });
+        };
+        let src = self.sparse_sync(page, reader);
+        if matches!(
+            excl_unpack(self.sparse_field(page, reader, src, F_EXCL)),
+            Some((n, _)) if n != exclude
+        ) {
+            return true;
+        }
+        for mw in 0..sp.entry_words - F_MASK0 {
+            let mut mask = self.sparse_field(page, reader, src, F_MASK0 + mw);
+            if exclude / 32 == mw {
+                mask &= !(0b11 << ((exclude % 32) * 2));
             }
-            let w = self.read_word(page, n, reader);
-            w.has_copy() || w.exclusive
-        })
+            if mask != 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// The node currently holding `page` in exclusive mode, if any, with the
-    /// holder's cluster-wide processor id.
+    /// holder's cluster-wide processor id. Sparse mode reads the single
+    /// claim word instead of scanning every node's word.
     pub fn exclusive_holder(&self, page: usize, reader: usize) -> Option<(usize, u16)> {
-        (0..self.pnodes).find_map(|n| {
-            let w = self.read_word(page, n, reader);
-            w.exclusive.then_some((n, w.excl_proc))
-        })
+        if self.sparse.is_none() {
+            return (0..self.pnodes).find_map(|n| {
+                let w = self.read_word(page, n, reader);
+                w.exclusive.then_some((n, w.excl_proc))
+            });
+        }
+        let src = self.sparse_sync(page, reader);
+        excl_unpack(self.sparse_field(page, reader, src, F_EXCL))
     }
 
     /// Number of protocol nodes.
@@ -346,6 +817,34 @@ impl Directory {
     /// Number of pages covered.
     pub fn pages(&self) -> usize {
         self.pages
+    }
+
+    /// Charge-free snapshot of directory traffic and memory, for the
+    /// scaling experiment (`BENCH_scaling.json`). Not part of
+    /// [`cashmere_sim::Stats`]; the golden-pinned counters are untouched.
+    pub fn usage(&self) -> DirUsage {
+        let (mc_bytes, cache_bytes) = match &self.sparse {
+            None => {
+                // Every node holds a full replica of the directory region.
+                let words = self.pages * (self.pnodes + 1);
+                (8 * (words * self.pnodes) as u64, 0)
+            }
+            Some(sp) => {
+                let shard_words: usize = sp.shards.iter().map(RxBuffer::words).sum();
+                let cache_words: usize = sp.caches.iter().map(|c| c.len()).sum();
+                (8 * shard_words as u64, 8 * cache_words as u64)
+            }
+        };
+        DirUsage {
+            updates: self.traffic.updates.get(),
+            update_bytes: self.traffic.update_bytes.get(),
+            probes: self.traffic.probes.get(),
+            probe_bytes: self.traffic.probe_bytes.get(),
+            misses: self.traffic.misses.get(),
+            miss_bytes: self.traffic.miss_bytes.get(),
+            mc_bytes,
+            cache_bytes,
+        }
     }
 }
 
@@ -473,6 +972,233 @@ mod tests {
     #[test]
     fn lock_free_reads_never_observe_torn_or_phantom_words() {
         crate::model_scenarios::directory_single_writer_reads(64, usize::MAX, false);
+    }
+
+    // --- sparse mode (DESIGN.md §12) ------------------------------------
+
+    /// OS-thread run of the sparse read-vs-home-update scenario (shared
+    /// with `tests/model_directory.rs`, which explores it exhaustively):
+    /// a remote reader's invalidation-on-change cache may lag the home
+    /// shard but never travels backwards, and settles on the final claim.
+    #[test]
+    fn sparse_reads_lag_but_never_regress() {
+        crate::model_scenarios::sparse_directory_read_vs_update(64, usize::MAX, false);
+    }
+
+    #[test]
+    fn excl_word_round_trips() {
+        assert_eq!(excl_unpack(0), None);
+        assert_eq!(excl_unpack(excl_pack(0, 0)), Some((0, 0)));
+        assert_eq!(excl_unpack(excl_pack(513, 31)), Some((513, 31)));
+        assert_eq!(
+            excl_unpack(excl_pack(MAX_PNODES, u16::MAX)),
+            Some((MAX_PNODES, u16::MAX))
+        );
+    }
+
+    /// Every public read observes the same state through the sparse layout
+    /// as through the replicated one, across a write/claim/clear script
+    /// touching several pages (so multiple shards and shard slots).
+    #[test]
+    fn sparse_reads_match_replicated_reads() {
+        let modes = [DirectoryMode::LockFree, DirectoryMode::Sparse];
+        let [lf, sp] = modes.map(|m| dir(4, m));
+        let script: &[(usize, usize, DirWord)] = &[
+            (
+                0,
+                1,
+                DirWord {
+                    perm: PermBits::Read,
+                    ..Default::default()
+                },
+            ),
+            (
+                0,
+                3,
+                DirWord {
+                    perm: PermBits::Write,
+                    exclusive: true,
+                    excl_proc: 12,
+                },
+            ),
+            (
+                1,
+                2,
+                DirWord {
+                    perm: PermBits::Write,
+                    ..Default::default()
+                },
+            ),
+            (
+                3,
+                0,
+                DirWord {
+                    perm: PermBits::Read,
+                    ..Default::default()
+                },
+            ),
+            // Holder drops the claim and its mapping.
+            (0, 3, DirWord::default()),
+        ];
+        for (i, &(page, me, w)) in script.iter().enumerate() {
+            lf.write_my_word(page, me, w, i as Nanos);
+            sp.write_my_word(page, me, w, i as Nanos);
+        }
+        lf.write_home(
+            1,
+            2,
+            HomeInfo {
+                pnode: 2,
+                is_default: false,
+            },
+            0,
+        );
+        sp.write_home(
+            1,
+            2,
+            HomeInfo {
+                pnode: 2,
+                is_default: false,
+            },
+            0,
+        );
+        for page in 0..4 {
+            for reader in 0..4 {
+                for pnode in 0..4 {
+                    assert_eq!(
+                        sp.read_word(page, pnode, reader),
+                        lf.read_word(page, pnode, reader),
+                        "page {page} pnode {pnode} reader {reader}"
+                    );
+                }
+                assert_eq!(
+                    sp.sharers(page, reader, usize::MAX),
+                    lf.sharers(page, reader, usize::MAX)
+                );
+                for exclude in 0..4 {
+                    assert_eq!(
+                        sp.sharers(page, reader, exclude),
+                        lf.sharers(page, reader, exclude)
+                    );
+                    assert_eq!(
+                        sp.shared_by_others(page, reader, exclude),
+                        lf.shared_by_others(page, reader, exclude),
+                        "page {page} reader {reader} exclude {exclude}"
+                    );
+                }
+                assert_eq!(
+                    sp.exclusive_holder(page, reader),
+                    lf.exclusive_holder(page, reader)
+                );
+                assert_eq!(sp.read_home(page, reader), lf.read_home(page, reader));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_common_read_hits_the_cache_after_one_refill() {
+        let d = dir(4, DirectoryMode::Sparse);
+        d.write_my_word(
+            1,
+            2,
+            DirWord {
+                perm: PermBits::Read,
+                ..Default::default()
+            },
+            0,
+        );
+        // Page 1's shard is node 1; reader node 0 is remote.
+        let before = d.usage();
+        for _ in 0..8 {
+            assert_eq!(d.read_word(1, 2, 0).perm, PermBits::Read);
+        }
+        let after = d.usage();
+        assert_eq!(after.probes - before.probes, 8, "one probe per read");
+        assert_eq!(
+            after.misses - before.misses,
+            1,
+            "only the first read pays a refill; the rest hit the cache"
+        );
+        // A change invalidates: the next read refills exactly once more.
+        d.write_my_word(
+            1,
+            3,
+            DirWord {
+                perm: PermBits::Write,
+                ..Default::default()
+            },
+            0,
+        );
+        let w = d.read_word(1, 3, 0);
+        assert_eq!(w.perm, PermBits::Write);
+        assert_eq!(d.usage().misses - after.misses, 1);
+    }
+
+    #[test]
+    fn sparse_claim_word_admits_one_claimant() {
+        let d = dir(4, DirectoryMode::Sparse);
+        let claim = |proc: u16| DirWord {
+            perm: PermBits::Write,
+            exclusive: true,
+            excl_proc: proc,
+        };
+        d.write_my_word(2, 1, claim(5), 0);
+        // A racing claim from node 3 must not displace node 1's.
+        d.write_my_word(2, 3, claim(9), 0);
+        assert_eq!(
+            d.exclusive_holder(2, 0),
+            Some((1, 5)),
+            "first claim stands; the loser is caught by validation"
+        );
+        // But node 3's permission bits landed, so the winner's validation
+        // (shared_by_others excluding itself) sees the contender.
+        assert!(d.shared_by_others(2, 1, 1));
+        // Clearing by a non-holder is a no-op; clearing by the holder works.
+        d.write_my_word(2, 3, DirWord::default(), 0);
+        assert_eq!(d.exclusive_holder(2, 0), Some((1, 5)));
+        d.write_my_word(2, 1, DirWord::default(), 0);
+        assert_eq!(d.exclusive_holder(2, 0), None);
+    }
+
+    #[test]
+    fn sparse_memory_and_update_traffic_beat_replication() {
+        let pnodes = 16;
+        let [lf, sp] = [DirectoryMode::LockFree, DirectoryMode::Sparse].map(|m| {
+            let mc = Arc::new(MemoryChannel::new(
+                (0..pnodes).collect(),
+                pnodes,
+                CostModel::default(),
+            ));
+            Directory::new(mc, pnodes, 64, m)
+        });
+        // Replicated: every node holds pages × (pnodes + 1) words. Sparse:
+        // one copy of pages × entry_words total (+ node-local caches).
+        assert_eq!(lf.usage().mc_bytes, 8 * 64 * 17 * 16);
+        assert!(
+            sp.usage().mc_bytes < lf.usage().mc_bytes / 10,
+            "sparse MC footprint at least 10× smaller at 16 nodes: {} vs {}",
+            sp.usage().mc_bytes,
+            lf.usage().mc_bytes
+        );
+        // Update traffic: per-replica broadcast vs one O(1) shard message.
+        let w = DirWord {
+            perm: PermBits::Write,
+            ..Default::default()
+        };
+        for page in 0..8 {
+            lf.write_my_word(page, 0, w, 0);
+            sp.write_my_word(page, 0, w, 0);
+        }
+        assert_eq!(lf.usage().update_bytes, 8 * 8 * (16 - 1));
+        assert!(sp.usage().update_bytes <= 12 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol nodes")]
+    fn directory_rejects_oversized_clusters_in_release_builds() {
+        let mc = Arc::new(MemoryChannel::new(vec![0], 1, CostModel::default()));
+        // 70k pnodes would truncate in the packed words' 16-bit fields.
+        Directory::new(mc, 70_000, 1, DirectoryMode::LockFree);
     }
 
     #[test]

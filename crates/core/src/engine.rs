@@ -37,7 +37,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use cashmere_faults::FaultPlan;
-use cashmere_memchan::MemoryChannel;
+use cashmere_memchan::{MemoryChannel, TREE_FANOUT};
 use cashmere_obs::{LinkMetrics, ProcObs, SpanKind};
 use cashmere_sim::{
     Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
@@ -47,7 +47,7 @@ use cashmere_vmpage::{
     PageTable, Perm, Twin, PAGE_BYTES, PAGE_WORDS,
 };
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, DirectoryMode};
 use crate::directory::{DirWord, Directory, HomeInfo, PermBits};
 use crate::mc_lock::McLock;
 use crate::recovery::{RecoveryStats, RecoverySummary};
@@ -373,6 +373,14 @@ impl Engine {
         let map = cfg.protocol.node_map();
         let n_pnodes = map.protocol_nodes(&topo);
         let pages = cfg.heap_pages;
+        // A real (release-mode) bound: the directory's exclusive-holder
+        // fields carry cluster-wide processor ids in 16 bits, and a
+        // silently truncated id at very large shapes would corrupt the
+        // exclusive-mode protocol.
+        assert!(
+            topo.total_procs() <= u16::MAX as usize,
+            "cluster exceeds the directory's 16-bit processor-id fields"
+        );
         let link_of: Vec<usize> = (0..n_pnodes)
             .map(|pn| map.physical_of(&topo, cashmere_sim::NodeId(pn)).0)
             .collect();
@@ -1663,6 +1671,49 @@ impl Engine {
     // Releases (§2.4.3)
     // ------------------------------------------------------------------
 
+    /// Posts write notices for one flushed page to every node in `sharers`
+    /// except the home node, then charges the fan-out: in the replicated
+    /// modes the batch rides one remote write (a single flat
+    /// `mc_write_latency`, byte-identical to the pre-sparse engine); in
+    /// sparse mode it is charged as a hierarchical tree broadcast over the
+    /// actual recipient set — O(fanout) sender-link occupancy per level,
+    /// every hop fault-interposed (DESIGN.md §12). Returns whether any
+    /// notice was posted.
+    fn post_write_notices(
+        &self,
+        ctx: &mut ProcCtx,
+        page32: u32,
+        home: usize,
+        mut sharers: Vec<usize>,
+    ) {
+        sharers.retain(|&s| s != home);
+        for &s in &sharers {
+            let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
+            ctx.clock.wait_until(done);
+            self.stats.write_notices.inc();
+            if let Some(o) = &mut ctx.obs {
+                o.metrics.write_notices += 1;
+            }
+        }
+        if sharers.is_empty() {
+            return;
+        }
+        if self.cfg.directory == DirectoryMode::Sparse {
+            // 12 bytes per notice hop: the page index rides a diff-format
+            // word, as for sparse directory updates.
+            let now = ctx.clock.now();
+            let done = self
+                .mc
+                .charge_tree(ctx.pnode, &sharers, TREE_FANOUT, 12, now);
+            ctx.clock
+                .charge(TimeCategory::Protocol, done.saturating_sub(now));
+        } else {
+            // The notice batch for this page rides one remote write.
+            ctx.clock
+                .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
+        }
+    }
+
     /// Consistency actions before a release: flush every dirty, non-
     /// exclusive page to its home and send write notices to the sharers.
     pub fn release_actions(&self, ctx: &mut ProcCtx) {
@@ -1763,25 +1814,7 @@ impl Engine {
                         sharers,
                         home
                     );
-                    let mut posted = false;
-                    for s in sharers {
-                        if s == home {
-                            continue;
-                        }
-                        let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
-                        ctx.clock.wait_until(done);
-                        self.stats.write_notices.inc();
-                        if let Some(o) = &mut ctx.obs {
-                            o.metrics.write_notices += 1;
-                        }
-                        posted = true;
-                    }
-                    if posted {
-                        // The notice batch for this page rides one remote
-                        // write.
-                        ctx.clock
-                            .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
-                    }
+                    self.post_write_notices(ctx, page32, home, sharers);
                 }
             }
             if entered_exclusive {
@@ -1825,23 +1858,8 @@ impl Engine {
                         self.stats.flush_updates.inc();
                         np.ts_flush = self.node_now(ctx.pnode);
                         action = ReleaseAction::Flushed;
-                        let mut posted = false;
-                        for s in self.dir.sharers(page, ctx.pnode, ctx.pnode) {
-                            if s == home {
-                                continue;
-                            }
-                            let done = self.notices.post(s, ctx.pnode, page32, ctx.clock.now());
-                            ctx.clock.wait_until(done);
-                            self.stats.write_notices.inc();
-                            if let Some(o) = &mut ctx.obs {
-                                o.metrics.write_notices += 1;
-                            }
-                            posted = true;
-                        }
-                        if posted {
-                            ctx.clock
-                                .charge(TimeCategory::Protocol, self.cfg.cost.mc_write_latency);
-                        }
+                        let sharers = self.dir.sharers(page, ctx.pnode, ctx.pnode);
+                        self.post_write_notices(ctx, page32, home, sharers);
                     }
                     self.pnodes[ctx.pnode].twin_pool.release(twin);
                 }

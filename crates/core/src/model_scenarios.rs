@@ -242,6 +242,95 @@ pub fn directory_single_writer_reads(words: u16, max_reads: usize, mutant: bool)
     }
 }
 
+/// The sparse directory's read-vs-home-update race (DESIGN.md §12): a
+/// single writer on the home-shard node publishes `words` successive
+/// exclusive claims (`excl_proc` = 1..=`words`) on page 0 while a remote
+/// reader polls `read_word` through its invalidation-on-change cache up to
+/// `max_reads` times. Sparse reads are composite (mask word + claim word),
+/// so the assertions are per-field rather than whole-word: every observed
+/// claim must be one the writer actually published, the observed claim
+/// sequence must be non-decreasing (the cache may lag the shard but never
+/// travels backwards), and — if the reader saw the writer finish — the last
+/// observation must be the final claim (the data-before-bump ordering
+/// guarantees a refill on the final version sees the final fields). With
+/// `mutant`, the version word is bumped *before* the data words and the
+/// explorer must find a schedule where the reader caches stale fields
+/// under the final version forever, missing the last claim.
+pub fn sparse_directory_read_vs_update(words: u16, max_reads: usize, mutant: bool) {
+    let pnodes = 2usize;
+    let mc = Arc::new(MemoryChannel::new(
+        (0..pnodes).map(|e| e % 2).collect(),
+        2,
+        CostModel::default(),
+    ));
+    let d = Arc::new(Directory::new(mc, pnodes, 4, DirectoryMode::Sparse));
+    // Page 0's home shard is node 0 — the writer updates locally, the
+    // reader on node 1 probes and refills over the (simulated) channel.
+    let done = Arc::new(ModelAtomicBool::new(false));
+    let writer = {
+        let d = Arc::clone(&d);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            for i in 0..words {
+                let w = DirWord {
+                    perm: if i % 2 == 0 {
+                        PermBits::Read
+                    } else {
+                        PermBits::Write
+                    },
+                    exclusive: true,
+                    excl_proc: i + 1,
+                };
+                if mutant {
+                    d.write_my_word_mutant_version_before_data(0, 0, w, Nanos::from(i));
+                } else {
+                    d.write_my_word(0, 0, w, Nanos::from(i));
+                }
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+    let reader = {
+        let d = Arc::clone(&d);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut claims: Vec<u16> = Vec::new();
+            let mut finished = false;
+            for _ in 0..max_reads {
+                finished = done.load(Ordering::Acquire);
+                let w = d.read_word(0, 0, 1);
+                if w.excl_proc != 0 {
+                    assert!(w.exclusive, "a claim always names its holder");
+                    assert!(
+                        (1..=words).contains(&w.excl_proc),
+                        "observed a claim the writer never published: {w:?}"
+                    );
+                    claims.push(w.excl_proc);
+                }
+                if finished {
+                    break;
+                }
+                thread::yield_now();
+            }
+            (claims, finished)
+        })
+    };
+    writer.join();
+    let (claims, finished) = reader.join();
+    assert!(
+        claims.windows(2).all(|w| w[0] <= w[1]),
+        "the cache may lag the shard but never travels backwards: {claims:?}"
+    );
+    if finished && words > 0 {
+        assert_eq!(
+            claims.last(),
+            Some(&words),
+            "reader must settle on the final published claim"
+        );
+    }
+}
+
 /// Mutual exclusion through the Memory Channel lock: `nodes` threads (one
 /// per protocol node) each run `iters` critical sections guarded by the
 /// paper's set-then-check array protocol, with a yield inside the section

@@ -64,7 +64,9 @@ impl NoticeBoard {
             .map(|_| NodeBins {
                 bins: (0..pnodes).map(|_| SegQueue::new()).collect(),
                 gate: match mode {
-                    DirectoryMode::LockFree => None,
+                    // Sparse keeps the paper's lock-free notice bins; only
+                    // the directory's layout changes (DESIGN.md §12).
+                    DirectoryMode::LockFree | DirectoryMode::Sparse => None,
                     DirectoryMode::GlobalLock => Some(Resource::new()),
                 },
             })

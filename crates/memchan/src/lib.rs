@@ -49,11 +49,11 @@
 //! `cashmere-core`). With no plan (or an empty one) every path is
 //! byte-identical in virtual time to the pre-fault-layer simulator.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use cashmere_model::ModelAtomicU64;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use cashmere_faults::{FaultPlan, WriteFault};
 use cashmere_obs::LinkMetrics;
@@ -62,6 +62,75 @@ use cashmere_sim::{CostModel, Nanos, Resource};
 /// Identifies a Memory Channel region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(pub usize);
+
+/// Default branching factor for [`MemoryChannel::write_tree`] /
+/// [`MemoryChannel::charge_tree`] hierarchical broadcasts.
+pub const TREE_FANOUT: usize = 4;
+
+/// Capacity of the first region-table bucket; bucket `i` holds
+/// `BUCKET0 << i` slots, so 28 buckets cover every realistic region count.
+const BUCKET0: usize = 64;
+const TABLE_BUCKETS: usize = 28;
+
+/// One lazily-allocated run of region slots; each slot is written once.
+type Bucket = Box<[OnceLock<Arc<Region>>]>;
+
+/// Append-only, lock-free region table: a fixed spine of doubling buckets,
+/// each allocated at most once, so a published `RegionId` resolves to a
+/// stable `&Arc<Region>` with two array indexings and one `Acquire` load —
+/// no read lock and no `Arc` clone on the page-fetch hot path. Appends
+/// (region creation, a cold setup-time path) serialize on a plain mutex;
+/// the new slot is written before `len` is published with `Release`, so any
+/// id below the observed `len` is fully initialized.
+struct RegionTable {
+    buckets: [OnceLock<Bucket>; TABLE_BUCKETS],
+    len: AtomicUsize,
+    append: Mutex<()>,
+}
+
+impl RegionTable {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicUsize::new(0),
+            append: Mutex::new(()),
+        }
+    }
+
+    /// Maps a region id to (bucket, slot): ids 0..64 live in bucket 0,
+    /// the next 128 in bucket 1, the next 256 in bucket 2, and so on.
+    #[inline]
+    fn locate(id: usize) -> (usize, usize) {
+        let chunk = id / BUCKET0 + 1;
+        let bucket = (usize::BITS - 1 - chunk.leading_zeros()) as usize;
+        (bucket, id - ((1usize << bucket) - 1) * BUCKET0)
+    }
+
+    #[inline]
+    fn get(&self, id: usize) -> &Arc<Region> {
+        assert!(id < self.len.load(Ordering::Acquire), "unknown region {id}");
+        let (bucket, slot) = Self::locate(id);
+        self.buckets[bucket]
+            .get()
+            .expect("bucket allocated before len covered it")[slot]
+            .get()
+            .expect("slot written before len covered it")
+    }
+
+    fn push(&self, region: Arc<Region>) -> usize {
+        let _append = self.append.lock();
+        let id = self.len.load(Ordering::Acquire);
+        let (bucket, slot) = Self::locate(id);
+        let bucket = self.buckets[bucket]
+            .get_or_init(|| (0..BUCKET0 << bucket).map(|_| OnceLock::new()).collect());
+        bucket[slot]
+            .set(region)
+            .ok()
+            .expect("a slot below len is only ever written once");
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+}
 
 /// One mapped region: a per-endpoint set of receive buffers plus the hub's
 /// ordering lock.
@@ -92,7 +161,7 @@ pub struct MemoryChannel {
     /// Physical link index for each endpoint.
     link_of: Vec<usize>,
     links: Vec<Resource>,
-    regions: RwLock<Vec<std::sync::Arc<Region>>>,
+    regions: RegionTable,
     /// Fault-injection plan; `None` (or an empty plan) leaves every path
     /// byte-identical in virtual time to a fault-free build.
     faults: Option<Arc<FaultPlan>>,
@@ -151,7 +220,7 @@ impl MemoryChannel {
             cost,
             link_of,
             links: (0..links).map(|_| Resource::new()).collect(),
-            regions: RwLock::new(Vec::new()),
+            regions: RegionTable::new(),
             faults,
             metrics,
         }
@@ -165,19 +234,17 @@ impl MemoryChannel {
     /// Creates a region of `words` 64-bit words. `loopback` selects whether a
     /// writer's own receive copy is updated by its own transmits.
     pub fn create_region(&self, words: usize, loopback: bool) -> RegionId {
-        let region = std::sync::Arc::new(Region {
+        let region = Arc::new(Region {
             words,
             loopback,
             order: Mutex::new(()),
             rx: (0..self.endpoints()).map(|_| OnceLock::new()).collect(),
         });
-        let mut regions = self.regions.write();
-        regions.push(region);
-        RegionId(regions.len() - 1)
+        RegionId(self.regions.push(region))
     }
 
-    fn region(&self, r: RegionId) -> std::sync::Arc<Region> {
-        std::sync::Arc::clone(&self.regions.read()[r.0])
+    fn region(&self, r: RegionId) -> &Arc<Region> {
+        self.regions.get(r.0)
     }
 
     /// Maps region `r` for receive on `endpoint` (idempotent). The buffer
@@ -300,7 +367,7 @@ impl MemoryChannel {
             region.words
         );
         let bytes = (vals.len() * 8) as Nanos;
-        self.transmit(&region, from, bytes, now, |buf| {
+        self.transmit(region, from, bytes, now, |buf| {
             for (i, v) in vals.iter().enumerate() {
                 buf[offset + i].store(*v, Ordering::Release);
             }
@@ -324,7 +391,7 @@ impl MemoryChannel {
             "sparse write past end of region"
         );
         let bytes = (entries.len() * 12) as Nanos;
-        self.transmit(&region, from, bytes, now, |buf| {
+        self.transmit(region, from, bytes, now, |buf| {
             for &(i, v) in entries {
                 buf[i as usize].store(v, Ordering::Release);
             }
@@ -360,7 +427,7 @@ impl MemoryChannel {
             words += vals.len();
         }
         let bytes = (words * 12) as Nanos;
-        self.transmit(&region, from, bytes, now, |buf| {
+        self.transmit(region, from, bytes, now, |buf| {
             for (start, vals) in runs.clone() {
                 for (k, v) in vals.iter().enumerate() {
                     buf[start as usize + k].store(*v, Ordering::Release);
@@ -404,7 +471,10 @@ impl MemoryChannel {
     pub fn rx_buffer(&self, r: RegionId, endpoint: usize) -> Option<RxBuffer> {
         let region = self.region(r);
         region.rx[endpoint].get()?;
-        Some(RxBuffer { region, endpoint })
+        Some(RxBuffer {
+            region: Arc::clone(region),
+            endpoint,
+        })
     }
 
     /// Reserves the physical link of endpoint `from` for `bytes` starting at
@@ -417,6 +487,96 @@ impl MemoryChannel {
     pub fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
         let (link_done, _deliveries) = self.reserve_link(from, bytes, now);
         link_done + self.cost.mc_write_latency
+    }
+
+    /// Virtual-time schedule of a hierarchical (tree) broadcast: `from`
+    /// forwards `bytes` of payload to every endpoint in `targets` through a
+    /// `fanout`-ary forwarding tree instead of a flat per-target unicast
+    /// loop. `from` transmits to the first `fanout` targets through its own
+    /// physical link; each target, once its copy has arrived, forwards to
+    /// its own `fanout` children (`targets[i]`'s children are
+    /// `targets[fanout·(i+1) .. fanout·(i+2)]`) through *its* link. Every
+    /// hop is a real [`reserve_link`](MemoryChannel::with_faults)
+    /// reservation, so per-hop faults (drop/duplicate/delay/outage) and
+    /// link contention are charged exactly like any other transmission,
+    /// and the sender-side serialized cost is O(fanout) per level —
+    /// O(log N) levels — instead of O(N).
+    ///
+    /// Returns the time the last target has received the payload (`now`
+    /// when `targets` is empty). This is the modeled-transfer flavor (no
+    /// data movement), the tree analogue of
+    /// [`charge_link`](Self::charge_link); [`write_tree`](Self::write_tree)
+    /// combines it with delivery.
+    pub fn charge_tree(
+        &self,
+        from: usize,
+        targets: &[usize],
+        fanout: usize,
+        bytes: u64,
+        now: Nanos,
+    ) -> Nanos {
+        let fanout = fanout.max(1);
+        let mut arrival = vec![0 as Nanos; targets.len()];
+        let mut done = now;
+        for i in 0..targets.len() {
+            // Heap layout over [from, targets...]: target i's parent is
+            // `from` for the first rank, else targets[i / fanout - 1].
+            let (parent, start) = if i / fanout == 0 {
+                (from, now)
+            } else {
+                let p = i / fanout - 1;
+                (targets[p], arrival[p])
+            };
+            // Sibling sends serialize on the parent's link Resource: each
+            // reservation queues behind the previous one automatically.
+            let (link_done, _deliveries) = self.reserve_link(parent, bytes, start);
+            arrival[i] = link_done + self.cost.mc_write_latency;
+            done = done.max(arrival[i]);
+        }
+        done
+    }
+
+    /// Writes one word to every attached receive copy (skipping `from`'s
+    /// own copy unless the region has loop-back) through a `fanout`-ary
+    /// forwarding tree: the data lands exactly as with
+    /// [`write`](Self::write) — once, under the region's order lock, so the
+    /// global write order is preserved — but virtual time is charged per
+    /// hop along the tree via [`charge_tree`](Self::charge_tree) instead of
+    /// a single flat broadcast. Returns the time the *last* receiver holds
+    /// the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is past the end of the region.
+    pub fn write_tree(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        val: u64,
+        fanout: usize,
+        now: Nanos,
+    ) -> Nanos {
+        let region = self.region(r);
+        assert!(
+            offset < region.words,
+            "write past end of region (offset {offset} >= {})",
+            region.words
+        );
+        let targets: Vec<usize> = (0..self.endpoints())
+            .filter(|&e| e != from && region.rx[e].get().is_some())
+            .collect();
+        let done = self.charge_tree(from, &targets, fanout, 8, now);
+        let _order = region.order.lock();
+        for (e, slot) in region.rx.iter().enumerate() {
+            if e == from && !region.loopback {
+                continue;
+            }
+            if let Some(buf) = slot.get() {
+                buf[offset].store(val, Ordering::Release);
+            }
+        }
+        done
     }
 
     /// The cost model in force.
@@ -452,6 +612,39 @@ impl RxBuffer {
     #[inline]
     pub fn store(&self, offset: usize, val: u64) {
         self.region.rx[self.endpoint].get().unwrap()[offset].store(val, Ordering::Release);
+    }
+
+    /// Loads word `offset` with sequential consistency. Used for the sparse
+    /// directory's claim/validate protocol, where the publish-then-check
+    /// argument needs a single total order over the entry's change word
+    /// (DESIGN.md §12) — plain acquire/release is not enough to forbid both
+    /// racers missing each other's claim.
+    #[inline]
+    pub fn load_sc(&self, offset: usize) -> u64 {
+        self.region.rx[self.endpoint].get().unwrap()[offset].load(Ordering::SeqCst)
+    }
+
+    /// Atomically adds `val` to word `offset`, returning the previous
+    /// value (sequentially consistent — see [`load_sc`](Self::load_sc)).
+    /// Host-side RMW on the owning node's copy: the home-shard directory
+    /// service operates on its own memory, so this is an ordinary local
+    /// atomic, not a Memory Channel transmission.
+    #[inline]
+    pub fn fetch_add(&self, offset: usize, val: u64) -> u64 {
+        self.region.rx[self.endpoint].get().unwrap()[offset].fetch_add(val, Ordering::SeqCst)
+    }
+
+    /// Atomically replaces word `offset` with `new` if it currently holds
+    /// `current` (sequentially consistent on both paths). Host-side RMW on
+    /// the owning node's copy, like [`fetch_add`](Self::fetch_add).
+    #[inline]
+    pub fn compare_exchange(&self, offset: usize, current: u64, new: u64) -> Result<u64, u64> {
+        self.region.rx[self.endpoint].get().unwrap()[offset].compare_exchange(
+            current,
+            new,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
     }
 
     /// Copies the whole buffer into `out`.
@@ -778,5 +971,183 @@ mod tests {
         assert_eq!(snap[0].bytes, 8, "one 8-byte word");
         assert_eq!(snap[1].messages, 1);
         assert_eq!(snap[1].bytes, 4096);
+    }
+
+    // --- lock-free region table -----------------------------------------
+
+    #[test]
+    fn region_table_locate_is_a_bijection_over_buckets() {
+        // Bucket i holds BUCKET0 << i slots; ids map in order with no gaps.
+        let mut expected = 0usize..;
+        for bucket in 0..6 {
+            for slot in 0..(BUCKET0 << bucket) {
+                let id = expected.next().unwrap();
+                assert_eq!(RegionTable::locate(id), (bucket, slot), "id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_table_survives_growth_across_buckets() {
+        // Enough regions to fill several buckets (64 + 128 + 256 + …).
+        let mc = mc2();
+        let n = 600;
+        let ids: Vec<RegionId> = (0..n).map(|_| mc.create_region(4, false)).collect();
+        for (i, r) in ids.iter().enumerate() {
+            assert_eq!(r.0, i, "ids are dense and in creation order");
+            mc.attach_rx(*r, 1);
+            mc.write(*r, 0, 0, i as u64 + 1, 0);
+        }
+        for (i, r) in ids.iter().enumerate() {
+            assert_eq!(mc.read_local(*r, 1, 0), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn region_table_lookup_races_creation() {
+        // Readers resolve every id below a published high-water mark while a
+        // creator keeps appending past bucket boundaries; any id at or below
+        // the mark must resolve to its fully initialized region.
+        let mc = Arc::new(mc2());
+        let published = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let creator = {
+                let mc = Arc::clone(&mc);
+                let published = Arc::clone(&published);
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        let r = mc.create_region(1, false);
+                        mc.attach_rx(r, 0);
+                        mc.write_local(r, 0, 0, r.0 as u64 + 1);
+                        published.store(r.0 + 1, Ordering::Release);
+                    }
+                })
+            };
+            for _ in 0..2 {
+                let mc = Arc::clone(&mc);
+                let published = Arc::clone(&published);
+                s.spawn(move || {
+                    for i in 0..3000usize {
+                        let hw = published.load(Ordering::Acquire);
+                        if hw == 0 {
+                            continue;
+                        }
+                        let id = i % hw;
+                        assert_eq!(
+                            mc.read_local(RegionId(id), 0, 0),
+                            id as u64 + 1,
+                            "published region must be fully initialized"
+                        );
+                    }
+                });
+            }
+            creator.join().unwrap();
+        });
+    }
+
+    // --- tree broadcast --------------------------------------------------
+
+    fn mc_n(n: usize) -> MemoryChannel {
+        // n endpoints, each on its own physical link.
+        MemoryChannel::new((0..n).collect(), n, CostModel::default())
+    }
+
+    #[test]
+    fn write_tree_delivers_to_every_attached_copy_once() {
+        let mc = mc_n(9);
+        let r = mc.create_region(4, false);
+        for e in 0..9 {
+            mc.attach_rx(r, e);
+        }
+        mc.write_tree(r, 0, 2, 77, TREE_FANOUT, 0);
+        for e in 1..9 {
+            assert_eq!(mc.read_local(r, e, 2), 77, "endpoint {e}");
+        }
+        assert_eq!(mc.read_local(r, 0, 2), 0, "no loop-back: own copy stale");
+    }
+
+    #[test]
+    fn single_target_tree_costs_exactly_one_hop() {
+        let c = CostModel::default();
+        let mc = mc_n(2);
+        let done = mc.charge_tree(0, &[1], TREE_FANOUT, 12, 0);
+        assert_eq!(
+            done,
+            12 * c.mc_link_ns_per_byte + c.mc_write_latency,
+            "degenerate tree = one link reservation + latency (== charge_link)"
+        );
+        assert_eq!(
+            mc.charge_tree(0, &[], TREE_FANOUT, 12, 5),
+            5,
+            "no targets, no charge"
+        );
+    }
+
+    #[test]
+    fn tree_fanout_caps_sender_side_serialization() {
+        // 8 targets, fanout 4, page-sized payload: the root serializes only
+        // 4 sends on its own link; targets 4..7 are forwarded by target 0 in
+        // parallel with the root's later sends. Exact schedule: the root's
+        // children arrive at i*hop + latency (i = 1..=4); target 0 (arrived
+        // at hop + latency) forwards its 4 children serially, so the last
+        // one lands at hop + latency + 4*hop + latency.
+        let c = CostModel::default();
+        let bytes = 8192u64; // one page
+        let hop = bytes * c.mc_link_ns_per_byte;
+        let mc = mc_n(9);
+        let targets: Vec<usize> = (1..9).collect();
+        let tree = mc.charge_tree(0, &targets, 4, bytes, 0);
+        assert_eq!(tree, 5 * hop + 2 * c.mc_write_latency);
+        // Flat unicast serializes all 8 sends on the root's link.
+        let mc2 = mc_n(9);
+        let mut flat = 0;
+        for _ in 0..8 {
+            flat = flat.max(mc2.charge_link(0, bytes, 0));
+        }
+        assert_eq!(flat, 8 * hop + c.mc_write_latency);
+        assert!(
+            tree < flat,
+            "tree beats flat unicast once sender occupancy dominates latency"
+        );
+    }
+
+    #[test]
+    fn tree_hops_are_individually_fault_interposed() {
+        // Every hop goes through reserve_link: with a 100% drop rule, each
+        // of the hops on a root→child path is retransmitted, and the fault
+        // counter sees one verdict per hop.
+        let c = CostModel::default();
+        let plan = FaultPlan::new(9).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0));
+        let mc = MemoryChannel::with_faults(
+            (0..6).collect(),
+            6,
+            CostModel::default(),
+            Some(Arc::new(plan)),
+        );
+        let r = mc.create_region(2, false);
+        for e in 0..6 {
+            mc.attach_rx(r, e);
+        }
+        let done = mc.write_tree(r, 0, 0, 5, 4, 0);
+        for e in 1..6 {
+            assert_eq!(mc.read_local(r, e, 0), 5, "retransmissions deliver");
+        }
+        assert_eq!(
+            mc.faults.as_ref().unwrap().stats().total(),
+            5,
+            "one fault verdict per tree hop (5 targets = 5 hops)"
+        );
+        // Every hop pays its own drop-retransmit penalty, so the all-drops
+        // schedule is strictly later than the fault-free one.
+        let clean = mc_n(6);
+        let rc = clean.create_region(2, false);
+        for e in 0..6 {
+            clean.attach_rx(rc, e);
+        }
+        let clean_done = clean.write_tree(rc, 0, 0, 5, 4, 0);
+        assert!(
+            done >= clean_done + 8 * c.mc_link_ns_per_byte + c.mc_write_latency,
+            "dropped hops cost retransmission time (done={done}, clean={clean_done})"
+        );
     }
 }

@@ -118,6 +118,56 @@ impl Topology {
     }
 }
 
+/// Why a topology string failed to parse; `Display` spells out the two
+/// accepted grammars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError(String);
+
+impl std::fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad topology `{}`: want `<nodes>x<procs_per_node>` (e.g. 8x4) \
+             or the paper's `<total_procs>:<per_node>` (e.g. 32:4)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+/// Parses quick-config shapes for sweeps and scripts: `8x4` is eight
+/// 4-processor nodes, and the paper's `32:4` notation (total processors :
+/// processes per node) names the same cluster. Asymmetric scaling shapes
+/// like `64:16` (four 16-way nodes) or `16x8` work the same way.
+impl std::str::FromStr for Topology {
+    type Err = ParseTopologyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTopologyError(s.to_string());
+        let parse = |part: &str| part.trim().parse::<usize>().map_err(|_| err());
+        if let Some((nodes, ppn)) = s.split_once(['x', 'X']) {
+            let (nodes, ppn) = (parse(nodes)?, parse(ppn)?);
+            if nodes == 0 || ppn == 0 {
+                return Err(err());
+            }
+            Ok(Self::new(nodes, ppn))
+        } else if let Some((total, per)) = s.split_once(':') {
+            Topology::from_paper_config(parse(total)?, parse(per)?).ok_or_else(err)
+        } else {
+            Err(err())
+        }
+    }
+}
+
+/// Renders as `<nodes>x<procs_per_node>` — the unambiguous of the two
+/// accepted grammars (it round-trips through [`FromStr`](std::str::FromStr)).
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.nodes, self.procs_per_node)
+    }
+}
+
 /// Maps processors to *protocol* nodes.
 ///
 /// Two-level protocols use one protocol node per physical node; one-level
@@ -225,5 +275,26 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         let _ = Topology::new(0, 4);
+    }
+
+    #[test]
+    fn topology_strings_parse_both_grammars_and_round_trip() {
+        let shapes = [
+            ("8x4", (8, 4)),
+            ("16X8", (16, 8)),
+            ("1x1", (1, 1)),
+            ("32:4", (8, 4)),
+            ("64:16", (4, 16)),
+            (" 1024 : 16 ", (64, 16)),
+        ];
+        for (s, (nodes, ppn)) in shapes {
+            let t: Topology = s.parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!((t.nodes(), t.procs_per_node()), (nodes, ppn), "{s}");
+            assert_eq!(t.to_string().parse::<Topology>().unwrap(), t);
+        }
+        for bad in ["", "8", "8x0", "0x4", "8:3", "0:0", "8x4x2", "ax4", "8:"] {
+            let e = bad.parse::<Topology>().unwrap_err();
+            assert!(e.to_string().contains("bad topology"), "{bad}: {e}");
+        }
     }
 }

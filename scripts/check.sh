@@ -25,6 +25,12 @@
 #            (DESIGN.md §11). MODEL_BUDGET overrides the per-scenario
 #            schedule budget (default 256); each exploration echoes its
 #            schedule/truncation counts
+#   scaling — opt-in (CHECK_SCALING=1): the CI-sized scaling ladder
+#            (scripts/scaling.sh --ci): golden byte-identity preflight,
+#            audited sparse-vs-replicated directory cells at 8x4 and 16x8,
+#            and the deterministic per-update fan-out gates. CASHMERE_JOBS
+#            bounds cell-level parallelism; the full 64x16 ladder is
+#            scripts/scaling.sh with no arguments
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,4 +77,8 @@ if [[ "${CHECK_MODEL:-0}" == "1" ]]; then
     echo "model: exploring interleavings (MODEL_BUDGET=${MODEL_BUDGET:-256} schedules per scenario)"
     MODEL_BUDGET="${MODEL_BUDGET:-256}" \
         cargo test --workspace --offline -q model_ -- --nocapture
+fi
+
+if [[ "${CHECK_SCALING:-0}" == "1" ]]; then
+    scripts/scaling.sh --ci
 fi

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Scaling-curve experiment past the paper's 8×4 (DESIGN.md §12).
+#
+# Builds the release tree and runs the `scaling` harness, which
+#   1. preflights the default path: regenerates the deterministic
+#      virtual-time goldens and fails unless they are byte-identical to
+#      results/vt_golden.jsonl (plus the table2.jsonl sequential rows) —
+#      scaling work must not move the committed 8×4 replicated results;
+#   2. sweeps SOR and Gauss across the scaling ladder (8x4 → 16x8 → 32x8 →
+#      64x16 by default) under all four paper protocols × both directory
+#      layouts (replicated and sparse), every cell audited and
+#      checksum-checked against the sequential baseline; and
+#   3. gates on the scaling claims: sparse per-update bytes stay flat while
+#      replicated fan-out grows with the cluster, and (across a wide node
+#      span) the sparse/replicated total-byte ratio shrinks.
+#
+# Output: BENCH_scaling.json (seed, jobs, node counts, per-cell records,
+# sub-linearity curves).
+#
+# Usage:
+#   scripts/scaling.sh                # full ladder up to 64x16
+#   scripts/scaling.sh --ci           # CI-sized subset (8x4, 16x8)
+#   scripts/scaling.sh 8x4 128:8      # explicit shapes (either grammar)
+#   CASHMERE_JOBS=4 scripts/scaling.sh    # bound cell-level parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cashmere-bench --offline
+exec target/release/scaling "$@"
