@@ -27,20 +27,24 @@
 // better.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bank_oltp;
 pub mod barnes;
 pub mod em3d;
 pub mod gauss;
 pub mod ilink;
+pub mod kv_service;
 pub mod lu;
 pub mod sor;
 pub mod tsp;
 pub mod util;
 pub mod water;
 
+pub use bank_oltp::BankOltp;
 pub use barnes::Barnes;
 pub use em3d::Em3d;
 pub use gauss::Gauss;
 pub use ilink::Ilink;
+pub use kv_service::KvService;
 pub use lu::Lu;
 pub use sor::Sor;
 pub use tsp::Tsp;
@@ -103,6 +107,18 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
         Box::new(Ilink::new(scale)),
         Box::new(Em3d::new(scale)),
         Box::new(Barnes::new(scale)),
+    ]
+}
+
+/// The two service-style applications (trace-driven, DESIGN.md §13) at the
+/// given scale. Kept separate from [`suite`] on purpose: the golden
+/// artifacts (`results/vt_golden.jsonl`, Table 2) iterate the paper suite
+/// and must stay byte-identical; the service apps are gated by the
+/// `service` bench bin instead.
+pub fn service_suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(KvService::new(scale)),
+        Box::new(BankOltp::new(scale)),
     ]
 }
 

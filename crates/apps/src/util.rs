@@ -80,7 +80,7 @@ impl ArrF64 {
 }
 
 /// Page-blocked bitwise checksum shared by [`ArrF64`] and [`ArrU64`]:
-/// `acc = acc * 31 + word` over `len` words starting at `base`.
+/// the [`checksum_slice`] fold over `len` words starting at `base`.
 fn checksum_words(c: &Cluster, base: Addr, len: usize) -> u64 {
     let mut buf = [0u64; 1024];
     let mut acc = 0u64;
@@ -88,12 +88,25 @@ fn checksum_words(c: &Cluster, base: Addr, len: usize) -> u64 {
     while i < len {
         let n = (len - i).min(buf.len());
         c.read_back_run(base + i, &mut buf[..n]);
-        for &w in &buf[..n] {
-            acc = acc.wrapping_mul(31).wrapping_add(w);
-        }
+        acc = checksum_fold(acc, &buf[..n]);
         i += n;
     }
     acc
+}
+
+/// Continues the `acc = acc * 31 + word` fold over `words`.
+fn checksum_fold(mut acc: u64, words: &[u64]) -> u64 {
+    for &w in words {
+        acc = acc.wrapping_mul(31).wrapping_add(w);
+    }
+    acc
+}
+
+/// The same bitwise checksum over a host-side slice — used by the service
+/// apps to compare shared memory against a sequential host replay of the
+/// generated trace (the fold matches [`ArrU64::checksum`] exactly).
+pub fn checksum_slice(words: &[u64]) -> u64 {
+    checksum_fold(0, words)
 }
 
 /// A typed view of a shared `u64` array.
@@ -181,37 +194,11 @@ pub fn chunk_range(n: usize, parts: usize, k: usize) -> (usize, usize) {
     (start, end.min(n))
 }
 
-/// A tiny deterministic PRNG (xorshift*) for workload generation —
-/// reproducible across runs and independent of the `rand` crate's version.
-#[derive(Debug, Clone)]
-pub struct XorShift(u64);
-
-impl XorShift {
-    /// Creates a generator from a nonzero seed.
-    pub fn new(seed: u64) -> Self {
-        Self(seed.max(1))
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// Uniform in `[0, bound)`.
-    pub fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound as u64) as usize
-    }
-
-    /// Uniform in `[0, 1)`.
-    pub fn unit_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The workspace's seeded PRNG, re-exported from `cashmere-workload` (the
+/// definition used to live here; every copy now resolves to the one in the
+/// workload crate, so app seeding and trace generation share a stream
+/// implementation).
+pub use cashmere_workload::XorShift;
 
 #[cfg(test)]
 mod tests {

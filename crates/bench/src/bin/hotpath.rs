@@ -176,4 +176,29 @@ fn main() {
         l = l.wrapping_add(1);
     });
     report("region lookup: RwLock<Vec<Arc<..>>> baseline", rwlock);
+
+    // --- workload sampling ----------------------------------------------
+    // The service-trace generator's per-op path (DESIGN.md §13): one
+    // Zipfian CDF inversion plus the rank→slot map. Allocation-free after
+    // setup (proven by crates/workload/tests/alloc_free.rs); these rows
+    // keep its cost visible as the keyspace grows.
+    use cashmere_workload::{KeyMap, Sampler, XorShift, Zipf};
+    let zipf = Zipf::new(4096, 0.99);
+    let mut zrng = XorShift::new(0x5EED);
+    let invert = bench(rounds, 50_000, || {
+        black_box(zipf.invert(black_box(zrng.unit_f64())));
+    });
+    report("Zipf::invert (4096 keys, theta 0.99)", invert);
+
+    let mut direct = Sampler::new(4096, 0.99, KeyMap::Direct, 0x5EED);
+    let sample_direct = bench(rounds, 50_000, || {
+        black_box(direct.sample_key());
+    });
+    report("Sampler::sample_key (direct map)", sample_direct);
+
+    let mut scatter = Sampler::new(4096, 0.99, KeyMap::Scatter, 0x5EED);
+    let sample_scatter = bench(rounds, 50_000, || {
+        black_box(scatter.sample_key());
+    });
+    report("Sampler::sample_key (scatter map)", sample_scatter);
 }

@@ -36,7 +36,7 @@ fn main() {
             32,
             4,
             RunOpts {
-                directory: DirectoryMode::GlobalLock,
+                directory: Some(DirectoryMode::GlobalLock),
                 ..Default::default()
             },
             3,

@@ -1,0 +1,535 @@
+//! Service-workload gate (`scripts/service.sh`), DESIGN.md §13.
+//!
+//! Gates the two trace-driven service applications — `KvService` and
+//! `BankOltp` — the same way the paper apps are gated, with four phases
+//! (nonzero exit on any failure):
+//!
+//! 1. **Golden preflight** (skippable with `--skip-golden`): regenerates
+//!    the deterministic paper-suite goldens and requires byte-identity with
+//!    the committed `results/vt_golden.jsonl` plus the sequential rows of
+//!    `results/table2.jsonl` — the service subsystem must not move a byte
+//!    of the paper artifacts.
+//! 2. **Determinism.** The same seed must reproduce a byte-identical trace
+//!    ([`Trace::to_bytes`]) and, sequentially (1:1, uninstrumented), an
+//!    identical virtual time and checksum; checksums must equal the
+//!    host-side expectations (KV: sequential trace replay; Bank: the
+//!    conserved ledger total).
+//! 3. **Audit + heat sweep.** Both apps × all four paper protocols at 4:2
+//!    with the auditor and observability on: every cell must audit clean
+//!    and reproduce its expected checksum, and the per-page fault heat of
+//!    a Zipf-skewed KV run must be visibly more concentrated than a
+//!    uniform (θ = 0) control — the configured skew has to show up in the
+//!    pages the protocols actually fight over.
+//! 4. **Fault soak.** Both apps × all four protocols × two nonzero fault
+//!    plans (lost requests; a lossy/delaying link with outages), audit on:
+//!    checksums must match the fault-free expectation, audits must stay
+//!    clean, and the campaign must show nonzero injected faults per plan.
+//!
+//! Flags: `--seed N` re-seeds the workload traces and fault plans (default
+//! 0x5EED; echoed into the output), `--skip-golden` skips phase 1.
+//!
+//! Output: `BENCH_service.json` — seed, per-app trace digests and
+//! determinism results, per-cell sweep/soak records, and the fault-heat
+//! top-k with the skew-vs-uniform shares.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cashmere_apps::{suite, BankOltp, Benchmark, KvService, Scale};
+use cashmere_bench::golden::{build_goldens, check_table2};
+use cashmere_bench::sweep::{run_sweep, SweepPlan, SweepSpec};
+use cashmere_bench::{json_f64, json_str, run_with, sequential_with, RunOpts};
+use cashmere_check::audit;
+use cashmere_core::{FaultKind, FaultPlan, FaultRule, ProtocolKind};
+
+/// The sweep/soak topology: 4 processors on 2 nodes (same as the soak
+/// harness — every cell crosses node boundaries).
+const SERVICE_CONFIG: (usize, usize) = (4, 2);
+
+/// Hot pages reported per cell and used by the skew gate.
+const HEAT_TOP_K: usize = 4;
+
+/// The skewed KV heat concentration must beat the uniform control's by at
+/// least this factor (empirically ~2× at θ = 0.99; see DESIGN.md §13).
+const HEAT_SKEW_FACTOR: f64 = 1.2;
+
+struct Args {
+    seed: u64,
+    skip_golden: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        seed: 0x5EED,
+        skip_golden: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                a.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            "--skip-golden" => a.skip_golden = true,
+            other => panic!("unknown flag {other:?} (supported: --seed N, --skip-golden)"),
+        }
+    }
+    a
+}
+
+/// The two service apps at `scale`, traces re-seeded from `seed` (distinct
+/// streams per app).
+fn service_apps(scale: Scale, seed: u64) -> (KvService, BankOltp) {
+    let mut kv = KvService::new(scale);
+    kv.spec.seed = seed;
+    let mut bank = BankOltp::new(scale);
+    bank.spec.seed = seed ^ 0x0BA2_0172;
+    (kv, bank)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures = 0usize;
+
+    if args.skip_golden {
+        eprintln!("[--skip-golden: paper-golden preflight skipped]");
+    } else {
+        failures += golden_preflight();
+    }
+
+    let (det_json, det_failures) = determinism_gate(args.seed);
+    failures += det_failures;
+
+    let (cell_records, heat_json, sweep_failures) = audit_heat_sweep(args.seed);
+    failures += sweep_failures;
+
+    let (soak_records, soak_failures) = fault_soak(args.seed);
+    failures += soak_failures;
+
+    let mut out = String::from("{\"experiment\":\"service\",");
+    let _ = write!(
+        out,
+        "\"seed\":{},\"config\":\"{}:{}\",",
+        args.seed, SERVICE_CONFIG.0, SERVICE_CONFIG.1
+    );
+    out.push_str("\"determinism\":[");
+    out.push_str(&det_json.join(","));
+    out.push_str("],\"cells\":[");
+    let mut all = cell_records;
+    all.extend(soak_records);
+    out.push_str(&all.join(","));
+    out.push_str("],\"heat\":");
+    out.push_str(&heat_json);
+    let _ = write!(out, ",\"failures\":{failures}}}");
+    out.push('\n');
+    std::fs::write("BENCH_service.json", out).expect("write BENCH_service.json");
+    eprintln!("[wrote BENCH_service.json]");
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} service check(s) failed");
+        std::process::exit(1);
+    }
+    println!("service: all checks passed");
+}
+
+/// Phase 1: the service subsystem must leave the committed paper goldens
+/// byte-identical.
+fn golden_preflight() -> usize {
+    let mut failures = 0usize;
+    let apps = suite(Scale::Bench);
+    let g = build_goldens(&apps, None, false, false, false);
+    let golden_path = Path::new("results/vt_golden.jsonl");
+    match std::fs::read_to_string(golden_path) {
+        Ok(committed) if committed == g.jsonl => {
+            println!(
+                "service golden: paper goldens byte-identical ({} lines)",
+                g.jsonl.lines().count()
+            );
+        }
+        Ok(committed) => {
+            failures += 1;
+            eprintln!("service golden: DRIFT in {}", golden_path.display());
+            for (i, (a, b)) in committed.lines().zip(g.jsonl.lines()).enumerate() {
+                if a != b {
+                    eprintln!(
+                        "  line {}:\n    committed: {a}\n    regenerated: {b}",
+                        i + 1
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!(
+                "service golden: cannot read {} ({e}) — capture goldens first",
+                golden_path.display()
+            );
+        }
+    }
+    failures + check_table2(&g.seq_secs)
+}
+
+/// Phase 2: byte-identical traces and identical sequential virtual time
+/// under the same seed; checksums equal to the host-side expectations.
+fn determinism_gate(seed: u64) -> (Vec<String>, usize) {
+    let mut failures = 0usize;
+    let mut records = Vec::new();
+    let (kv, bank) = service_apps(Scale::Test, seed);
+    let expected: [(&dyn Benchmark, u64); 2] = [
+        (&kv, kv.expected_checksum()),
+        (&bank, bank.expected_total()),
+    ];
+    let traces = [kv.trace(), bank.trace()];
+
+    for ((app, want_checksum), trace) in expected.iter().zip(&traces) {
+        // Trace byte-identity: regenerate from the same spec.
+        let again = match app.name() {
+            "KV" => service_apps(Scale::Test, seed).0.trace(),
+            _ => service_apps(Scale::Test, seed).1.trace(),
+        };
+        let trace_ok = trace.to_bytes() == again.to_bytes();
+        if !trace_ok {
+            failures += 1;
+            eprintln!(
+                "service determinism {}: TRACE not byte-identical",
+                app.name()
+            );
+        }
+
+        // Sequential VT identity: two 1:1 uninstrumented runs.
+        let (a, _) = sequential_with(*app, None, false);
+        let (b, _) = sequential_with(*app, None, false);
+        let vt_ok = a.report.exec_ns == b.report.exec_ns && a.checksum == b.checksum;
+        if !vt_ok {
+            failures += 1;
+            eprintln!(
+                "service determinism {}: sequential VT {} vs {} (checksums {} vs {})",
+                app.name(),
+                a.report.exec_ns,
+                b.report.exec_ns,
+                a.checksum,
+                b.checksum
+            );
+        }
+        let checksum_ok = a.checksum == *want_checksum;
+        if !checksum_ok {
+            failures += 1;
+            eprintln!(
+                "service determinism {}: checksum {} != host expectation {want_checksum}",
+                app.name(),
+                a.checksum
+            );
+        }
+        println!(
+            "service determinism {:4} trace={} vt={} ({} ns) checksum={}",
+            app.name(),
+            if trace_ok { "ok" } else { "BAD" },
+            if vt_ok { "ok" } else { "BAD" },
+            a.report.exec_ns,
+            if checksum_ok { "ok" } else { "BAD" },
+        );
+
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        json_str(&mut s, "app", app.name());
+        let _ = write!(
+            s,
+            ",\"trace_digest\":\"{:016x}\",\"trace_ops\":{},\"seq_exec_ns\":{},\
+             \"trace_identical\":{trace_ok},\"vt_identical\":{vt_ok},\
+             \"checksum_ok\":{checksum_ok}}}",
+            trace.digest(),
+            trace.ops.len(),
+            a.report.exec_ns
+        );
+        records.push(s);
+    }
+    (records, failures)
+}
+
+/// Phase 3: audit + checksum sweep across all four protocols with
+/// observability on, plus the fault-heat skew gate.
+fn audit_heat_sweep(seed: u64) -> (Vec<String>, String, usize) {
+    let mut failures = 0usize;
+    let (kv, bank) = service_apps(Scale::Test, seed);
+    let expectations = [
+        (kv.name(), kv.expected_checksum()),
+        (bank.name(), bank.expected_total()),
+    ];
+    let apps: Vec<Box<dyn Benchmark>> = vec![Box::new(kv), Box::new(bank)];
+    let spec = SweepSpec {
+        total: SERVICE_CONFIG.0,
+        per_node: SERVICE_CONFIG.1,
+        opts: RunOpts {
+            obs: true,
+            ..RunOpts::default()
+        },
+        audit: true,
+        ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
+    };
+
+    let mut records = Vec::new();
+    run_sweep(&spec, |cell| {
+        let want = expectations
+            .iter()
+            .find(|(n, _)| *n == cell.app)
+            .map(|&(_, c)| c)
+            .expect("expectation for every service app");
+        let checksum_ok = cell.outcome.checksum == want;
+        let report = audit(&cell.trace);
+        let audit_clean = report.is_clean();
+        if !checksum_ok {
+            failures += 1;
+            eprintln!(
+                "service sweep {:4} {:4}: CHECKSUM {} != expected {want}",
+                cell.app,
+                cell.protocol.label(),
+                cell.outcome.checksum
+            );
+        }
+        if !audit_clean {
+            failures += 1;
+            eprintln!(
+                "service sweep {:4} {:4}: AUDIT DIRTY\n{}",
+                cell.app,
+                cell.protocol.label(),
+                report.summary()
+            );
+        }
+        let obs = cell.outcome.report.obs.as_ref().expect("obs requested");
+        let hot = obs.hot_pages(HEAT_TOP_K);
+        println!(
+            "service sweep {:4} {:4} exec={:9.3}ms checksum={} audit={} hot={:?}",
+            cell.app,
+            cell.protocol.label(),
+            cell.outcome.report.exec_secs() * 1e3,
+            if checksum_ok { "ok" } else { "BAD" },
+            if audit_clean { "clean" } else { "DIRTY" },
+            hot
+        );
+
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        json_str(&mut s, "phase", "sweep");
+        s.push(',');
+        json_str(&mut s, "app", &cell.app);
+        s.push(',');
+        json_str(&mut s, "protocol", cell.protocol.label());
+        s.push(',');
+        json_f64(&mut s, "exec_secs", cell.outcome.report.exec_secs());
+        let _ = write!(
+            s,
+            ",\"checksum_ok\":{checksum_ok},\"audit_clean\":{audit_clean},\"hot_pages\":["
+        );
+        for (i, (page, heat)) in hot.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{page},{heat}]");
+        }
+        s.push_str("]}");
+        records.push(s);
+    });
+
+    let (heat_json, heat_failures) = heat_skew_gate(seed);
+    failures += heat_failures;
+    (records, heat_json, failures)
+}
+
+/// Top-`HEAT_TOP_K` share of total page heat for one KV run at 2L.
+fn kv_heat_share(kv: &KvService) -> (f64, Vec<(usize, u64)>) {
+    let (out, _) = run_with(
+        kv,
+        ProtocolKind::TwoLevel,
+        SERVICE_CONFIG.0,
+        SERVICE_CONFIG.1,
+        RunOpts {
+            obs: true,
+            ..RunOpts::default()
+        },
+        None,
+        false,
+    );
+    let obs = out.report.obs.expect("obs requested");
+    let total: u64 = obs.page_heat.iter().sum();
+    let hot = obs.hot_pages(HEAT_TOP_K);
+    let top: u64 = hot.iter().map(|&(_, h)| h).sum();
+    assert!(total > 0, "KV heat probe saw zero faults");
+    (top as f64 / total as f64, hot)
+}
+
+/// The skew gate: at Bench scale (enough table pages to resolve), the
+/// Zipf-skewed KV heat must concentrate visibly harder than a uniform
+/// (θ = 0) control — and the hottest page must sit in the table's head,
+/// where [`cashmere_workload::KeyMap::Direct`] puts the popular ranks.
+fn heat_skew_gate(seed: u64) -> (String, usize) {
+    let mut failures = 0usize;
+    let (skewed, _) = service_apps(Scale::Bench, seed);
+    let mut uniform = skewed.clone();
+    uniform.spec.theta = 0.0;
+
+    let (skew_share, skew_hot) = kv_heat_share(&skewed);
+    let (uniform_share, _) = kv_heat_share(&uniform);
+    println!(
+        "service heat: skewed top-{HEAT_TOP_K} share {skew_share:.3} vs uniform {uniform_share:.3} \
+         (hot pages {skew_hot:?})"
+    );
+    if skew_share < uniform_share * HEAT_SKEW_FACTOR {
+        failures += 1;
+        eprintln!(
+            "service heat: skewed share {skew_share:.3} not >= {HEAT_SKEW_FACTOR}x uniform \
+             {uniform_share:.3} — the configured skew is invisible in fault heat"
+        );
+    }
+    // Under KeyMap::Direct the popular ranks sit at the start of *both*
+    // shared structures: the value table (pages 0..table_pages) and the
+    // version array right after it. The hottest page must be the head of
+    // one of them (the version head packs PAGE_WORDS keys per page, so it
+    // often out-heats table page 0, which holds PAGE_WORDS/value_words).
+    let table_pages = (skewed.spec.keys * skewed.value_words) / cashmere_core::PAGE_WORDS;
+    let head_pages = 2;
+    let in_head =
+        |page: usize| page < head_pages || (page >= table_pages && page < table_pages + 1);
+    if skew_hot.first().is_none_or(|&(page, _)| !in_head(page)) {
+        failures += 1;
+        eprintln!(
+            "service heat: hottest page {:?} is outside the hot head (table pages 0..{head_pages} \
+             or version page {table_pages})",
+            skew_hot.first()
+        );
+    }
+
+    let mut s = String::with_capacity(192);
+    let _ = write!(
+        s,
+        "{{\"theta\":{},\"skew_top{HEAT_TOP_K}_share\":",
+        skewed.spec.theta
+    );
+    let _ = write!(
+        s,
+        "{skew_share:.4},\"uniform_top{HEAT_TOP_K}_share\":{uniform_share:.4}"
+    );
+    s.push_str(",\"skew_hot_pages\":[");
+    for (i, (page, heat)) in skew_hot.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{page},{heat}]");
+    }
+    s.push_str("]}");
+    (s, failures)
+}
+
+/// Phase 4: nonzero fault plans across all four protocols; checksums and
+/// audits must hold, and every plan must actually inject faults.
+fn fault_soak(seed: u64) -> (Vec<String>, usize) {
+    let mut failures = 0usize;
+    let (kv, bank) = service_apps(Scale::Test, seed);
+    let expectations = [
+        (kv.name(), kv.expected_checksum()),
+        (bank.name(), bank.expected_total()),
+    ];
+    let apps: Vec<Box<dyn Benchmark>> = vec![Box::new(kv), Box::new(bank)];
+    let plans = [
+        SweepPlan {
+            name: "lost-requests",
+            build: Some(|seed| {
+                FaultPlan::new(seed)
+                    .with_rule(FaultRule::new(FaultKind::LoseFetch, 0.25))
+                    .with_rule(FaultRule::new(FaultKind::LoseBreak, 0.25))
+            }),
+        },
+        SweepPlan {
+            name: "lossy-link",
+            build: Some(|seed| {
+                FaultPlan::new(seed)
+                    .with_rule(FaultRule::new(FaultKind::DropWrite, 0.10))
+                    .with_rule(FaultRule::new(FaultKind::DelayWrite, 0.10).with_param_ns(5_000))
+                    .with_rule(FaultRule::new(FaultKind::LinkOutage, 0.002).with_param_ns(50_000))
+            }),
+        },
+    ];
+    let spec = SweepSpec {
+        total: SERVICE_CONFIG.0,
+        per_node: SERVICE_CONFIG.1,
+        audit: true,
+        seed,
+        plans: &plans,
+        ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
+    };
+
+    let mut records = Vec::new();
+    let mut faults_by_plan = [0u64; 2];
+    run_sweep(&spec, |cell| {
+        let want = expectations
+            .iter()
+            .find(|(n, _)| *n == cell.app)
+            .map(|&(_, c)| c)
+            .expect("expectation for every service app");
+        let checksum_ok = cell.outcome.checksum == want;
+        let report = audit(&cell.trace);
+        let audit_clean = report.is_clean();
+        let recovery = &cell.outcome.report.recovery;
+        if !checksum_ok {
+            failures += 1;
+            eprintln!(
+                "service soak {:4} {:4} {}: CHECKSUM {} != expected {want}",
+                cell.app,
+                cell.protocol.label(),
+                cell.plan,
+                cell.outcome.checksum
+            );
+        }
+        if !audit_clean {
+            failures += 1;
+            eprintln!(
+                "service soak {:4} {:4} {}: AUDIT DIRTY\n{}",
+                cell.app,
+                cell.protocol.label(),
+                cell.plan,
+                report.summary()
+            );
+        }
+        let pi = usize::from(cell.plan != "lost-requests");
+        faults_by_plan[pi] += recovery.faults_total();
+        println!(
+            "service soak {:4} {:4} {:14} faults={:5} checksum={} audit={}",
+            cell.app,
+            cell.protocol.label(),
+            cell.plan,
+            recovery.faults_total(),
+            if checksum_ok { "ok" } else { "BAD" },
+            if audit_clean { "clean" } else { "DIRTY" },
+        );
+
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        json_str(&mut s, "phase", "soak");
+        s.push(',');
+        json_str(&mut s, "app", &cell.app);
+        s.push(',');
+        json_str(&mut s, "protocol", cell.protocol.label());
+        s.push(',');
+        json_str(&mut s, "plan", cell.plan);
+        s.push(',');
+        json_f64(&mut s, "exec_secs", cell.outcome.report.exec_secs());
+        let _ = write!(
+            s,
+            ",\"faults\":{},\"checksum_ok\":{checksum_ok},\"audit_clean\":{audit_clean}}}",
+            recovery.faults_total()
+        );
+        records.push(s);
+    });
+
+    for (pi, plan) in plans.iter().enumerate() {
+        if faults_by_plan[pi] == 0 {
+            failures += 1;
+            eprintln!(
+                "service soak plan {}: campaign injected zero faults",
+                plan.name
+            );
+        }
+    }
+    (records, failures)
+}

@@ -48,8 +48,11 @@ pub const PAPER_CONFIGS: [(usize, usize); 9] = [
 /// Options perturbing a run beyond protocol/topology.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunOpts {
-    /// Directory/write-notice locking ablation (§3.3.5).
-    pub directory: DirectoryMode,
+    /// Directory/write-notice locking ablation (§3.3.5). `None` keeps the
+    /// topology default ([`DirectoryMode::default_for`]: the paper's
+    /// replicated lock-free directory up to 8 physical nodes, home-sharded
+    /// `Sparse` beyond).
+    pub directory: Option<DirectoryMode>,
     /// Request-delivery mechanism (§3.3.4).
     pub messaging: Messaging,
     /// Force the polling-overhead fraction to zero (the paper's
@@ -88,7 +91,10 @@ pub fn run_with(
     let topo = Topology::from_paper_config(total, per_node)
         .unwrap_or_else(|| panic!("bad paper config {total}:{per_node}"));
     let mut spec = RunSpec::new(topo, protocol)
-        .with_directory(opts.directory)
+        .with_directory(
+            opts.directory
+                .unwrap_or_else(|| DirectoryMode::default_for(&topo)),
+        )
         .with_messaging(opts.messaging)
         .uninstrumented(opts.uninstrumented)
         .with_audit(audit)

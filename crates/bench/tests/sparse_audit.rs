@@ -18,7 +18,7 @@ fn sparse_directory_audits_clean_and_matches_replicated_checksums() {
     let mut sparse = SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR);
     sparse.total = 16;
     sparse.per_node = 4;
-    sparse.opts.directory = DirectoryMode::Sparse;
+    sparse.opts.directory = Some(DirectoryMode::Sparse);
     sparse.audit = true;
     let sparse_cells = run_sweep(&sparse, |_| {});
 

@@ -157,6 +157,29 @@ pub enum DirectoryMode {
     Sparse,
 }
 
+impl DirectoryMode {
+    /// How many physical nodes the replicated (paper) directory comfortably
+    /// serves. Beyond this, its O(pages × nodes) memory and O(nodes)
+    /// broadcast per update dominate (DESIGN.md §12).
+    pub const REPLICATED_NODE_LIMIT: usize = 8;
+
+    /// The default directory for `topology`: the paper's replicated
+    /// lock-free directory up to the paper's largest cluster (8 nodes), the
+    /// home-sharded [`DirectoryMode::Sparse`] directory beyond it. Keyed on
+    /// *physical* nodes — the directory is a per-node structure, and at the
+    /// paper's 8×4 the one-level protocols already run 32 protocol nodes on
+    /// 8 physical ones — so every paper configuration keeps the paper's
+    /// directory under every protocol, and only the scaling-ladder shapes
+    /// (16 nodes and up) flip to Sparse.
+    pub fn default_for(topology: &Topology) -> Self {
+        if topology.nodes() > Self::REPLICATED_NODE_LIMIT {
+            DirectoryMode::Sparse
+        } else {
+            DirectoryMode::LockFree
+        }
+    }
+}
+
 /// Virtual-time timeout/backoff policy for lost protocol requests (page
 /// fetches, exclusive-mode break interrupts). Timeouts double per attempt
 /// from [`RecoveryPolicy::base_timeout`] up to [`RecoveryPolicy::backoff_cap`].
@@ -259,9 +282,9 @@ impl ClusterConfig {
     /// protocol, and a 64-page heap.
     pub fn new(topology: Topology, protocol: ProtocolKind) -> Self {
         Self {
+            directory: DirectoryMode::default_for(&topology),
             topology,
             protocol,
-            directory: DirectoryMode::LockFree,
             heap_pages: 64,
             pages_per_superpage: 1,
             first_touch: true,
@@ -326,6 +349,27 @@ impl ClusterConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn directory_default_is_replicated_up_to_the_papers_largest_cluster() {
+        // Every paper configuration (Figure 7 tops out at 8×4) keeps the
+        // paper's replicated lock-free directory — including under the
+        // one-level protocols, whose 32 protocol nodes still live on 8
+        // physical nodes.
+        for (nodes, per) in [(1, 1), (2, 2), (4, 4), (8, 1), (8, 4)] {
+            let t = Topology::new(nodes, per);
+            assert_eq!(DirectoryMode::default_for(&t), DirectoryMode::LockFree);
+            let cfg = ClusterConfig::new(t, ProtocolKind::OneLevelDiff);
+            assert_eq!(cfg.directory, DirectoryMode::LockFree);
+        }
+        // The scaling-ladder shapes flip to the home-sharded directory.
+        for (nodes, per) in [(16, 8), (32, 8), (64, 16)] {
+            let t = Topology::new(nodes, per);
+            assert_eq!(DirectoryMode::default_for(&t), DirectoryMode::Sparse);
+            let cfg = ClusterConfig::new(t, ProtocolKind::TwoLevel);
+            assert_eq!(cfg.directory, DirectoryMode::Sparse);
+        }
+    }
 
     #[test]
     fn protocol_kind_properties() {

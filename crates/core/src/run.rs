@@ -60,12 +60,12 @@ impl RunSpec {
     #[must_use]
     pub fn new(topology: Topology, protocol: ProtocolKind) -> Self {
         Self {
+            directory: DirectoryMode::default_for(&topology),
             topology,
             protocol,
             seed: 0,
             sync: SyncSpec::default(),
             heap_pages: None,
-            directory: DirectoryMode::default(),
             messaging: Messaging::default(),
             uninstrumented: false,
             audit: false,
@@ -252,6 +252,17 @@ mod tests {
         assert!(!cfg.audit && !cfg.obs && cfg.fault_plan.is_none());
         assert_eq!(cfg.recovery, base.recovery);
         assert_eq!(spec.seed, 0);
+    }
+
+    #[test]
+    fn spec_directory_tracks_the_topology_default() {
+        let small = RunSpec::new(Topology::new(8, 4), ProtocolKind::OneLevelWrite);
+        assert_eq!(small.directory, DirectoryMode::LockFree);
+        let large = RunSpec::new(Topology::new(16, 8), ProtocolKind::TwoLevel);
+        assert_eq!(large.directory, DirectoryMode::Sparse);
+        // An explicit choice still wins over the topology default.
+        let forced = large.with_directory(DirectoryMode::LockFree);
+        assert_eq!(forced.to_config().directory, DirectoryMode::LockFree);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Service-style workload generation for the Cashmere-2L reproduction
+//! (DESIGN.md §13).
+//!
+//! The paper's eight applications are regular scientific kernels; this
+//! crate is the front end for *service* traffic — the skewed, open-loop,
+//! request-shaped load the ROADMAP's north star (millions of users over
+//! DSM) actually looks like:
+//!
+//! * [`XorShift`] — the workspace's one seeded PRNG (previously
+//!   copy-pasted across the app suite and examples);
+//! * [`Zipf`] — Zipfian key popularity with configurable θ, inverted
+//!   through a precomputed cumulative table (allocation-free samples);
+//! * [`Trace`] / [`WorkloadSpec`] — a deterministic, seeded request trace:
+//!   get/put/delete mix, open-loop Poisson arrivals stamped in virtual
+//!   nanoseconds, and a rank→slot [`KeyMap`] that either clusters the hot
+//!   head ([`KeyMap::Direct`]) or scatters it like a hashed keyspace
+//!   ([`KeyMap::Scatter`]).
+//!
+//! Two apps in `cashmere-apps` consume these traces — `KvService` (a
+//! sharded KV/cache service) and `BankOltp` (two-lock transactional
+//! transfers) — and the `service` bench bin gates their determinism,
+//! audits, and per-page fault-heat skew. The crate is dependency-free so
+//! every layer (apps, bench, tests) can use it without cycles.
+
+pub mod rng;
+pub mod trace;
+pub mod zipf;
+
+pub use rng::XorShift;
+pub use trace::{KeyMap, Op, OpKind, Sampler, SlotMap, Trace, WorkloadSpec};
+pub use zipf::Zipf;

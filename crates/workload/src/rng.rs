@@ -1,0 +1,66 @@
+//! The workspace's one seeded PRNG.
+//!
+//! Before this crate existed the xorshift* generator was copy-pasted
+//! between `cashmere_apps::util` and the `bank_teller` example (which
+//! hand-rolled a third, slightly different xorshift inline). All workload
+//! generation — app data seeding, trace sampling, fault-plan salts in
+//! tests — goes through this one implementation now, so "same seed, same
+//! workload" holds across every layer.
+
+/// A tiny deterministic PRNG (xorshift*) for workload generation —
+/// reproducible across runs and independent of the `rand` crate's version.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_in_range() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v = a.below(13);
+            assert!(v < 13);
+            let f = a.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Deterministic trace generation: open-loop arrivals, operation mix,
+//! key→slot mapping.
+//!
+//! A [`Trace`] is the whole experiment input, generated up front on the
+//! host from a [`WorkloadSpec`] — the simulated processors never touch the
+//! RNG, they just execute their share of the trace. That split is what
+//! makes the service apps replayable: the same seed produces a
+//! byte-identical trace ([`Trace::to_bytes`]), and the trace alone
+//! determines the final shared-memory state (the apps' mutations are
+//! commutative, see `cashmere_apps::kv_service`).
+//!
+//! **Open-loop arrivals.** Each operation carries an arrival stamp in
+//! virtual nanoseconds, drawn from an exponential inter-arrival process
+//! (Poisson arrivals at rate `1 / mean_interarrival_ns`). Arrivals are
+//! charged in virtual time by the executing processor: if an operation
+//! arrives in the future the processor idles until the stamp; if it
+//! arrives in the past the processor is saturated and the backlog drains
+//! at service rate — the generator never slows down because the service
+//! is slow, which is what "open loop" means and what closed-loop SPLASH
+//! kernels structurally cannot express.
+//!
+//! **Key→slot mapping.** Ranks are popularity order (rank 0 hottest).
+//! [`KeyMap::Direct`] stores rank `r` at slot `r`, clustering the hot
+//! head onto the first pages of the table — per-page fault heat then
+//! shows the configured skew directly. [`KeyMap::Scatter`] routes ranks
+//! through a seeded Fisher–Yates permutation, modeling a hashed keyspace
+//! where popularity is invisible in the address layout and every page
+//! holds a popularity cross-section. Working sets are many keys per page
+//! either way (slots ≫ pages), so unrelated keys share pages and skewed
+//! write traffic produces false sharing the protocols must absorb.
+
+use crate::rng::XorShift;
+use crate::zipf::Zipf;
+
+/// One request kind. The mix is configured by [`WorkloadSpec::get_frac`] /
+/// [`WorkloadSpec::put_frac`]; deletes are the remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read the whole value.
+    Get,
+    /// Read-modify-write the whole value.
+    Put,
+    /// Read-modify-write the value header only (tombstone fold).
+    Delete,
+}
+
+impl OpKind {
+    /// Stable one-byte encoding used by [`Trace::to_bytes`].
+    fn code(self) -> u8 {
+        match self {
+            OpKind::Get => 0,
+            OpKind::Put => 1,
+            OpKind::Delete => 2,
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Open-loop arrival stamp, virtual nanoseconds from run start.
+    pub at: u64,
+    /// Primary key slot (post key-map).
+    pub key: u32,
+    /// Secondary key slot (transfer destination for the OLTP app; always
+    /// distinct from `key` when the keyspace has more than one slot).
+    pub key2: u32,
+    /// Deterministic per-op payload digest (put value / transfer amount).
+    pub val: u64,
+    /// Request kind.
+    pub kind: OpKind,
+}
+
+/// How popularity ranks map to table slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyMap {
+    /// Slot = rank: the hot head clusters on the table's first pages, so
+    /// per-page fault heat exposes the Zipfian skew.
+    #[default]
+    Direct,
+    /// Slot = seeded permutation of rank: a hashed keyspace; heat spreads
+    /// across pages and each page holds a popularity cross-section.
+    Scatter,
+}
+
+/// Everything that defines a generated trace. Identical specs produce
+/// byte-identical traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Keyspace size (table slots). Must be ≥ 2.
+    pub keys: usize,
+    /// Zipfian skew over popularity ranks (0 = uniform).
+    pub theta: f64,
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Fraction of Get operations.
+    pub get_frac: f64,
+    /// Fraction of Put operations (deletes are `1 - get - put`).
+    pub put_frac: f64,
+    /// Mean of the exponential inter-arrival time, virtual ns.
+    pub mean_interarrival_ns: u64,
+    /// Rank→slot mapping.
+    pub key_map: KeyMap,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Panics unless the spec is generable (fractions in range, ≥ 2 keys,
+    /// nonzero arrival mean).
+    pub fn validate(&self) {
+        assert!(self.keys >= 2, "need at least two keys, got {}", self.keys);
+        assert!(self.keys <= u32::MAX as usize, "keys must fit in u32");
+        assert!(
+            self.get_frac >= 0.0 && self.put_frac >= 0.0,
+            "negative mix fraction"
+        );
+        assert!(
+            self.get_frac + self.put_frac <= 1.0 + 1e-12,
+            "get {} + put {} exceed 1",
+            self.get_frac,
+            self.put_frac
+        );
+        assert!(
+            self.mean_interarrival_ns > 0,
+            "open-loop arrivals need a nonzero inter-arrival mean"
+        );
+    }
+}
+
+/// A fully generated request trace plus the spec that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The spec echoed for provenance.
+    pub spec: WorkloadSpec,
+    /// Operations in arrival order (`at` is nondecreasing, strictly
+    /// increasing in fact — inter-arrival gaps are clamped to ≥ 1 ns).
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Generates the trace for `spec`. Deterministic: the same spec
+    /// (including seed) yields a byte-identical trace.
+    pub fn generate(spec: &WorkloadSpec) -> Self {
+        spec.validate();
+        let mut rng = XorShift::new(spec.seed);
+        let zipf = Zipf::new(spec.keys, spec.theta);
+        let map = SlotMap::new(spec.keys, spec.key_map, spec.seed ^ MAP_SALT);
+        let mut ops = Vec::with_capacity(spec.ops);
+        let mut at = 0u64;
+        for _ in 0..spec.ops {
+            // Exponential inter-arrival, clamped to ≥ 1 ns so arrival
+            // stamps are strictly increasing.
+            let u = rng.unit_f64();
+            let gap = (-(1.0 - u).ln() * spec.mean_interarrival_ns as f64) as u64;
+            at += gap.max(1);
+
+            let kind = {
+                let m = rng.unit_f64();
+                if m < spec.get_frac {
+                    OpKind::Get
+                } else if m < spec.get_frac + spec.put_frac {
+                    OpKind::Put
+                } else {
+                    OpKind::Delete
+                }
+            };
+            let key = map.slot(zipf.sample(&mut rng));
+            // Secondary key: resample until distinct (terminates: ≥ 2 keys
+            // and every rank has nonzero probability).
+            let key2 = loop {
+                let k2 = map.slot(zipf.sample(&mut rng));
+                if k2 != key {
+                    break k2;
+                }
+            };
+            let val = rng.next_u64();
+            ops.push(Op {
+                at,
+                key,
+                key2,
+                val,
+                kind,
+            });
+        }
+        Self {
+            spec: spec.clone(),
+            ops,
+        }
+    }
+
+    /// Canonical byte serialization, used by the determinism gate: two
+    /// traces are the same workload iff their bytes are equal.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.ops.len() * 25 + 16);
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.spec.seed.to_le_bytes());
+        for op in &self.ops {
+            out.extend_from_slice(&op.at.to_le_bytes());
+            out.extend_from_slice(&op.key.to_le_bytes());
+            out.extend_from_slice(&op.key2.to_le_bytes());
+            out.extend_from_slice(&op.val.to_le_bytes());
+            out.push(op.kind.code());
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`Self::to_bytes`] — a compact fingerprint for
+    /// reports and logs.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.to_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Count of operations per kind, in `(get, put, delete)` order.
+    pub fn mix_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for op in &self.ops {
+            match op.kind {
+                OpKind::Get => c.0 += 1,
+                OpKind::Put => c.1 += 1,
+                OpKind::Delete => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Rank→slot mapping table. [`KeyMap::Direct`] is the identity (no table);
+/// [`KeyMap::Scatter`] materializes a seeded permutation at setup.
+#[derive(Debug, Clone)]
+pub struct SlotMap {
+    perm: Option<Vec<u32>>,
+}
+
+impl SlotMap {
+    /// Builds the mapping for `keys` ranks.
+    pub fn new(keys: usize, map: KeyMap, seed: u64) -> Self {
+        let perm = match map {
+            KeyMap::Direct => None,
+            KeyMap::Scatter => {
+                let mut perm: Vec<u32> = (0..keys as u32).collect();
+                let mut rng = XorShift::new(seed);
+                // Fisher–Yates.
+                for i in (1..keys).rev() {
+                    perm.swap(i, rng.below(i + 1));
+                }
+                Some(perm)
+            }
+        };
+        Self { perm }
+    }
+
+    /// Slot of popularity rank `rank` (allocation-free).
+    #[inline]
+    pub fn slot(&self, rank: usize) -> u32 {
+        match &self.perm {
+            None => rank as u32,
+            Some(p) => p[rank],
+        }
+    }
+}
+
+/// The combined sample path (`Zipf` inversion + slot map), packaged for the
+/// `hotpath` microbenchmark: one call = one sampled key, allocation-free.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    zipf: Zipf,
+    map: SlotMap,
+    rng: XorShift,
+}
+
+impl Sampler {
+    /// Builds the sampler a generated trace would use.
+    pub fn new(keys: usize, theta: f64, key_map: KeyMap, seed: u64) -> Self {
+        Self {
+            zipf: Zipf::new(keys, theta),
+            map: SlotMap::new(keys, key_map, seed ^ MAP_SALT),
+            rng: XorShift::new(seed),
+        }
+    }
+
+    /// Samples one key slot (allocation-free after setup).
+    #[inline]
+    pub fn sample_key(&mut self) -> u32 {
+        self.map.slot(self.zipf.sample(&mut self.rng))
+    }
+}
+
+/// Salt separating the slot-permutation RNG stream from the op stream.
+const MAP_SALT: u64 = 0x534C_4F54_4D41_5000; // "SLOTMAP\0"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            keys: 512,
+            theta: 0.99,
+            ops: 20_000,
+            get_frac: 0.7,
+            put_frac: 0.2,
+            mean_interarrival_ns: 4_000,
+            key_map: KeyMap::Direct,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_different_seed_is_not() {
+        let a = Trace::generate(&spec());
+        let b = Trace::generate(&spec());
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.digest(), b.digest());
+        let c = Trace::generate(&WorkloadSpec {
+            seed: 0xBEEF,
+            ..spec()
+        });
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let t = Trace::generate(&spec());
+        for w in t.ops.windows(2) {
+            assert!(w[1].at > w[0].at, "open-loop arrivals must be monotone");
+        }
+        // Mean inter-arrival lands near the configured mean.
+        let span = t.ops.last().unwrap().at as f64;
+        let mean = span / t.ops.len() as f64;
+        let want = t.spec.mean_interarrival_ns as f64;
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "empirical mean {mean} vs configured {want}"
+        );
+    }
+
+    #[test]
+    fn mix_ratios_hold_within_tolerance() {
+        let t = Trace::generate(&spec());
+        let (g, p, d) = t.mix_counts();
+        let n = t.ops.len() as f64;
+        assert!((g as f64 / n - 0.7).abs() < 0.02, "gets {g}");
+        assert!((p as f64 / n - 0.2).abs() < 0.02, "puts {p}");
+        assert!((d as f64 / n - 0.1).abs() < 0.02, "deletes {d}");
+    }
+
+    #[test]
+    fn zipf_empirical_frequency_matches_theory() {
+        let t = Trace::generate(&WorkloadSpec {
+            ops: 100_000,
+            ..spec()
+        });
+        let zipf = Zipf::new(512, 0.99);
+        let mut counts = vec![0usize; 512];
+        for op in &t.ops {
+            counts[op.key as usize] += 1; // Direct map: slot == rank
+        }
+        let n = t.ops.len() as f64;
+        for (rank, &count) in counts.iter().enumerate().take(8) {
+            let got = count as f64 / n;
+            let want = zipf.prob(rank);
+            assert!(
+                (got - want).abs() / want < 0.1,
+                "rank {rank}: empirical {got:.4} vs theoretical {want:.4}"
+            );
+        }
+        assert!(
+            counts[0] > counts[256] * 10,
+            "head rank must dwarf the tail"
+        );
+    }
+
+    #[test]
+    fn key2_is_always_distinct() {
+        let t = Trace::generate(&spec());
+        assert!(t.ops.iter().all(|op| op.key != op.key2));
+    }
+
+    #[test]
+    fn scatter_map_is_a_permutation_and_spreads_the_head() {
+        let m = SlotMap::new(1024, KeyMap::Scatter, 7);
+        let mut seen = vec![false; 1024];
+        for r in 0..1024 {
+            let s = m.slot(r) as usize;
+            assert!(!seen[s], "slot {s} hit twice");
+            seen[s] = true;
+        }
+        // The hot head (first 32 ranks) must not cluster in one page-sized
+        // slot band under Scatter.
+        let head_band = (0..32).filter(|&r| (m.slot(r) as usize) < 1024 / 8).count();
+        assert!(head_band < 16, "head still clustered: {head_band}/32");
+    }
+
+    #[test]
+    fn sampler_matches_trace_key_stream_shape() {
+        let mut s = Sampler::new(512, 0.9, KeyMap::Direct, 3);
+        let mut hits0 = 0;
+        for _ in 0..10_000 {
+            if s.sample_key() == 0 {
+                hits0 += 1;
+            }
+        }
+        let want = Zipf::new(512, 0.9).prob(0) * 10_000.0;
+        assert!(
+            (f64::from(hits0) - want).abs() / want < 0.15,
+            "rank-0 hits {hits0} vs expected {want:.0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keys")]
+    fn one_key_spec_panics() {
+        Trace::generate(&WorkloadSpec { keys: 1, ..spec() });
+    }
+}

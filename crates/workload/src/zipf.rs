@@ -1,0 +1,143 @@
+//! Zipfian key-popularity sampling.
+//!
+//! Service traffic is skewed: a handful of keys absorb most requests
+//! (YCSB's default is Zipfian with θ ≈ 0.99). [`Zipf`] samples popularity
+//! *ranks* — rank 0 is the hottest key — from
+//! `P(rank r) ∝ 1 / (r + 1)^θ` over `n` ranks. θ = 0 degenerates to the
+//! uniform distribution; larger θ concentrates mass on the head.
+//!
+//! The sampler inverts a precomputed cumulative table with a binary
+//! search, so the sample path is allocation-free and `O(log n)` after
+//! setup — `hotpath` has a row timing it, and the crate tests pin the
+//! allocation-free property with a counting allocator.
+
+use crate::rng::XorShift;
+
+/// A Zipfian distribution over ranks `0..n` with skew parameter `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[r]` = P(rank ≤ r); `cdf[n-1]` is 1.0 by construction.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Builds the cumulative table for `n` ranks at skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "a Zipf distribution needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative, got {theta}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail: sampling with
+        // u -> 1.0 must still land on a valid rank.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, theta }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew parameter this table was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Theoretical probability of `rank`.
+    pub fn prob(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len());
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a rank by inverting the cumulative
+    /// table (allocation-free).
+    #[inline]
+    pub fn invert(&self, u: f64) -> usize {
+        // partition_point returns the first rank whose cdf exceeds u;
+        // clamp covers u >= 1.0 from a misbehaving caller.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Samples a rank using `rng` (allocation-free).
+    #[inline]
+    pub fn sample(&self, rng: &mut XorShift) -> usize {
+        self.invert(rng.unit_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.prob(r) - 0.1).abs() < 1e-12, "rank {r}: {}", z.prob(r));
+        }
+    }
+
+    #[test]
+    fn probabilities_decrease_and_sum_to_one() {
+        let z = Zipf::new(1000, 0.99);
+        let mut sum = 0.0;
+        for r in 0..z.n() {
+            sum += z.prob(r);
+            if r > 0 {
+                assert!(z.prob(r) <= z.prob(r - 1) + 1e-15, "monotone at rank {r}");
+            }
+        }
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(z.prob(0) > 50.0 * z.prob(999), "head dominates tail");
+    }
+
+    #[test]
+    fn invert_covers_the_full_rank_range() {
+        let z = Zipf::new(64, 0.9);
+        assert_eq!(z.invert(0.0), 0);
+        assert_eq!(z.invert(0.999_999_999), 63);
+        assert_eq!(z.invert(1.0), 63, "u at the closed end still lands");
+        // Every rank is reachable: walk the cdf midpoints.
+        for r in 0..z.n() {
+            let lo = if r == 0 { 0.0 } else { z.cdf[r - 1] };
+            let mid = (lo + z.cdf[r]) / 2.0;
+            assert_eq!(z.invert(mid), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_theta_panics() {
+        let _ = Zipf::new(4, -1.0);
+    }
+}

@@ -2,70 +2,42 @@
 //! under fine-grained locks, with an invariant audit — demonstrates
 //! release-consistent locking and the migratory sharing pattern.
 //!
+//! This is now a thin demo over the benchmarked [`BankOltp`] app (see
+//! `crates/apps/src/bank_oltp.rs` and DESIGN.md §13): a deterministic
+//! Zipf-skewed transfer trace from `cashmere-workload`, two-lock ordered
+//! transfers, and a conservation audit at every round barrier. The
+//! `service` bench bin sweeps the same app across all four protocols.
+//!
 //! Run with: `cargo run --release --example bank_teller`
 
-use cashmere::{Cluster, ClusterConfig, ProtocolKind, SyncSpec, Topology};
-
-const ACCOUNTS: usize = 32;
-const INITIAL: u64 = 1_000;
+use cashmere::apps::{run_app, BankOltp, Benchmark, Scale};
+use cashmere::{ClusterConfig, ProtocolKind, Topology};
 
 fn main() {
-    let cfg = ClusterConfig::new(Topology::new(4, 2), ProtocolKind::TwoLevel)
-        .with_heap_pages(8)
-        .with_sync(SyncSpec {
-            locks: ACCOUNTS,
-            barriers: 2,
-            flags: 0,
-        });
-    let mut cluster = Cluster::new(cfg);
-    let accounts = cluster.alloc_page_aligned(ACCOUNTS);
-    for a in 0..ACCOUNTS {
-        cluster.seed_u64(accounts + a, INITIAL);
-    }
+    let app = BankOltp::new(Scale::Test);
+    let cfg = ClusterConfig::new(Topology::new(4, 2), ProtocolKind::TwoLevel);
+    let out = run_app(&app, cfg);
 
-    let report = cluster.run(|p| {
-        let mut rng = p.id() as u64 * 2654435761 + 1;
-        let mut next = move || {
-            rng ^= rng << 13;
-            rng ^= rng >> 7;
-            rng ^= rng << 17;
-            rng
-        };
-        for _ in 0..50 {
-            let from = (next() % ACCOUNTS as u64) as usize;
-            let to = (next() % ACCOUNTS as u64) as usize;
-            if from == to {
-                continue;
-            }
-            // Two-lock transfer, ordered to avoid deadlock.
-            let (a, b) = (from.min(to), from.max(to));
-            p.lock(a);
-            p.lock(b);
-            let balance = p.read_u64(accounts + from);
-            let amount = next() % 50;
-            if balance >= amount {
-                p.write_u64(accounts + from, balance - amount);
-                let t = p.read_u64(accounts + to);
-                p.write_u64(accounts + to, t + amount);
-            }
-            p.compute(30_000);
-            p.unlock(b);
-            p.unlock(a);
-        }
-        p.barrier(0);
-    });
-
-    let total: u64 = (0..ACCOUNTS).map(|a| cluster.read_u64(accounts + a)).sum();
-    assert_eq!(total, ACCOUNTS as u64 * INITIAL, "money must be conserved");
+    assert_eq!(
+        out.checksum,
+        app.expected_total(),
+        "money must be conserved"
+    );
     println!(
-        "money conserved across {} concurrent transfers: total = {}",
-        8 * 50,
-        total
+        "money conserved across {} skewed transfers ({}): total = {}",
+        app.spec.ops,
+        app.size_description(),
+        out.checksum
+    );
+    println!(
+        "audited at every one of {} round barriers; trace digest {:016x}",
+        app.rounds,
+        app.trace().digest()
     );
     println!(
         "simulated time {:.3} ms; lock acquires {}; page transfers {}",
-        report.exec_secs() * 1e3,
-        report.counters.lock_acquires,
-        report.counters.page_transfers
+        out.report.exec_secs() * 1e3,
+        out.report.counters.lock_acquires,
+        out.report.counters.page_transfers
     );
 }

@@ -25,6 +25,11 @@
 #            (DESIGN.md §11). MODEL_BUDGET overrides the per-scenario
 #            schedule budget (default 256); each exploration echoes its
 #            schedule/truncation counts
+#   service — opt-in (CHECK_SERVICE=1): the service-workload gate
+#            (scripts/service.sh): paper-golden byte-identity preflight,
+#            trace/VT determinism, KvService + BankOltp audited across all
+#            four protocols with the fault-heat skew gate, and a nonzero
+#            fault soak; writes the seed-stamped BENCH_service.json
 #   scaling — opt-in (CHECK_SCALING=1): the CI-sized scaling ladder
 #            (scripts/scaling.sh --ci): golden byte-identity preflight,
 #            audited sparse-vs-replicated directory cells at 8x4 and 16x8,
@@ -77,6 +82,10 @@ if [[ "${CHECK_MODEL:-0}" == "1" ]]; then
     echo "model: exploring interleavings (MODEL_BUDGET=${MODEL_BUDGET:-256} schedules per scenario)"
     MODEL_BUDGET="${MODEL_BUDGET:-256}" \
         cargo test --workspace --offline -q model_ -- --nocapture
+fi
+
+if [[ "${CHECK_SERVICE:-0}" == "1" ]]; then
+    scripts/service.sh
 fi
 
 if [[ "${CHECK_SCALING:-0}" == "1" ]]; then

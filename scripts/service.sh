@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Service-workload gate (DESIGN.md §13).
+#
+# Builds the release tree and runs the `service` harness, which
+#   1. regenerates the paper-suite goldens and fails unless they are
+#      byte-identical to results/vt_golden.jsonl and the sequential rows
+#      of results/table2.jsonl (the service subsystem must not move the
+#      paper artifacts),
+#   2. proves the seeded trace generator is deterministic: same seed =>
+#      byte-identical trace and identical sequential virtual time, with
+#      checksums equal to the host-side expectations (KV: sequential
+#      replay of the trace; Bank: the conserved ledger total),
+#   3. sweeps KvService and BankOltp across all four paper protocols with
+#      the auditor and observability on, requiring clean audits, exact
+#      checksums, and per-page fault heat that visibly concentrates under
+#      the configured Zipfian skew versus a uniform control, and
+#   4. soaks both apps x all four protocols x two nonzero fault plans,
+#      requiring fault-free checksums and clean audits throughout, then
+#      writes BENCH_service.json.
+#
+# Usage:
+#   scripts/service.sh                       # default seed (24301)
+#   SERVICE_SEED=12345 scripts/service.sh    # a different deterministic seed
+#
+# The same seed always yields the same trace and fault schedule, so a
+# failing run is replayable bit-for-bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cashmere-bench --offline
+exec target/release/service --seed "${SERVICE_SEED:-24301}"

@@ -22,3 +22,4 @@ pub use cashmere_core::*;
 pub use cashmere_memchan as memchan;
 pub use cashmere_sim as sim;
 pub use cashmere_vmpage as vmpage;
+pub use cashmere_workload as workload;
