@@ -21,8 +21,8 @@ use std::time::Instant;
 use cashmere_core::config::DirectoryMode;
 use cashmere_core::directory::{DirWord, Directory, PermBits};
 use cashmere_core::write_notice::{NoticeBoard, ProcNoticeList};
-use cashmere_memchan::MemoryChannel;
-use cashmere_sim::CostModel;
+use cashmere_memchan::TransportConfig;
+use cashmere_transport::{build_transport, Transport};
 use cashmere_vmpage::{make_twin, Frame, PagePool};
 use std::sync::Arc;
 
@@ -114,10 +114,9 @@ fn main() {
 
     // --- directory reads ------------------------------------------------
     let pnodes = 8;
-    let mc = Arc::new(MemoryChannel::new(
+    let mc = build_transport(TransportConfig::new(
         (0..pnodes).map(|e| e % 2).collect(),
         2,
-        CostModel::default(),
     ));
     let dir = Directory::new(mc, pnodes, 256, DirectoryMode::LockFree);
     for p in 0..256 {
@@ -151,7 +150,7 @@ fn main() {
     // recreates that layout (same Arc indirection, same read-side work plus
     // the lock) so the delta isolates the lock acquisition itself.
     const REGIONS: usize = 512;
-    let mc2 = Arc::new(MemoryChannel::new(vec![0, 0], 1, CostModel::default()));
+    let mc2 = Arc::new(TransportConfig::new(vec![0, 0], 1).build_channel());
     let ids: Vec<_> = (0..REGIONS)
         .map(|_| {
             let r = mc2.create_region(4, true);
@@ -176,6 +175,32 @@ fn main() {
         l = l.wrapping_add(1);
     });
     report("region lookup: RwLock<Vec<Arc<..>>> baseline", rwlock);
+
+    // --- transport dispatch ---------------------------------------------
+    // The engine now reaches the interconnect through `Arc<dyn Transport>`
+    // (DESIGN.md §14). These rows price the vtable hop on the remote-write
+    // hot path against the pre-trait direct call, on the same channel.
+    let direct_chan = Arc::new(TransportConfig::new(vec![0, 1], 2).build_channel());
+    let reg = direct_chan.create_region(8, false);
+    direct_chan.attach_rx(reg, 1);
+    let mut now = 0;
+    let mut w = 0u64;
+    let direct_call = bench(rounds, 50_000, || {
+        now = direct_chan.write(black_box(reg), 0, (w % 8) as usize, w, now);
+        w = w.wrapping_add(1);
+    });
+    report("remote write: direct MemoryChannel call", direct_call);
+
+    let dyn_chan: Arc<dyn Transport> = build_transport(TransportConfig::new(vec![0, 1], 2));
+    let dreg = dyn_chan.create_region(8, false);
+    dyn_chan.attach_rx(dreg, 1);
+    let mut dnow = 0;
+    let mut dw = 0u64;
+    let dyn_call = bench(rounds, 50_000, || {
+        dnow = dyn_chan.write(black_box(dreg), 0, (dw % 8) as usize, dw, dnow);
+        dw = dw.wrapping_add(1);
+    });
+    report("remote write: Arc<dyn Transport> dispatch", dyn_call);
 
     // --- workload sampling ----------------------------------------------
     // The service-trace generator's per-op path (DESIGN.md §13): one

@@ -18,25 +18,43 @@
 //! 3. **Chrome-trace schema lint.** Exports one cell's spans (SOR under 2L)
 //!    as `results/trace_SOR_2L.json` and lints it against the
 //!    `trace_event` schema subset Perfetto and `chrome://tracing` rely on.
+//!
+//! Flags: `--backend {mc,rdma,cxl}` (DESIGN.md §14) — on a non-`mc`
+//! backend phase 1 compares obs-off vs obs-on only (the committed goldens
+//! pin the Memory Channel); the Figure-7 identity and span audits run
+//! unchanged on every fabric.
 
 use std::path::Path;
 
 use cashmere_apps::{suite, Scale};
 use cashmere_bench::golden::build_goldens;
 use cashmere_bench::sweep::{run_sweep, SweepSpec};
-use cashmere_bench::{obsout, RunOpts};
+use cashmere_bench::{obsout, parse_backend, RunOpts};
 use cashmere_check::audit_spans;
-use cashmere_core::ProtocolKind;
+use cashmere_core::{Backend, ProtocolKind};
 
 /// The Figure-7 sweep configuration: 8 processors, 4 per node — two
 /// protocol nodes, so every category (including message and wait time on
 /// remote fetches) is exercised.
 const GATE_CONFIG: (usize, usize) = (8, 4);
 
+fn parse_args() -> Backend {
+    let mut backend = Backend::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => backend = parse_backend(args.next()),
+            other => panic!("unknown flag {other:?} (supported: --backend {{mc,rdma,cxl}})"),
+        }
+    }
+    backend
+}
+
 fn main() {
+    let backend = parse_args();
     let mut failures = 0usize;
-    failures += charge_free_identity();
-    failures += fig7_sweep();
+    failures += charge_free_identity(backend);
+    failures += fig7_sweep(backend);
     if failures > 0 {
         eprintln!("FAIL: {failures} observability check(s) failed");
         std::process::exit(1);
@@ -46,7 +64,14 @@ fn main() {
 
 /// Phase 1: goldens with observability on must be byte-identical to
 /// goldens with it off, and to the committed file when one exists.
-fn charge_free_identity() -> usize {
+fn charge_free_identity(backend: Backend) -> usize {
+    if backend != Backend::MemoryChannel {
+        eprintln!(
+            "[--backend {} — committed goldens pin the Memory Channel; phase 1 skipped]",
+            backend.label()
+        );
+        return 0;
+    }
     let mut failures = 0usize;
     let apps = suite(Scale::Bench);
     let off = build_goldens(&apps, None, false, false, false);
@@ -92,7 +117,7 @@ fn charge_free_identity() -> usize {
 
 /// Phases 2 and 3: the Figure-7 identity sweep, the span audit, and the
 /// Chrome-trace lint.
-fn fig7_sweep() -> usize {
+fn fig7_sweep(backend: Backend) -> usize {
     let mut failures = 0usize;
     let apps = suite(Scale::Test);
     let spec = SweepSpec {
@@ -100,6 +125,7 @@ fn fig7_sweep() -> usize {
         per_node: GATE_CONFIG.1,
         opts: RunOpts {
             obs: true,
+            backend,
             ..RunOpts::default()
         },
         ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)

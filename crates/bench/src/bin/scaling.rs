@@ -23,13 +23,16 @@
 //! default 8×4 replicated path by a single byte.
 //!
 //! Usage:
-//!   scaling [--ci] [--seed N] [SHAPE ...]
+//!   scaling [--ci] [--seed N] [--backend {mc,rdma,cxl}] [SHAPE ...]
 //!
 //! `--ci` restricts the sweep to the CI-sized subset (8x4, 16x8). Shapes
 //! parse through `Topology`'s grammar: `16x8` (nodes × procs/node) or the
-//! paper's `128:8` (total procs : per node). `CASHMERE_JOBS` bounds how
-//! many cells run concurrently (default: available parallelism). Output:
-//! `BENCH_scaling.json`, seed/jobs/shapes echoed for provenance.
+//! paper's `128:8` (total procs : per node). `--backend` swaps the
+//! interconnect cost model (DESIGN.md §14); on a non-`mc` backend the
+//! vt_golden preflight is skipped (the committed goldens pin the Memory
+//! Channel). `CASHMERE_JOBS` bounds how many cells run concurrently
+//! (default: available parallelism). Output: `BENCH_scaling.json`,
+//! seed/jobs/shapes/backend echoed for provenance.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -39,10 +42,10 @@ use std::sync::mpsc;
 use cashmere_apps::{Benchmark, Gauss, Scale, Sor};
 use cashmere_bench::golden::{build_goldens, check_table2};
 use cashmere_bench::sweep::jobs_from_env;
-use cashmere_bench::{fmt_json_f64, json_key, json_str, sequential};
+use cashmere_bench::{fmt_json_f64, json_key, json_str, parse_backend, sequential};
 use cashmere_check::audit;
 use cashmere_core::directory::DirUsage;
-use cashmere_core::{DirectoryMode, ProtocolKind, RunSpec, Topology};
+use cashmere_core::{Backend, DirectoryMode, ProtocolKind, RunSpec, Topology};
 
 /// The default scaling ladder; `--ci` keeps the first two rungs.
 const FULL_SHAPES: [&str; 4] = ["8x4", "16x8", "32x8", "64x16"];
@@ -137,10 +140,12 @@ fn run_cell(
     protocol: ProtocolKind,
     mode: DirectoryMode,
     topo: Topology,
+    backend: Backend,
     seq: &BTreeMap<&'static str, (u64, u64)>,
 ) -> Cell {
     let spec = RunSpec::new(topo, protocol)
         .with_directory(mode)
+        .with_transport(backend)
         .with_audit(true);
     let mut cluster = spec.build_cluster(|cfg| app.configure(cfg));
     let out = app.execute(&mut cluster);
@@ -169,6 +174,7 @@ fn main() {
     let mut shapes: Vec<String> = Vec::new();
     let mut seed: u64 = 0x5CA1E;
     let mut ci = false;
+    let mut backend = Backend::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -176,6 +182,7 @@ fn main() {
             "--seed" => {
                 seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
             }
+            "--backend" => backend = parse_backend(args.next()),
             s => shapes.push(s.to_string()),
         }
     }
@@ -190,33 +197,40 @@ fn main() {
     let jobs = jobs_from_env();
 
     // --- Preflight: scaling work must not move the default path ----------
-    let bench_apps = cashmere_apps::suite(Scale::Bench);
-    let g = build_goldens(&bench_apps, None, false, false, false);
-    let golden_path = std::path::Path::new("results/vt_golden.jsonl");
-    let mut failures = 0usize;
-    match std::fs::read_to_string(golden_path) {
-        Ok(committed) if committed == g.jsonl => {
-            println!(
-                "preflight: vt_golden OK ({} lines, byte-identical)",
-                g.jsonl.lines().count()
-            );
+    if backend == Backend::MemoryChannel {
+        let bench_apps = cashmere_apps::suite(Scale::Bench);
+        let g = build_goldens(&bench_apps, None, false, false, false);
+        let golden_path = std::path::Path::new("results/vt_golden.jsonl");
+        let mut failures = 0usize;
+        match std::fs::read_to_string(golden_path) {
+            Ok(committed) if committed == g.jsonl => {
+                println!(
+                    "preflight: vt_golden OK ({} lines, byte-identical)",
+                    g.jsonl.lines().count()
+                );
+            }
+            Ok(_) => {
+                failures += 1;
+                eprintln!(
+                    "preflight: DRIFT — regenerated goldens differ from {}",
+                    golden_path.display()
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("preflight: cannot read {}: {e}", golden_path.display());
+            }
         }
-        Ok(_) => {
-            failures += 1;
-            eprintln!(
-                "preflight: DRIFT — regenerated goldens differ from {}",
-                golden_path.display()
-            );
+        failures += check_table2(&g.seq_secs);
+        if failures > 0 {
+            eprintln!("FAIL: scaling preflight ({failures} failures) — default 8×4 path moved");
+            std::process::exit(1);
         }
-        Err(e) => {
-            failures += 1;
-            eprintln!("preflight: cannot read {}: {e}", golden_path.display());
-        }
-    }
-    failures += check_table2(&g.seq_secs);
-    if failures > 0 {
-        eprintln!("FAIL: scaling preflight ({failures} failures) — default 8×4 path moved");
-        std::process::exit(1);
+    } else {
+        eprintln!(
+            "[--backend {} — committed goldens pin the Memory Channel; preflight skipped]",
+            backend.label()
+        );
     }
 
     // --- Sequential baselines (speedup denominator + checksum oracle) ----
@@ -261,7 +275,7 @@ fn main() {
                 let Some(&(topo, protocol, mode, app)) = combos.get(i) else {
                     break;
                 };
-                let cell = run_cell(app, app.name(), protocol, mode, topo, seq);
+                let cell = run_cell(app, app.name(), protocol, mode, topo, backend, seq);
                 if tx.send((i, cell)).is_err() {
                     break;
                 }
@@ -459,6 +473,8 @@ fn main() {
     let mut out = String::with_capacity(cells.len() * 512);
     out.push('{');
     json_str(&mut out, "experiment", "scaling");
+    out.push(',');
+    json_str(&mut out, "backend", backend.label());
     let _ = write!(out, ",\"seed\":{seed},\"jobs\":{jobs},");
     json_key(&mut out, "shapes");
     let _ = write!(

@@ -26,9 +26,13 @@
 //!    clean, and the campaign must show nonzero injected faults per plan.
 //!
 //! Flags: `--seed N` re-seeds the workload traces and fault plans (default
-//! 0x5EED; echoed into the output), `--skip-golden` skips phase 1.
+//! 0x5EED; echoed into the output), `--skip-golden` skips phase 1,
+//! `--backend {mc,rdma,cxl}` swaps the interconnect cost model
+//! (DESIGN.md §14; non-`mc` implies the phase-1 skip since the committed
+//! goldens pin the Memory Channel — determinism, audit, heat, and soak all
+//! still run).
 //!
-//! Output: `BENCH_service.json` — seed, per-app trace digests and
+//! Output: `BENCH_service.json` — seed, backend, per-app trace digests and
 //! determinism results, per-cell sweep/soak records, and the fault-heat
 //! top-k with the skew-vs-uniform shares.
 
@@ -38,9 +42,9 @@ use std::path::Path;
 use cashmere_apps::{suite, BankOltp, Benchmark, KvService, Scale};
 use cashmere_bench::golden::{build_goldens, check_table2};
 use cashmere_bench::sweep::{run_sweep, SweepPlan, SweepSpec};
-use cashmere_bench::{json_f64, json_str, run_with, sequential_with, RunOpts};
+use cashmere_bench::{json_f64, json_str, parse_backend, run_with, sequential_with, RunOpts};
 use cashmere_check::audit;
-use cashmere_core::{FaultKind, FaultPlan, FaultRule, ProtocolKind};
+use cashmere_core::{Backend, FaultKind, FaultPlan, FaultRule, ProtocolKind};
 
 /// The sweep/soak topology: 4 processors on 2 nodes (same as the soak
 /// harness — every cell crosses node boundaries).
@@ -56,12 +60,14 @@ const HEAT_SKEW_FACTOR: f64 = 1.2;
 struct Args {
     seed: u64,
     skip_golden: bool,
+    backend: Backend,
 }
 
 fn parse_args() -> Args {
     let mut a = Args {
         seed: 0x5EED,
         skip_golden: false,
+        backend: Backend::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,7 +79,11 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| panic!("--seed requires an integer"));
             }
             "--skip-golden" => a.skip_golden = true,
-            other => panic!("unknown flag {other:?} (supported: --seed N, --skip-golden)"),
+            "--backend" => a.backend = parse_backend(args.next()),
+            other => panic!(
+                "unknown flag {other:?} (supported: --seed N, --skip-golden, \
+                 --backend {{mc,rdma,cxl}})"
+            ),
         }
     }
     a
@@ -95,6 +105,11 @@ fn main() {
 
     if args.skip_golden {
         eprintln!("[--skip-golden: paper-golden preflight skipped]");
+    } else if args.backend != Backend::MemoryChannel {
+        eprintln!(
+            "[--backend {} — committed goldens pin the Memory Channel; preflight skipped]",
+            args.backend.label()
+        );
     } else {
         failures += golden_preflight();
     }
@@ -102,17 +117,20 @@ fn main() {
     let (det_json, det_failures) = determinism_gate(args.seed);
     failures += det_failures;
 
-    let (cell_records, heat_json, sweep_failures) = audit_heat_sweep(args.seed);
+    let (cell_records, heat_json, sweep_failures) = audit_heat_sweep(args.seed, args.backend);
     failures += sweep_failures;
 
-    let (soak_records, soak_failures) = fault_soak(args.seed);
+    let (soak_records, soak_failures) = fault_soak(args.seed, args.backend);
     failures += soak_failures;
 
     let mut out = String::from("{\"experiment\":\"service\",");
     let _ = write!(
         out,
-        "\"seed\":{},\"config\":\"{}:{}\",",
-        args.seed, SERVICE_CONFIG.0, SERVICE_CONFIG.1
+        "\"seed\":{},\"backend\":\"{}\",\"config\":\"{}:{}\",",
+        args.seed,
+        args.backend.label(),
+        SERVICE_CONFIG.0,
+        SERVICE_CONFIG.1
     );
     out.push_str("\"determinism\":[");
     out.push_str(&det_json.join(","));
@@ -250,7 +268,7 @@ fn determinism_gate(seed: u64) -> (Vec<String>, usize) {
 
 /// Phase 3: audit + checksum sweep across all four protocols with
 /// observability on, plus the fault-heat skew gate.
-fn audit_heat_sweep(seed: u64) -> (Vec<String>, String, usize) {
+fn audit_heat_sweep(seed: u64, backend: Backend) -> (Vec<String>, String, usize) {
     let mut failures = 0usize;
     let (kv, bank) = service_apps(Scale::Test, seed);
     let expectations = [
@@ -263,6 +281,7 @@ fn audit_heat_sweep(seed: u64) -> (Vec<String>, String, usize) {
         per_node: SERVICE_CONFIG.1,
         opts: RunOpts {
             obs: true,
+            backend,
             ..RunOpts::default()
         },
         audit: true,
@@ -332,13 +351,13 @@ fn audit_heat_sweep(seed: u64) -> (Vec<String>, String, usize) {
         records.push(s);
     });
 
-    let (heat_json, heat_failures) = heat_skew_gate(seed);
+    let (heat_json, heat_failures) = heat_skew_gate(seed, backend);
     failures += heat_failures;
     (records, heat_json, failures)
 }
 
 /// Top-`HEAT_TOP_K` share of total page heat for one KV run at 2L.
-fn kv_heat_share(kv: &KvService) -> (f64, Vec<(usize, u64)>) {
+fn kv_heat_share(kv: &KvService, backend: Backend) -> (f64, Vec<(usize, u64)>) {
     let (out, _) = run_with(
         kv,
         ProtocolKind::TwoLevel,
@@ -346,6 +365,7 @@ fn kv_heat_share(kv: &KvService) -> (f64, Vec<(usize, u64)>) {
         SERVICE_CONFIG.1,
         RunOpts {
             obs: true,
+            backend,
             ..RunOpts::default()
         },
         None,
@@ -363,14 +383,14 @@ fn kv_heat_share(kv: &KvService) -> (f64, Vec<(usize, u64)>) {
 /// Zipf-skewed KV heat must concentrate visibly harder than a uniform
 /// (θ = 0) control — and the hottest page must sit in the table's head,
 /// where [`cashmere_workload::KeyMap::Direct`] puts the popular ranks.
-fn heat_skew_gate(seed: u64) -> (String, usize) {
+fn heat_skew_gate(seed: u64, backend: Backend) -> (String, usize) {
     let mut failures = 0usize;
     let (skewed, _) = service_apps(Scale::Bench, seed);
     let mut uniform = skewed.clone();
     uniform.spec.theta = 0.0;
 
-    let (skew_share, skew_hot) = kv_heat_share(&skewed);
-    let (uniform_share, _) = kv_heat_share(&uniform);
+    let (skew_share, skew_hot) = kv_heat_share(&skewed, backend);
+    let (uniform_share, _) = kv_heat_share(&uniform, backend);
     println!(
         "service heat: skewed top-{HEAT_TOP_K} share {skew_share:.3} vs uniform {uniform_share:.3} \
          (hot pages {skew_hot:?})"
@@ -423,7 +443,7 @@ fn heat_skew_gate(seed: u64) -> (String, usize) {
 
 /// Phase 4: nonzero fault plans across all four protocols; checksums and
 /// audits must hold, and every plan must actually inject faults.
-fn fault_soak(seed: u64) -> (Vec<String>, usize) {
+fn fault_soak(seed: u64, backend: Backend) -> (Vec<String>, usize) {
     let mut failures = 0usize;
     let (kv, bank) = service_apps(Scale::Test, seed);
     let expectations = [
@@ -453,6 +473,10 @@ fn fault_soak(seed: u64) -> (Vec<String>, usize) {
     let spec = SweepSpec {
         total: SERVICE_CONFIG.0,
         per_node: SERVICE_CONFIG.1,
+        opts: RunOpts {
+            backend,
+            ..RunOpts::default()
+        },
         audit: true,
         seed,
         plans: &plans,

@@ -30,6 +30,10 @@
 //! * `--skip-golden` — skip phase 1 (used while iterating on the matrix).
 //! * `--obs` — run the matrix with observability on and write the Figure-7
 //!   breakdown (per app × protocol × plan) to `results/fig7.{jsonl,txt}`.
+//! * `--backend {mc,rdma,cxl}` — interconnect backend (DESIGN.md §14);
+//!   non-`mc` backends skip phase 1 (the goldens pin the Memory Channel)
+//!   but run the full fault matrix — fault interposition must hold on
+//!   every fabric.
 //!
 //! Output: `BENCH_soak.json` with one record per cell (faults injected,
 //! recovery counters, checksum/audit verdicts) plus campaign totals.
@@ -41,10 +45,10 @@ use std::sync::Arc;
 use cashmere_apps::{suite, Scale};
 use cashmere_bench::golden::{build_goldens, check_table2};
 use cashmere_bench::sweep::{run_sweep, SweepPlan, SweepSpec};
-use cashmere_bench::{json_f64, json_str, obsout, RunOpts};
+use cashmere_bench::{json_f64, json_str, obsout, parse_backend, RunOpts};
 use cashmere_check::audit;
 use cashmere_core::{
-    FaultKind, FaultPlan, FaultRule, ProtocolKind, RecoveryCounts, RecoverySummary,
+    Backend, FaultKind, FaultPlan, FaultRule, ProtocolKind, RecoveryCounts, RecoverySummary,
 };
 
 /// The matrix topology: 4 processors on 2 nodes — small enough to soak the
@@ -103,6 +107,7 @@ struct Args {
     seed: u64,
     skip_golden: bool,
     obs: bool,
+    backend: Backend,
 }
 
 fn parse_args() -> Args {
@@ -110,6 +115,7 @@ fn parse_args() -> Args {
         seed: 0x5EED,
         skip_golden: false,
         obs: false,
+        backend: Backend::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,8 +128,12 @@ fn parse_args() -> Args {
             }
             "--skip-golden" => a.skip_golden = true,
             "--obs" => a.obs = true,
+            "--backend" => a.backend = parse_backend(args.next()),
             other => {
-                panic!("unknown flag {other:?} (supported: --seed N, --skip-golden, --obs)")
+                panic!(
+                    "unknown flag {other:?} (supported: --seed N, --skip-golden, --obs, \
+                     --backend {{mc,rdma,cxl}})"
+                )
             }
         }
     }
@@ -136,18 +146,26 @@ fn main() {
 
     if args.skip_golden {
         eprintln!("[--skip-golden: zero-fault identity phase skipped]");
+    } else if args.backend != Backend::MemoryChannel {
+        eprintln!(
+            "[backend {} — zero-fault golden identity skipped (goldens pin the Memory Channel)]",
+            args.backend.label()
+        );
     } else {
         failures += zero_fault_identity(args.seed);
     }
 
-    let (records, matrix_failures) = fault_matrix(args.seed, args.obs);
+    let (records, matrix_failures) = fault_matrix(args.seed, args.obs, args.backend);
     failures += matrix_failures;
 
     let mut out = String::from("{\"experiment\":\"soak\",");
     let _ = write!(
         out,
-        "\"seed\":{},\"config\":\"{}:{}\",\"cells\":[",
-        args.seed, SOAK_CONFIG.0, SOAK_CONFIG.1
+        "\"backend\":\"{}\",\"seed\":{},\"config\":\"{}:{}\",\"cells\":[",
+        args.backend.label(),
+        args.seed,
+        SOAK_CONFIG.0,
+        SOAK_CONFIG.1
     );
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -230,7 +248,7 @@ fn zero_fault_identity(seed: u64) -> usize {
 
 /// Phase 2: the fixed-seed fault campaign, one `run_sweep` over apps ×
 /// protocols × plans. Returns per-cell JSON records and the failure count.
-fn fault_matrix(seed: u64, obs: bool) -> (Vec<String>, usize) {
+fn fault_matrix(seed: u64, obs: bool, backend: Backend) -> (Vec<String>, usize) {
     let apps = suite(Scale::Test);
 
     // Reference checksums: a fault-free run at the *same* soak
@@ -242,6 +260,10 @@ fn fault_matrix(seed: u64, obs: bool) -> (Vec<String>, usize) {
     let baseline_spec = SweepSpec {
         total: SOAK_CONFIG.0,
         per_node: SOAK_CONFIG.1,
+        opts: RunOpts {
+            backend,
+            ..RunOpts::default()
+        },
         ..SweepSpec::new(&apps, &[ProtocolKind::TwoLevel])
     };
     let baselines = run_sweep(&baseline_spec, |_| {});
@@ -255,6 +277,7 @@ fn fault_matrix(seed: u64, obs: bool) -> (Vec<String>, usize) {
         per_node: SOAK_CONFIG.1,
         opts: RunOpts {
             obs,
+            backend,
             ..RunOpts::default()
         },
         audit: true,

@@ -1,0 +1,380 @@
+//! Cross-backend experiment (`scripts/xbackend.sh`, `CHECK_XBACKEND=1` in
+//! `scripts/check.sh`): does 2L still win when the paper's Memory Channel
+//! is swapped for a 2026-class fabric? See DESIGN.md §14.
+//!
+//! Three phases, nonzero exit on any failure:
+//!
+//! 1. **Golden preflight.** The pluggable transport must not move the
+//!    paper's artifacts: regenerates the deterministic goldens on the
+//!    default Memory Channel backend and requires byte-identity with the
+//!    committed `results/vt_golden.jsonl` plus the sequential rows of
+//!    `results/table2.jsonl`.
+//! 2. **Replay fingerprints.** The scripted single-threaded protocol
+//!    replay ([`cashmere_bench::golden::replay_on`]) across all four paper
+//!    protocols × all three backends, twice each: both passes must agree
+//!    exactly (per-backend determinism), and the direct-read backends
+//!    (`rdma`, `cxl`) must report strictly fewer `remote_requests` than
+//!    `mc` per protocol — a page fetch on a remote-read fabric is a pull,
+//!    not a request/reply round trip.
+//! 3. **Cross-backend sweep.** The full paper suite (test scale) plus the
+//!    two service apps (`KV`, `BankOltp`) × the four paper protocols × all
+//!    three backends at 4:2, auditor and observability on. Every cell must
+//!    audit clean and reproduce the fault-free `mc` checksum for its app
+//!    (virtual time moves across fabrics; answers must not), and per
+//!    protocol the aggregate `remote_requests` on `rdma`/`cxl` must stay
+//!    strictly below `mc`'s.
+//!
+//! Flags: `--seed N` re-seeds the service-app traces (default 0x5EED).
+//!
+//! Output: `BENCH_xbackend.json` — per-cell records, per-backend ×
+//! protocol virtual-time totals with Figure-7-style breakdowns, the replay
+//! fingerprints, and each backend's winning protocol.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cashmere_apps::{suite, BankOltp, Benchmark, KvService, Scale};
+use cashmere_bench::golden::{build_goldens, check_table2, replay_on};
+use cashmere_bench::sweep::{run_sweep, SweepSpec};
+use cashmere_bench::{json_f64, json_str, RunOpts};
+use cashmere_check::audit;
+use cashmere_core::{Backend, ProtocolKind};
+use cashmere_obs::{Fig7Breakdown, Fig7Cat};
+
+/// The sweep topology: 4 processors on 2 nodes, so every cell crosses a
+/// node boundary (same as the soak and service harnesses).
+const XB_CONFIG: (usize, usize) = (4, 2);
+
+fn parse_args() -> u64 {
+    let mut seed = 0x5EED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            other => panic!("unknown flag {other:?} (supported: --seed N)"),
+        }
+    }
+    seed
+}
+
+fn main() {
+    let seed = parse_args();
+    let mut failures = 0usize;
+
+    failures += golden_preflight();
+
+    let (replay_json, replay_failures) = replay_fingerprints();
+    failures += replay_failures;
+
+    let (cell_json, total_json, sweep_failures) = cross_backend_sweep(seed);
+    failures += sweep_failures;
+
+    let mut out = String::from("{\"experiment\":\"xbackend\",");
+    let _ = write!(
+        out,
+        "\"seed\":{seed},\"config\":\"{}:{}\",\"backends\":[",
+        XB_CONFIG.0, XB_CONFIG.1
+    );
+    for (i, b) in Backend::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", b.label());
+    }
+    out.push_str("],\"replay\":[");
+    out.push_str(&replay_json.join(","));
+    out.push_str("],\"cells\":[");
+    out.push_str(&cell_json.join(","));
+    out.push_str("],\"totals\":[");
+    out.push_str(&total_json.join(","));
+    let _ = write!(out, "],\"failures\":{failures}}}");
+    out.push('\n');
+    std::fs::write("BENCH_xbackend.json", out).expect("write BENCH_xbackend.json");
+    eprintln!("[wrote BENCH_xbackend.json]");
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} cross-backend check(s) failed");
+        std::process::exit(1);
+    }
+    println!("xbackend: all checks passed");
+}
+
+/// Phase 1: routing the Memory Channel through the [`cashmere_core::
+/// Transport`] trait must leave the committed paper goldens byte-identical.
+fn golden_preflight() -> usize {
+    let mut failures = 0usize;
+    let apps = suite(Scale::Bench);
+    let g = build_goldens(&apps, None, false, false, false);
+    let golden_path = Path::new("results/vt_golden.jsonl");
+    match std::fs::read_to_string(golden_path) {
+        Ok(committed) if committed == g.jsonl => {
+            println!(
+                "xbackend golden: paper goldens byte-identical ({} lines)",
+                g.jsonl.lines().count()
+            );
+        }
+        Ok(committed) => {
+            failures += 1;
+            eprintln!("xbackend golden: DRIFT in {}", golden_path.display());
+            for (i, (a, b)) in committed.lines().zip(g.jsonl.lines()).enumerate() {
+                if a != b {
+                    eprintln!(
+                        "  line {}:\n    committed: {a}\n    regenerated: {b}",
+                        i + 1
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!(
+                "xbackend golden: cannot read {} ({e}) — capture goldens first",
+                golden_path.display()
+            );
+        }
+    }
+    failures + check_table2(&g.seq_secs)
+}
+
+/// Phase 2: deterministic replay fingerprints per backend × protocol, plus
+/// the round-trip gate on the `remote_requests` counter.
+fn replay_fingerprints() -> (Vec<String>, usize) {
+    let mut failures = 0usize;
+    let mut records = Vec::new();
+    // remote_requests per protocol, indexed like Backend::ALL.
+    let mut requests = vec![[0u64; 3]; ProtocolKind::PAPER_FOUR.len()];
+
+    for (bi, backend) in Backend::ALL.into_iter().enumerate() {
+        for (pi, protocol) in ProtocolKind::PAPER_FOUR.into_iter().enumerate() {
+            let (clocks, counters, _) = replay_on(backend, protocol, None, false, false);
+            let (again, counters2, _) = replay_on(backend, protocol, None, false, false);
+            let deterministic = clocks == again && counters == counters2;
+            if !deterministic {
+                failures += 1;
+                eprintln!(
+                    "xbackend replay {:4} {:4}: NONDETERMINISTIC — two passes disagree",
+                    backend.label(),
+                    protocol.label()
+                );
+            }
+            let total: u64 = clocks.iter().sum();
+            let rr = counters
+                .iter()
+                .find(|(k, _)| *k == "remote_requests")
+                .map_or(0, |&(_, v)| v);
+            requests[pi][bi] = rr;
+            println!(
+                "xbackend replay {:4} {:4} total_ns={:12} remote_requests={:5} ({})",
+                backend.label(),
+                protocol.label(),
+                total,
+                rr,
+                if deterministic { "det" } else { "NONDET" },
+            );
+            let mut s = String::with_capacity(160);
+            s.push('{');
+            json_str(&mut s, "backend", backend.label());
+            s.push(',');
+            json_str(&mut s, "protocol", protocol.label());
+            let _ = write!(
+                s,
+                ",\"total_ns\":{total},\"remote_requests\":{rr},\
+                 \"deterministic\":{deterministic}}}"
+            );
+            records.push(s);
+        }
+    }
+
+    // Direct-read backends must issue strictly fewer request/reply round
+    // trips: a page fetch is a remote read, not a request + reply-write.
+    for (pi, protocol) in ProtocolKind::PAPER_FOUR.into_iter().enumerate() {
+        let [mc, rdma, cxl] = requests[pi];
+        for (label, direct) in [("rdma", rdma), ("cxl", cxl)] {
+            if direct >= mc {
+                failures += 1;
+                eprintln!(
+                    "xbackend replay {:4}: {label} remote_requests {direct} not < mc {mc}",
+                    protocol.label()
+                );
+            }
+        }
+    }
+    (records, failures)
+}
+
+/// The sweep's application set: the paper suite at test scale plus the two
+/// trace-driven service apps, re-seeded from `seed`.
+fn sweep_apps(seed: u64) -> Vec<Box<dyn Benchmark>> {
+    let mut apps = suite(Scale::Test);
+    let mut kv = KvService::new(Scale::Test);
+    kv.spec.seed = seed;
+    let mut bank = BankOltp::new(Scale::Test);
+    bank.spec.seed = seed ^ 0x0BA2_0172;
+    apps.push(Box::new(kv));
+    apps.push(Box::new(bank));
+    apps
+}
+
+/// Phase 3: the full apps × protocols × backends sweep with audits,
+/// checksum gates against the `mc` baseline, aggregate round-trip gates,
+/// and per-backend virtual-time totals.
+fn cross_backend_sweep(seed: u64) -> (Vec<String>, Vec<String>, usize) {
+    let mut failures = 0usize;
+    let apps = sweep_apps(seed);
+    let mut cell_json = Vec::new();
+    let mut total_json = Vec::new();
+    // Fault-free mc checksums per app, the oracle for every other cell
+    // (answers are fabric-independent even though virtual time is not).
+    let mut mc_checksums: Vec<(String, u64)> = Vec::new();
+    // Aggregate remote_requests per protocol, indexed like Backend::ALL.
+    let mut requests = vec![[0u64; 3]; ProtocolKind::PAPER_FOUR.len()];
+
+    for (bi, backend) in Backend::ALL.into_iter().enumerate() {
+        let spec = SweepSpec {
+            total: XB_CONFIG.0,
+            per_node: XB_CONFIG.1,
+            opts: RunOpts {
+                obs: true,
+                backend,
+                ..RunOpts::default()
+            },
+            audit: true,
+            ..SweepSpec::new(&apps, &ProtocolKind::PAPER_FOUR)
+        };
+        // Per-protocol totals for this backend.
+        let mut vt = [0u64; ProtocolKind::PAPER_FOUR.len()];
+        let mut fig7 = [Fig7Breakdown::default(); ProtocolKind::PAPER_FOUR.len()];
+        let cells = run_sweep(&spec, |_| {});
+        for cell in &cells {
+            let report = &cell.outcome.report;
+            let pi = ProtocolKind::PAPER_FOUR
+                .iter()
+                .position(|&p| p == cell.protocol)
+                .expect("sweep protocol");
+            if backend == Backend::MemoryChannel
+                && !mc_checksums.iter().any(|(a, _)| *a == cell.app)
+            {
+                mc_checksums.push((cell.app.clone(), cell.outcome.checksum));
+            }
+            let want = mc_checksums
+                .iter()
+                .find(|(a, _)| *a == cell.app)
+                .map(|&(_, c)| c)
+                .expect("mc backend sweeps first");
+            let checksum_ok = cell.outcome.checksum == want;
+            let audit_report = audit(&cell.trace);
+            let audit_clean = audit_report.is_clean();
+            if !checksum_ok {
+                failures += 1;
+                eprintln!(
+                    "xbackend sweep {:4} {:8} {:4}: CHECKSUM {} != mc baseline {want}",
+                    backend.label(),
+                    cell.app,
+                    cell.protocol.label(),
+                    cell.outcome.checksum
+                );
+            }
+            if !audit_clean {
+                failures += 1;
+                eprintln!(
+                    "xbackend sweep {:4} {:8} {:4}: AUDIT DIRTY\n{}",
+                    backend.label(),
+                    cell.app,
+                    cell.protocol.label(),
+                    audit_report.summary()
+                );
+            }
+            let obs = report.obs.as_ref().expect("obs requested");
+            vt[pi] += report.exec_ns;
+            fig7[pi].merge(&obs.fig7);
+            requests[pi][bi] += report.counters.remote_requests;
+            println!(
+                "xbackend sweep {:4} {:8} {:4} exec={:10.4}ms remote_requests={:6} \
+                 checksum={} audit={}",
+                backend.label(),
+                cell.app,
+                cell.protocol.label(),
+                report.exec_secs() * 1e3,
+                report.counters.remote_requests,
+                if checksum_ok { "ok" } else { "BAD" },
+                if audit_clean { "clean" } else { "DIRTY" },
+            );
+
+            let mut s = String::with_capacity(256);
+            s.push('{');
+            json_str(&mut s, "backend", backend.label());
+            s.push(',');
+            json_str(&mut s, "app", &cell.app);
+            s.push(',');
+            json_str(&mut s, "protocol", cell.protocol.label());
+            s.push(',');
+            json_f64(&mut s, "exec_secs", report.exec_secs());
+            let c = report.counters;
+            let _ = write!(
+                s,
+                ",\"remote_requests\":{},\"page_transfers\":{},\"data_bytes\":{},\
+                 \"checksum_ok\":{checksum_ok},\"audit_clean\":{audit_clean}}}",
+                c.remote_requests, c.page_transfers, c.data_bytes
+            );
+            cell_json.push(s);
+        }
+
+        // Per-backend ranking: which protocol finishes the whole suite
+        // fastest on this fabric?
+        let best = ProtocolKind::PAPER_FOUR
+            .into_iter()
+            .zip(vt)
+            .min_by_key(|&(_, ns)| ns)
+            .expect("four protocols");
+        println!(
+            "xbackend {:4}: fastest protocol {} (suite total {:.4}ms; 2L total {:.4}ms)",
+            backend.label(),
+            best.0.label(),
+            best.1 as f64 / 1e6,
+            vt[0] as f64 / 1e6,
+        );
+        for (pi, protocol) in ProtocolKind::PAPER_FOUR.into_iter().enumerate() {
+            let mut s = String::with_capacity(256);
+            s.push('{');
+            json_str(&mut s, "backend", backend.label());
+            s.push(',');
+            json_str(&mut s, "protocol", protocol.label());
+            let _ = write!(
+                s,
+                ",\"suite_total_ns\":{},\"remote_requests\":{},\"fastest\":{},\"fig7\":{{",
+                vt[pi],
+                requests[pi][bi],
+                protocol == best.0
+            );
+            for (i, cat) in Fig7Cat::ALL.into_iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", cat.label(), fig7[pi].get(cat));
+            }
+            s.push_str("}}");
+            total_json.push(s);
+        }
+    }
+
+    // Aggregate round-trip gate on the real workloads, mirroring the
+    // deterministic replay gate.
+    for (pi, protocol) in ProtocolKind::PAPER_FOUR.into_iter().enumerate() {
+        let [mc, rdma, cxl] = requests[pi];
+        for (label, direct) in [("rdma", rdma), ("cxl", cxl)] {
+            if direct >= mc {
+                failures += 1;
+                eprintln!(
+                    "xbackend sweep {:4}: {label} aggregate remote_requests {direct} not < mc {mc}",
+                    protocol.label()
+                );
+            }
+        }
+    }
+    (cell_json, total_json, failures)
+}

@@ -27,8 +27,8 @@ use std::sync::Arc;
 use cashmere_apps::Benchmark;
 use cashmere_core::engine::ProcCtx;
 use cashmere_core::{
-    ClusterConfig, Engine, FaultPlan, ProcId, ProtocolKind, SyncSpec, Topology, TraceEvent,
-    PAGE_WORDS,
+    Backend, ClusterConfig, Engine, FaultPlan, ProcId, ProtocolKind, SyncSpec, Topology,
+    TraceEvent, PAGE_WORDS,
 };
 
 use crate::{json_str, run_with, RunOpts};
@@ -196,6 +196,23 @@ pub fn replay(
     audit: bool,
     obs: bool,
 ) -> (Vec<u64>, Vec<(&'static str, u64)>, Vec<TraceEvent>) {
+    replay_on(Backend::MemoryChannel, protocol, plan, audit, obs)
+}
+
+/// [`replay`] on an explicit interconnect backend (DESIGN.md §14). The
+/// script is fully deterministic on every backend, so the clocks and
+/// counters it returns are exact per-backend cost fingerprints — the
+/// `xbackend` harness uses them to prove direct-read backends issue fewer
+/// request/reply round trips than the Memory Channel. `MemoryChannel`
+/// leaves the config untouched (same bytes as the committed goldens).
+#[allow(clippy::type_complexity)]
+pub fn replay_on(
+    backend: Backend,
+    protocol: ProtocolKind,
+    plan: Option<Arc<FaultPlan>>,
+    audit: bool,
+    obs: bool,
+) -> (Vec<u64>, Vec<(&'static str, u64)>, Vec<TraceEvent>) {
     let mut cfg = ClusterConfig::new(Topology::new(2, 2), protocol)
         .with_heap_pages(16)
         .with_sync(SyncSpec {
@@ -204,6 +221,9 @@ pub fn replay(
             flags: 0,
         })
         .with_obs(obs);
+    if backend != Backend::MemoryChannel {
+        cfg = cfg.with_transport(backend);
+    }
     // Superpage granularity 2 so non-home private pages exist (exclusive
     // mode is reachable), exactly as in the engine-semantics tests.
     cfg.pages_per_superpage = 2;

@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use cashmere_apps::{AppOutcome, Benchmark};
 use cashmere_core::{
-    DirectoryMode, FaultPlan, Messaging, Nanos, ProtocolKind, RunSpec, Topology, TraceEvent,
+    Backend, DirectoryMode, FaultPlan, Messaging, Nanos, ProtocolKind, RunSpec, Topology,
+    TraceEvent,
 };
 
 pub mod golden;
@@ -53,6 +54,10 @@ pub struct RunOpts {
     /// replicated lock-free directory up to 8 physical nodes, home-sharded
     /// `Sparse` beyond).
     pub directory: Option<DirectoryMode>,
+    /// Interconnect backend (DESIGN.md §14). [`Backend::MemoryChannel`]
+    /// (the default) is the paper's network and what every golden assumes;
+    /// `rdma`/`cxl` swap the cost model and the page-fetch shape.
+    pub backend: Backend,
     /// Request-delivery mechanism (§3.3.4).
     pub messaging: Messaging,
     /// Force the polling-overhead fraction to zero (the paper's
@@ -61,6 +66,15 @@ pub struct RunOpts {
     /// Record observability data (`Report::obs`): spans, the Figure-7
     /// breakdown, counters/histograms, page heat, and link traffic.
     pub obs: bool,
+}
+
+/// Parses the value of a `--backend` flag shared by every driver binary
+/// (`mc`, `rdma`, or `cxl` — [`Backend::label`]); panics with the accepted
+/// set otherwise.
+pub fn parse_backend(value: Option<String>) -> Backend {
+    let v = value.unwrap_or_else(|| panic!("--backend requires one of mc, rdma, cxl"));
+    Backend::from_label(&v)
+        .unwrap_or_else(|| panic!("unknown backend {v:?} (supported: mc, rdma, cxl)"))
 }
 
 /// Runs `app` under `protocol` on a `total`:`per_node` configuration.
@@ -95,6 +109,7 @@ pub fn run_with(
             opts.directory
                 .unwrap_or_else(|| DirectoryMode::default_for(&topo)),
         )
+        .with_transport(opts.backend)
         .with_messaging(opts.messaging)
         .uninstrumented(opts.uninstrumented)
         .with_audit(audit)

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use cashmere_faults::FaultPlan;
-use cashmere_sim::{CostModel, Nanos, NodeMap, Topology};
+use cashmere_sim::{Backend, CostModel, Nanos, NodeMap, Topology};
 
 /// Which coherence protocol to run (§2.2, §2.6 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -247,6 +247,12 @@ pub struct ClusterConfig {
     pub barriers: usize,
     /// Number of application flags.
     pub flags: usize,
+    /// Interconnect backend the engine builds its transport from
+    /// (DESIGN.md §14). The default, [`Backend::MemoryChannel`], is the
+    /// paper's network; switching it swaps both the cost model and the
+    /// page-fetch protocol shape. Set via [`Self::with_transport`], which
+    /// also installs the backend's cost model into [`Self::cost`].
+    pub backend: Backend,
     /// Virtual-time cost model.
     pub cost: CostModel,
     /// Fraction of user/compute time added as polling overhead (the paper's
@@ -291,6 +297,7 @@ impl ClusterConfig {
             locks: 64,
             barriers: 8,
             flags: 0,
+            backend: Backend::default(),
             cost: CostModel::default(),
             poll_fraction: 0.05,
             bus_bytes_per_access: 2,
@@ -299,6 +306,17 @@ impl ClusterConfig {
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Builder-style interconnect selection: installs `backend` and its
+    /// cost model ([`Backend::cost_model`]). Callers that want a custom
+    /// cost model on a non-default backend should override [`Self::cost`]
+    /// *after* this call. `with_transport(Backend::MemoryChannel)` is a
+    /// no-op relative to [`Self::new`].
+    pub fn with_transport(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self.cost = backend.cost_model();
+        self
     }
 
     /// Builder-style protocol-event tracing toggle (the invariant auditor).
@@ -369,6 +387,24 @@ mod tests {
             let cfg = ClusterConfig::new(t, ProtocolKind::TwoLevel);
             assert_eq!(cfg.directory, DirectoryMode::Sparse);
         }
+    }
+
+    #[test]
+    fn transport_defaults_to_the_papers_network() {
+        let cfg = ClusterConfig::new(Topology::new(8, 4), ProtocolKind::TwoLevel);
+        assert_eq!(cfg.backend, Backend::MemoryChannel);
+        // with_transport(MemoryChannel) must be a no-op relative to new():
+        // goldens depend on it.
+        let same = cfg.clone().with_transport(Backend::MemoryChannel);
+        assert_eq!(same.backend, cfg.backend);
+        assert_eq!(same.cost.mc_write_latency, cfg.cost.mc_write_latency);
+        // Picking a modern fabric swaps the whole cost model in one move.
+        let rdma = cfg.with_transport(Backend::Rdma);
+        assert_eq!(rdma.backend, Backend::Rdma);
+        assert_eq!(
+            rdma.cost.remote_read_latency,
+            Backend::Rdma.cost_model().remote_read_latency
+        );
     }
 
     #[test]

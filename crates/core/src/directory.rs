@@ -45,9 +45,10 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use cashmere_memchan::{MemoryChannel, RegionId, RxBuffer, TREE_FANOUT};
+use cashmere_memchan::{RegionId, RxBuffer, TREE_FANOUT};
 use cashmere_model::ModelAtomicU64;
 use cashmere_sim::{Counter, Nanos, Resource};
+use cashmere_transport::Transport;
 use cashmere_vmpage::Perm;
 
 use crate::config::DirectoryMode;
@@ -271,7 +272,7 @@ enum SparseSrc {
 /// The global page directory: replicated (the paper's design, plus the
 /// global-lock ablation) or home-sharded ([`DirectoryMode::Sparse`]).
 pub struct Directory {
-    mc: Arc<MemoryChannel>,
+    mc: Arc<dyn Transport>,
     region: RegionId,
     pnodes: usize,
     pages: usize,
@@ -306,7 +307,7 @@ impl Directory {
     /// packed words' 16-bit node fields or the entry layout's word indices
     /// would overflow `usize` — silent wraparound at high node counts would
     /// corrupt the directory.
-    pub fn new(mc: Arc<MemoryChannel>, pnodes: usize, pages: usize, mode: DirectoryMode) -> Self {
+    pub fn new(mc: Arc<dyn Transport>, pnodes: usize, pages: usize, mode: DirectoryMode) -> Self {
         assert!(
             (1..=MAX_PNODES).contains(&pnodes),
             "directory supports 1..={MAX_PNODES} protocol nodes, got {pnodes}"
@@ -851,13 +852,13 @@ impl Directory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cashmere_sim::CostModel;
+    use cashmere_memchan::TransportConfig;
+    use cashmere_transport::build_transport;
 
     fn dir(pnodes: usize, mode: DirectoryMode) -> Directory {
-        let mc = Arc::new(MemoryChannel::new(
+        let mc = build_transport(TransportConfig::new(
             (0..pnodes).map(|e| e % 2).collect(),
             2,
-            CostModel::default(),
         ));
         Directory::new(mc, pnodes, 4, mode)
     }
@@ -1164,11 +1165,7 @@ mod tests {
     fn sparse_memory_and_update_traffic_beat_replication() {
         let pnodes = 16;
         let [lf, sp] = [DirectoryMode::LockFree, DirectoryMode::Sparse].map(|m| {
-            let mc = Arc::new(MemoryChannel::new(
-                (0..pnodes).collect(),
-                pnodes,
-                CostModel::default(),
-            ));
+            let mc = build_transport(TransportConfig::new((0..pnodes).collect(), pnodes));
             Directory::new(mc, pnodes, 64, m)
         });
         // Replicated: every node holds pages × (pnodes + 1) words. Sparse:
@@ -1196,7 +1193,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "protocol nodes")]
     fn directory_rejects_oversized_clusters_in_release_builds() {
-        let mc = Arc::new(MemoryChannel::new(vec![0], 1, CostModel::default()));
+        let mc = build_transport(TransportConfig::new(vec![0], 1));
         // 70k pnodes would truncate in the packed words' 16-bit fields.
         Directory::new(mc, 70_000, 1, DirectoryMode::LockFree);
     }

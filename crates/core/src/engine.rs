@@ -37,11 +37,13 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use cashmere_faults::FaultPlan;
-use cashmere_memchan::{MemoryChannel, TREE_FANOUT};
+use cashmere_memchan::{TransportConfig, TREE_FANOUT};
 use cashmere_obs::{LinkMetrics, ProcObs, SpanKind};
 use cashmere_sim::{
-    Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory, Topology,
+    FetchShape, Messaging, Nanos, NodeMap, ProcClock, ProcId, Resource, Stats, TimeCategory,
+    Topology,
 };
+use cashmere_transport::{build_transport, Transport};
 use cashmere_vmpage::{
     apply_incoming_diff, diff_against_twin, flush_update_twin, DiffRuns, Frame, PagePool,
     PageTable, Perm, Twin, PAGE_BYTES, PAGE_WORDS,
@@ -271,7 +273,7 @@ pub struct Engine {
     cfg: ClusterConfig,
     topo: Topology,
     map: NodeMap,
-    mc: Arc<MemoryChannel>,
+    mc: Arc<dyn Transport>,
     dir: Directory,
     notices: NoticeBoard,
     /// Master copies, one per page, location-independent (see DESIGN.md:
@@ -386,19 +388,19 @@ impl Engine {
             .collect();
         let link_metrics = cfg.obs.then(|| Arc::new(LinkMetrics::new(topo.nodes())));
         // The `cfg.cost.clone()` below is the one construction-time deep
-        // clone that is semantically required: `MemoryChannel` *owns* its
+        // clone that is semantically required: the transport *owns* its
         // `CostModel` (the link layer must keep charging consistently even
         // if a caller later tweaks its config copy). `fault_plan` and
         // `link_metrics` are `Option<Arc<_>>`, so their `.clone()`s are
         // reference-count bumps sharing one plan / one counter set —
         // exactly what the fault and observability designs need.
-        let mc = Arc::new(MemoryChannel::with_observers(
-            link_of,
-            topo.nodes(),
-            cfg.cost.clone(),
-            cfg.fault_plan.clone(),
-            link_metrics.clone(),
-        ));
+        let mc = build_transport(
+            TransportConfig::new(link_of, topo.nodes())
+                .with_backend(cfg.backend)
+                .with_cost(cfg.cost.clone())
+                .with_fault_plan(cfg.fault_plan.clone())
+                .with_metrics(link_metrics.clone()),
+        );
         let rec = cfg.audit.then(|| Arc::new(TraceRecorder::new()));
         let mut dir = Directory::new(Arc::clone(&mc), n_pnodes, pages, cfg.directory);
         let gate_hold = cfg
@@ -1248,7 +1250,6 @@ impl Engine {
         let c = &self.cfg.cost;
         ctx.obs_begin(SpanKind::Fetch, page as i64);
         self.stats.page_transfers.inc();
-        self.stats.remote_requests.inc();
         self.stats.data_bytes.add(PAGE_BYTES as u64);
 
         // Sequence-number the request (fault recovery): a lost request can
@@ -1261,10 +1262,44 @@ impl Engine {
             .map
             .physical_of(&self.topo, cashmere_sim::NodeId(home))
             .0;
+        // Direct-read fabrics (RDMA, CXL) pull the page with a one-sided
+        // remote read: no request message, no home-side handler, no reply —
+        // a protocol-shape change, not just different constants
+        // (DESIGN.md §14). Only the Memory Channel's request/reply fetch
+        // counts as a remote request in the Table-3 sense.
+        let direct = home_phys != ctx.phys && self.mc.fetch_shape() == FetchShape::DirectRead;
+        if !direct {
+            self.stats.remote_requests.inc();
+        }
         if home_phys == ctx.phys {
             // Same physical node (one-level protocols without the home
             // optimization): a memory-to-memory copy, no Memory Channel.
             ctx.clock.charge(TimeCategory::CommWait, c.fetch_local);
+        } else if direct {
+            // Fault recovery for a lost read: burn the descriptor post/poll
+            // cost plus a backed-off timeout, then reissue.
+            if let Some(plan) = &self.faults {
+                let mut attempt = 1u32;
+                while plan.fetch_lost(ctx.pnode, home_phys, ctx.clock.now(), attempt) {
+                    self.recovery[ctx.pnode].fetch_timeouts.inc();
+                    emit(&self.rec, || ProtocolEvent::FetchTimeout {
+                        pnode: ctx.pnode,
+                        page,
+                        seq,
+                        attempt,
+                    });
+                    ctx.clock.charge(
+                        TimeCategory::CommWait,
+                        c.fetch_direct_fixed + self.cfg.recovery.timeout(attempt),
+                    );
+                    self.recovery[ctx.pnode].fetch_retries.inc();
+                    attempt += 1;
+                }
+            }
+            ctx.clock
+                .charge(TimeCategory::CommWait, c.fetch_direct_fixed);
+            let done = self.mc.fetch_data(home, PAGE_BYTES as u64, ctx.clock.now());
+            ctx.clock.wait_until(done);
         } else {
             // Remote fetch: request delivery at the home (polling or
             // interrupt), fixed protocol cost, and the 8 KB reply
@@ -1299,9 +1334,10 @@ impl Engine {
             }
             ctx.clock
                 .charge(TimeCategory::CommWait, c.request_delivery() + fixed);
-            let done = self
-                .mc
-                .charge_link(home, PAGE_BYTES as u64, ctx.clock.now());
+            // The reply is the home's one-sided write of the page
+            // (`fetch_data` on the Memory Channel backend prices exactly
+            // like `charge_link`).
+            let done = self.mc.fetch_data(home, PAGE_BYTES as u64, ctx.clock.now());
             ctx.clock.wait_until(done);
         }
 
@@ -1324,8 +1360,8 @@ impl Engine {
         // sequence number: the link is charged again (the bytes really
         // crossed the wire twice) but the apply is suppressed by the
         // sequence check — a replayed diff must never double-apply against
-        // the twin.
-        if home_phys != ctx.phys {
+        // the twin. Direct-read fabrics have no reply message to duplicate.
+        if home_phys != ctx.phys && !direct {
             if let Some(plan) = &self.faults {
                 if plan.reply_duplicated(home, home_phys, ctx.clock.now()) {
                     let _ = self
@@ -1339,7 +1375,8 @@ impl Engine {
             let dur = o.end(SpanKind::Fetch, &ctx.clock);
             o.metrics.fetch_rtt.record(dur);
             o.metrics.fetches += 1;
-            if home_phys != ctx.phys && self.cfg.cost.messaging == Messaging::Interrupt {
+            // A one-sided read never interrupts the home processor.
+            if home_phys != ctx.phys && !direct && self.cfg.cost.messaging == Messaging::Interrupt {
                 o.metrics.interrupts += 1;
             }
         }

@@ -54,8 +54,9 @@ pub use cashmere_faults::{FaultKind, FaultPlan, FaultRule, FaultScope};
 pub use cashmere_obs::ObsReport;
 
 pub use cashmere_sim::{
-    CostModel, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,
+    Backend, CostModel, FetchShape, Messaging, Nanos, NodeId, ProcId, Stats, TimeCategory, Topology,
 };
+pub use cashmere_transport::{build_transport, Transport};
 pub use cashmere_vmpage::{PAGE_BYTES, PAGE_WORDS};
 
 /// A word address in the shared heap (index of a 64-bit word).

@@ -22,14 +22,15 @@ use std::sync::Arc;
 
 use cashmere_model::{ModelAtomicBool, ModelAtomicU64};
 
-use cashmere_memchan::{MemoryChannel, RegionId};
+use cashmere_memchan::RegionId;
 use cashmere_sim::Nanos;
+use cashmere_transport::Transport;
 
 use crate::trace::{emit, ProtocolEvent, TraceRecorder};
 
 /// One Memory Channel lock: the loop-back array plus per-node `ll/sc` flags.
 pub struct McLock {
-    mc: Arc<MemoryChannel>,
+    mc: Arc<dyn Transport>,
     region: RegionId,
     /// The per-node test-and-set flag ("acquired first using ll/sc").
     /// [`ModelAtomicBool`] routes the test-and-set through the model
@@ -49,7 +50,7 @@ pub struct McLock {
 impl McLock {
     /// Creates the lock's array region (loop-back enabled, one entry per
     /// node) replicated across all `pnodes` endpoints of `mc`.
-    pub fn new(mc: Arc<MemoryChannel>, pnodes: usize) -> Self {
+    pub fn new(mc: Arc<dyn Transport>, pnodes: usize) -> Self {
         let region = mc.create_region(pnodes.max(1), true);
         for e in 0..pnodes {
             mc.attach_rx(region, e);
@@ -177,12 +178,13 @@ fn backoff(spins: &mut u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cashmere_memchan::TransportConfig;
     use cashmere_model::thread;
-    use cashmere_sim::CostModel;
+    use cashmere_transport::{build_transport, Transport};
     use parking_lot::Mutex;
 
-    fn mc(pnodes: usize) -> Arc<MemoryChannel> {
-        Arc::new(MemoryChannel::new(vec![0; pnodes], 1, CostModel::default()))
+    fn mc(pnodes: usize) -> Arc<dyn Transport> {
+        build_transport(TransportConfig::new(vec![0; pnodes], 1))
     }
 
     #[test]
@@ -278,12 +280,9 @@ mod tests {
             FaultPlan::new(7)
                 .with_rule(FaultRule::new(FaultKind::LinkOutage, 1.0).with_param_ns(10_000)),
         );
-        let mc = Arc::new(MemoryChannel::with_faults(
-            vec![0; 2],
-            1,
-            CostModel::default(),
-            Some(plan.clone()),
-        ));
+        let mc = build_transport(
+            TransportConfig::new(vec![0; 2], 1).with_fault_plan(Some(plan.clone())),
+        );
         let l = McLock::new(mc, 2);
         let vt = l.acquire(0, 2_500, 11_000);
         assert!(

@@ -23,9 +23,10 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use cashmere_memchan::MemoryChannel;
+use cashmere_memchan::TransportConfig;
 use cashmere_model::{thread, ModelAtomicBool, ModelAtomicU64};
-use cashmere_sim::{CostModel, Nanos};
+use cashmere_sim::Nanos;
+use cashmere_transport::build_transport;
 
 use crate::config::DirectoryMode;
 use crate::directory::{DirWord, Directory, PermBits};
@@ -155,10 +156,9 @@ pub fn contended_insert_exactly_once(mutant: bool) {
 /// must find a schedule observing the partial word.
 pub fn directory_single_writer_reads(words: u16, max_reads: usize, mutant: bool) {
     let pnodes = 2usize;
-    let mc = Arc::new(MemoryChannel::new(
+    let mc = build_transport(TransportConfig::new(
         (0..pnodes).map(|e| e % 2).collect(),
         2,
-        CostModel::default(),
     ));
     let d = Arc::new(Directory::new(mc, pnodes, 4, DirectoryMode::LockFree));
     // `excl_proc` starts at 1 so a torn perm-only word (excl_proc = 0,
@@ -258,10 +258,9 @@ pub fn directory_single_writer_reads(words: u16, max_reads: usize, mutant: bool)
 /// under the final version forever, missing the last claim.
 pub fn sparse_directory_read_vs_update(words: u16, max_reads: usize, mutant: bool) {
     let pnodes = 2usize;
-    let mc = Arc::new(MemoryChannel::new(
+    let mc = build_transport(TransportConfig::new(
         (0..pnodes).map(|e| e % 2).collect(),
         2,
-        CostModel::default(),
     ));
     let d = Arc::new(Directory::new(mc, pnodes, 4, DirectoryMode::Sparse));
     // Page 0's home shard is node 0 — the writer updates locally, the
@@ -338,7 +337,7 @@ pub fn sparse_directory_read_vs_update(words: u16, max_reads: usize, mutant: boo
 /// *before* setting its own entry, and the explorer must find a schedule
 /// with two simultaneous holders.
 pub fn mc_lock_exclusion(nodes: usize, iters: usize, mutant: bool) {
-    let mc = Arc::new(MemoryChannel::new(vec![0; nodes], 1, CostModel::default()));
+    let mc = build_transport(TransportConfig::new(vec![0; nodes], 1));
     let l = Arc::new(McLock::new(mc, nodes));
     let in_section = Arc::new(ModelAtomicBool::new(false));
     let total = Arc::new(ModelAtomicU64::new(0));

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use cashmere_faults::FaultPlan;
-use cashmere_sim::{Messaging, Topology};
+use cashmere_sim::{Backend, Messaging, Topology};
 
 use crate::config::{ClusterConfig, DirectoryMode, ProtocolKind, RecoveryPolicy, SyncSpec};
 use crate::proc::{Cluster, Proc};
@@ -39,6 +39,10 @@ pub struct RunSpec {
     pub heap_pages: Option<usize>,
     /// Directory/write-notice locking ablation.
     pub directory: DirectoryMode,
+    /// Interconnect backend (DESIGN.md §14). Defaults to the paper's
+    /// Memory Channel; [`Backend::Rdma`] / [`Backend::Cxl`] swap in a
+    /// modern cost model and a direct-read page-fetch shape.
+    pub backend: Backend,
     /// Request-delivery mechanism.
     pub messaging: Messaging,
     /// Force the polling-overhead fraction to zero (the paper's
@@ -66,6 +70,7 @@ impl RunSpec {
             seed: 0,
             sync: SyncSpec::default(),
             heap_pages: None,
+            backend: Backend::default(),
             messaging: Messaging::default(),
             uninstrumented: false,
             audit: false,
@@ -100,6 +105,16 @@ impl RunSpec {
     #[must_use]
     pub fn with_directory(mut self, directory: DirectoryMode) -> Self {
         self.directory = directory;
+        self
+    }
+
+    /// Builder-style interconnect backend. Mirrors
+    /// [`ClusterConfig::with_transport`]: a non-default backend replaces
+    /// the whole cost model when the config is materialized, so goldens
+    /// (always Memory Channel) are untouched by this machinery existing.
+    #[must_use]
+    pub fn with_transport(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -157,6 +172,12 @@ impl RunSpec {
         }
         tweak(&mut cfg);
         cfg.directory = self.directory;
+        cfg.backend = self.backend;
+        if self.backend != Backend::MemoryChannel {
+            // A modern fabric brings its own cost model; on the default
+            // backend the tweak's cost adjustments (if any) stand.
+            cfg.cost = self.backend.cost_model();
+        }
         cfg.cost.messaging = self.messaging;
         if self.uninstrumented {
             cfg.poll_fraction = 0.0;
@@ -263,6 +284,29 @@ mod tests {
         // An explicit choice still wins over the topology default.
         let forced = large.with_directory(DirectoryMode::LockFree);
         assert_eq!(forced.to_config().directory, DirectoryMode::LockFree);
+    }
+
+    #[test]
+    fn backend_selection_swaps_the_cost_model_but_default_leaves_it_alone() {
+        let topo = Topology::new(2, 2);
+        let spec = RunSpec::new(topo, ProtocolKind::TwoLevel);
+        assert_eq!(spec.backend, Backend::MemoryChannel);
+        // Default backend: an application cost tweak survives.
+        let cfg = spec.to_config_with(|c| c.cost.shared_access = 99);
+        assert_eq!(cfg.backend, Backend::MemoryChannel);
+        assert_eq!(cfg.cost.shared_access, 99);
+        // A modern backend replaces the cost model wholesale (its constants
+        // are a coherent set) but keeps the spec's messaging choice.
+        let rdma = RunSpec::new(topo, ProtocolKind::TwoLevel)
+            .with_transport(Backend::Rdma)
+            .with_messaging(Messaging::Interrupt);
+        let cfg = rdma.to_config();
+        assert_eq!(cfg.backend, Backend::Rdma);
+        assert_eq!(
+            cfg.cost.remote_read_latency,
+            Backend::Rdma.cost_model().remote_read_latency
+        );
+        assert_eq!(cfg.cost.messaging, Messaging::Interrupt);
     }
 
     #[test]

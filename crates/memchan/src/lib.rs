@@ -28,15 +28,24 @@
 //! processor its own endpoint); each endpoint is pinned to a *physical* link
 //! for bandwidth accounting.
 //!
+//! # Construction
+//!
+//! Channels are built through the [`TransportConfig`] builder
+//! (`TransportConfig::new(link_of, links).build_channel()`), which carries
+//! the cost model, the interconnect [`Backend`], the fault plan, and the
+//! observability counters. The old positional `new`/`with_faults`/
+//! `with_observers` constructor family is gone.
+//!
 //! # Fault interposition
 //!
-//! When built with [`MemoryChannel::with_faults`], every transmission —
+//! When built with a fault plan ([`TransportConfig::with_fault_plan`]),
+//! every transmission —
 //! [`write`](MemoryChannel::write) / [`write_block`](MemoryChannel::write_block)
 //! / [`write_sparse`](MemoryChannel::write_sparse) /
 //! [`write_runs`](MemoryChannel::write_runs) and the modeled bulk transfers
-//! of [`charge_link`](MemoryChannel::charge_link) — consults the
-//! [`FaultPlan`] at exactly one interposition point
-//! ([`reserve_link`](MemoryChannel::with_faults)): a *dropped* write is
+//! of [`charge_link`](MemoryChannel::charge_link) and
+//! [`reserve`](MemoryChannel::reserve) — consults the
+//! [`FaultPlan`] at exactly one interposition point: a *dropped* write is
 //! repaired by the simulated adapter's link-level retransmission (the lost
 //! attempt's bandwidth and latency are charged, then the payload is resent),
 //! a *duplicated* write re-delivers its idempotent stores and re-charges the
@@ -57,7 +66,96 @@ use parking_lot::Mutex;
 
 use cashmere_faults::{FaultPlan, WriteFault};
 use cashmere_obs::LinkMetrics;
-use cashmere_sim::{CostModel, Nanos, Resource};
+use cashmere_sim::{Backend, CostModel, Nanos, Resource};
+
+/// Builder for a simulated interconnect channel: endpoint→link topology
+/// plus the optional knobs (cost model, [`Backend`], fault plan,
+/// observability counters). This is the only way to construct a
+/// [`MemoryChannel`]; it replaces the old positional
+/// `new(link_of, links, cost)` / `with_faults` / `with_observers` family.
+///
+/// The cost model defaults to the configured backend's
+/// ([`Backend::cost_model`]), which for the default
+/// [`Backend::MemoryChannel`] is exactly [`CostModel::default`].
+#[derive(Clone)]
+pub struct TransportConfig {
+    link_of: Vec<usize>,
+    links: usize,
+    backend: Backend,
+    cost: Option<CostModel>,
+    faults: Option<Arc<FaultPlan>>,
+    metrics: Option<Arc<LinkMetrics>>,
+}
+
+impl TransportConfig {
+    /// A channel with `link_of.len()` endpoints; endpoint `e` sends through
+    /// physical link `link_of[e]` of `links` total.
+    pub fn new(link_of: Vec<usize>, links: usize) -> Self {
+        Self {
+            link_of,
+            links,
+            backend: Backend::default(),
+            cost: None,
+            faults: None,
+            metrics: None,
+        }
+    }
+
+    /// Selects the interconnect backend (default: the paper's Memory
+    /// Channel). Does not override an explicit [`with_cost`](Self::with_cost).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the cost model (default: the backend's).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Interposes a fault-injection plan on every transmission (see the
+    /// crate docs' fault-interposition section).
+    pub fn with_fault_plan(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches observability traffic counters: every link reservation
+    /// (remote writes, page transfers, doubled stores, notice posts) is
+    /// counted. Counting is charge-free — virtual times are identical with
+    /// or without it.
+    pub fn with_metrics(mut self, metrics: Option<Arc<LinkMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Builds the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_of` is empty or names a link ≥ `links`.
+    pub fn build_channel(self) -> MemoryChannel {
+        assert!(!self.link_of.is_empty(), "need at least one endpoint");
+        assert!(
+            self.link_of.iter().all(|&l| l < self.links),
+            "endpoint mapped to nonexistent link"
+        );
+        MemoryChannel {
+            cost: self.cost.unwrap_or_else(|| self.backend.cost_model()),
+            links: (0..self.links).map(|_| Resource::new()).collect(),
+            link_of: self.link_of,
+            regions: RegionTable::new(),
+            faults: self.faults,
+            metrics: self.metrics,
+        }
+    }
+}
 
 /// Identifies a Memory Channel region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,61 +269,6 @@ pub struct MemoryChannel {
 }
 
 impl MemoryChannel {
-    /// Creates a network with `endpoints` protocol nodes; endpoint `e` sends
-    /// through physical link `link_of[e]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `link_of` is empty or names a link ≥ `links`.
-    pub fn new(link_of: Vec<usize>, links: usize, cost: CostModel) -> Self {
-        Self::with_faults(link_of, links, cost, None)
-    }
-
-    /// [`MemoryChannel::new`], with a fault-injection plan interposed on
-    /// every transmission (see the crate docs' fault-interposition section).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `link_of` is empty or names a link ≥ `links`.
-    pub fn with_faults(
-        link_of: Vec<usize>,
-        links: usize,
-        cost: CostModel,
-        faults: Option<Arc<FaultPlan>>,
-    ) -> Self {
-        Self::with_observers(link_of, links, cost, faults, None)
-    }
-
-    /// [`MemoryChannel::with_faults`], with observability traffic counters
-    /// attached: every link reservation (remote writes, page transfers,
-    /// doubled stores, notice posts) is counted into `metrics`. Counting is
-    /// charge-free — virtual times are identical with or without it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `link_of` is empty or names a link ≥ `links`.
-    pub fn with_observers(
-        link_of: Vec<usize>,
-        links: usize,
-        cost: CostModel,
-        faults: Option<Arc<FaultPlan>>,
-        metrics: Option<Arc<LinkMetrics>>,
-    ) -> Self {
-        assert!(!link_of.is_empty(), "need at least one endpoint");
-        assert!(
-            link_of.iter().all(|&l| l < links),
-            "endpoint mapped to nonexistent link"
-        );
-        Self {
-            cost,
-            link_of,
-            links: (0..links).map(|_| Resource::new()).collect(),
-            regions: RegionTable::new(),
-            faults,
-            metrics,
-        }
-    }
-
     /// Number of endpoints.
     pub fn endpoints(&self) -> usize {
         self.link_of.len()
@@ -274,7 +317,7 @@ impl MemoryChannel {
             m.record(self.link_of[from], bytes);
         }
         let link = &self.links[self.link_of[from]];
-        let wire = bytes * self.cost.mc_link_ns_per_byte;
+        let wire = self.cost.wire_ns(bytes);
         let Some(plan) = &self.faults else {
             return (link.acquire(now, wire), 1);
         };
@@ -489,6 +532,17 @@ impl MemoryChannel {
         link_done + self.cost.mc_write_latency
     }
 
+    /// Reserves the physical link of endpoint `from` for `bytes` starting
+    /// at `now` and returns the time the transfer clears the link — *wire
+    /// time only*, without the one-sided write-latency constant that
+    /// [`charge_link`](Self::charge_link) adds. Direct-read backends
+    /// (DESIGN.md §14) use this to charge a page pull as wire time plus
+    /// their own read-completion latency. Subject to the same fault
+    /// interposition and traffic counting as every other transmission.
+    pub fn reserve(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
+        self.reserve_link(from, bytes, now).0
+    }
+
     /// Virtual-time schedule of a hierarchical (tree) broadcast: `from`
     /// forwards `bytes` of payload to every endpoint in `targets` through a
     /// `fanout`-ary forwarding tree instead of a flat per-target unicast
@@ -496,8 +550,9 @@ impl MemoryChannel {
     /// physical link; each target, once its copy has arrived, forwards to
     /// its own `fanout` children (`targets[i]`'s children are
     /// `targets[fanout·(i+1) .. fanout·(i+2)]`) through *its* link. Every
-    /// hop is a real [`reserve_link`](MemoryChannel::with_faults)
-    /// reservation, so per-hop faults (drop/duplicate/delay/outage) and
+    /// hop is a real link reservation (the same fault-interposed path as
+    /// [`reserve`](Self::reserve)), so per-hop faults
+    /// (drop/duplicate/delay/outage) and
     /// link contention are charged exactly like any other transmission,
     /// and the sender-side serialized cost is O(fanout) per level —
     /// O(log N) levels — instead of O(N).
@@ -667,7 +722,7 @@ mod tests {
 
     fn mc2() -> MemoryChannel {
         // Two endpoints on two physical links.
-        MemoryChannel::new(vec![0, 1], 2, CostModel::default())
+        TransportConfig::new(vec![0, 1], 2).build_channel()
     }
 
     #[test]
@@ -851,7 +906,9 @@ mod tests {
     use cashmere_faults::{FaultKind, FaultRule};
 
     fn mc2_with(plan: FaultPlan) -> MemoryChannel {
-        MemoryChannel::with_faults(vec![0, 1], 2, CostModel::default(), Some(Arc::new(plan)))
+        TransportConfig::new(vec![0, 1], 2)
+            .with_fault_plan(Some(Arc::new(plan)))
+            .build_channel()
     }
 
     #[test]
@@ -933,6 +990,31 @@ mod tests {
     }
 
     #[test]
+    fn reserve_is_wire_time_without_the_write_latency() {
+        let c = CostModel::default();
+        let mc = mc2();
+        assert_eq!(mc.reserve(0, 8192, 0), 8192 * c.mc_link_ns_per_byte);
+        // charge_link = the same reservation + the one-sided write latency
+        // (endpoint 1 so the link is idle).
+        assert_eq!(
+            mc.charge_link(1, 8192, 0),
+            8192 * c.mc_link_ns_per_byte + c.mc_write_latency
+        );
+    }
+
+    #[test]
+    fn reserve_sees_the_same_faults() {
+        let c = CostModel::default();
+        let mc = mc2_with(FaultPlan::new(7).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0)));
+        // Lost attempt: wire + latency window; retransmission: wire.
+        assert_eq!(
+            mc.reserve(0, 8192, 0),
+            2 * 8192 * c.mc_link_ns_per_byte + c.mc_write_latency
+        );
+        assert!(mc.faults.as_ref().unwrap().stats().total() > 0);
+    }
+
+    #[test]
     fn charge_link_sees_the_same_faults() {
         let c = CostModel::default();
         let mc = mc2_with(FaultPlan::new(6).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0)));
@@ -949,13 +1031,9 @@ mod tests {
     #[test]
     fn link_metrics_count_every_reservation_charge_free() {
         let metrics = Arc::new(LinkMetrics::new(2));
-        let mc = MemoryChannel::with_observers(
-            vec![0, 1],
-            2,
-            CostModel::default(),
-            None,
-            Some(Arc::clone(&metrics)),
-        );
+        let mc = TransportConfig::new(vec![0, 1], 2)
+            .with_metrics(Some(Arc::clone(&metrics)))
+            .build_channel();
         let plain = mc2();
         let r = mc.create_region(8, false);
         mc.attach_rx(r, 1);
@@ -1049,7 +1127,7 @@ mod tests {
 
     fn mc_n(n: usize) -> MemoryChannel {
         // n endpoints, each on its own physical link.
-        MemoryChannel::new((0..n).collect(), n, CostModel::default())
+        TransportConfig::new((0..n).collect(), n).build_channel()
     }
 
     #[test]
@@ -1118,12 +1196,9 @@ mod tests {
         // counter sees one verdict per hop.
         let c = CostModel::default();
         let plan = FaultPlan::new(9).with_rule(FaultRule::new(FaultKind::DropWrite, 1.0));
-        let mc = MemoryChannel::with_faults(
-            (0..6).collect(),
-            6,
-            CostModel::default(),
-            Some(Arc::new(plan)),
-        );
+        let mc = TransportConfig::new((0..6).collect(), 6)
+            .with_fault_plan(Some(Arc::new(plan)))
+            .build_channel();
         let r = mc.create_region(2, false);
         for e in 0..6 {
             mc.attach_rx(r, e);

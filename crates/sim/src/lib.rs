@@ -27,7 +27,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use cost::{CostModel, Messaging};
+pub use cost::{Backend, CostModel, FetchShape, Messaging};
 pub use resource::Resource;
 pub use stats::{Counter, Stats, TimeBreakdown, TimeCategory};
 pub use time::{Nanos, ProcClock};

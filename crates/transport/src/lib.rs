@@ -1,0 +1,356 @@
+//! Pluggable interconnect backends behind one [`Transport`] trait
+//! (DESIGN.md §14).
+//!
+//! The coherence engine and the directory never talk to
+//! [`MemoryChannel`] directly any more — they talk to `dyn Transport`,
+//! which covers exactly the operations they use: region create/attach,
+//! remote word / block / sparse / run writes, tree broadcast and charging,
+//! bulk link charges, local reads/doubles, and the page-fetch data
+//! movement. Three implementations exist:
+//!
+//! * [`MemoryChannel`] itself ([`Backend::MemoryChannel`]) — the paper's
+//!   1997 remote-write-only network. Fetches are request/reply
+//!   ([`FetchShape::RequestReply`]); every virtual-time path is
+//!   byte-identical to the pre-trait simulator, which the committed
+//!   goldens prove.
+//! * [`RdmaTransport`] ([`Backend::Rdma`]) — a 2026-class RDMA NIC with
+//!   one-sided reads *and* writes. The data plane is the same ordered
+//!   region machinery (delegated to an inner channel carrying
+//!   [`CostModel::rdma`]), but fetches become **direct remote reads**
+//!   ([`FetchShape::DirectRead`]): no request delivery, no home-side CPU,
+//!   just wire time plus the read-completion latency.
+//! * [`CxlTransport`] ([`Backend::Cxl`]) — CXL/disaggregated far memory
+//!   ([`CostModel::cxl`]): load/store granularity, direct reads with zero
+//!   per-message software overhead.
+//!
+//! Fault injection interposes on **every** backend: all three delegate
+//! their link reservations to the same fault-interposed path inside the
+//! channel, so a drop/duplicate/delay/outage plan perturbs RDMA and CXL
+//! schedules exactly as it perturbs Memory Channel ones. The conformance
+//! battery in `tests/conformance.rs` holds each implementation to the
+//! shared contract (write visibility, charge determinism, fault
+//! interposition, same-seed replay identity).
+
+use std::sync::Arc;
+
+use cashmere_memchan::{MemoryChannel, RegionId, RxBuffer, TransportConfig};
+use cashmere_sim::{Backend, CostModel, FetchShape, Nanos};
+
+/// The operations the coherence engine and directory need from an
+/// interconnect. Object-safe: the engine holds an `Arc<dyn Transport>`.
+///
+/// Completion-time semantics follow [`MemoryChannel`]: every charging
+/// method takes the caller's current virtual time `now` and returns the
+/// virtual time at which the operation has been performed (globally, for
+/// ordered region writes).
+pub trait Transport: Send + Sync {
+    /// Which backend this is (drives cost-model selection and reporting).
+    fn backend(&self) -> Backend;
+
+    /// The cost model in force.
+    fn cost(&self) -> &CostModel;
+
+    /// Number of endpoints (protocol nodes).
+    fn endpoints(&self) -> usize;
+
+    /// Creates a region of `words` 64-bit words; `loopback` selects whether
+    /// a writer's own receive copy observes its own transmits.
+    fn create_region(&self, words: usize, loopback: bool) -> RegionId;
+
+    /// Maps region `r` for receive on `endpoint` (idempotent).
+    fn attach_rx(&self, r: RegionId, endpoint: usize);
+
+    /// Whether `endpoint` has a receive mapping for `r`.
+    fn has_rx(&self, r: RegionId, endpoint: usize) -> bool;
+
+    /// Direct handle to `endpoint`'s receive buffer, if mapped.
+    fn rx_buffer(&self, r: RegionId, endpoint: usize) -> Option<RxBuffer>;
+
+    /// Reads a word from `endpoint`'s receive copy (charge-free).
+    fn read_local(&self, r: RegionId, endpoint: usize, offset: usize) -> u64;
+
+    /// Stores directly into `endpoint`'s own receive copy (the manual
+    /// write double; charge-free).
+    fn write_local(&self, r: RegionId, endpoint: usize, offset: usize, val: u64);
+
+    /// Writes one word through `from`'s transmit mapping.
+    fn write(&self, r: RegionId, from: usize, offset: usize, val: u64, now: Nanos) -> Nanos;
+
+    /// Writes a contiguous block through `from`'s transmit mapping.
+    fn write_block(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        vals: &[u64],
+        now: Nanos,
+    ) -> Nanos;
+
+    /// Writes sparse index/value pairs (the per-word diff shape).
+    fn write_sparse(&self, r: RegionId, from: usize, entries: &[(u32, u64)], now: Nanos) -> Nanos;
+
+    /// Writes a run-length-encoded diff; wire cost is 12 bytes per dirty
+    /// word, identical to [`write_sparse`](Self::write_sparse) for the same
+    /// word set.
+    fn write_runs(&self, r: RegionId, from: usize, runs: &[(u32, &[u64])], now: Nanos) -> Nanos;
+
+    /// Writes one word to every attached copy through a `fanout`-ary
+    /// forwarding tree.
+    fn write_tree(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        val: u64,
+        fanout: usize,
+        now: Nanos,
+    ) -> Nanos;
+
+    /// Reserves `from`'s link for a modeled `bytes` transfer and returns
+    /// when it has been performed (one-sided write semantics).
+    fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos;
+
+    /// Tree-broadcast analogue of [`charge_link`](Self::charge_link):
+    /// returns when the last target holds the payload.
+    fn charge_tree(
+        &self,
+        from: usize,
+        targets: &[usize],
+        fanout: usize,
+        bytes: u64,
+        now: Nanos,
+    ) -> Nanos;
+
+    /// How page fetches cross this backend ([`Backend::fetch_shape`]).
+    fn fetch_shape(&self) -> FetchShape;
+
+    /// Moves `bytes` of page data from `home` to the faulting processor,
+    /// returning the arrival time. Under [`FetchShape::RequestReply`] this
+    /// is the home's *reply write* (request delivery is charged separately
+    /// by the protocol); under [`FetchShape::DirectRead`] it is the
+    /// requester's one-sided read — wire time through the fault-interposed
+    /// link plus [`CostModel::remote_read_latency`].
+    fn fetch_data(&self, home: usize, bytes: u64, now: Nanos) -> Nanos;
+}
+
+impl Transport for MemoryChannel {
+    fn backend(&self) -> Backend {
+        Backend::MemoryChannel
+    }
+    fn cost(&self) -> &CostModel {
+        MemoryChannel::cost(self)
+    }
+    fn endpoints(&self) -> usize {
+        MemoryChannel::endpoints(self)
+    }
+    fn create_region(&self, words: usize, loopback: bool) -> RegionId {
+        MemoryChannel::create_region(self, words, loopback)
+    }
+    fn attach_rx(&self, r: RegionId, endpoint: usize) {
+        MemoryChannel::attach_rx(self, r, endpoint);
+    }
+    fn has_rx(&self, r: RegionId, endpoint: usize) -> bool {
+        MemoryChannel::has_rx(self, r, endpoint)
+    }
+    fn rx_buffer(&self, r: RegionId, endpoint: usize) -> Option<RxBuffer> {
+        MemoryChannel::rx_buffer(self, r, endpoint)
+    }
+    fn read_local(&self, r: RegionId, endpoint: usize, offset: usize) -> u64 {
+        MemoryChannel::read_local(self, r, endpoint, offset)
+    }
+    fn write_local(&self, r: RegionId, endpoint: usize, offset: usize, val: u64) {
+        MemoryChannel::write_local(self, r, endpoint, offset, val);
+    }
+    fn write(&self, r: RegionId, from: usize, offset: usize, val: u64, now: Nanos) -> Nanos {
+        MemoryChannel::write(self, r, from, offset, val, now)
+    }
+    fn write_block(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        vals: &[u64],
+        now: Nanos,
+    ) -> Nanos {
+        MemoryChannel::write_block(self, r, from, offset, vals, now)
+    }
+    fn write_sparse(&self, r: RegionId, from: usize, entries: &[(u32, u64)], now: Nanos) -> Nanos {
+        MemoryChannel::write_sparse(self, r, from, entries, now)
+    }
+    fn write_runs(&self, r: RegionId, from: usize, runs: &[(u32, &[u64])], now: Nanos) -> Nanos {
+        MemoryChannel::write_runs(self, r, from, runs.iter().copied(), now)
+    }
+    fn write_tree(
+        &self,
+        r: RegionId,
+        from: usize,
+        offset: usize,
+        val: u64,
+        fanout: usize,
+        now: Nanos,
+    ) -> Nanos {
+        MemoryChannel::write_tree(self, r, from, offset, val, fanout, now)
+    }
+    fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
+        MemoryChannel::charge_link(self, from, bytes, now)
+    }
+    fn charge_tree(
+        &self,
+        from: usize,
+        targets: &[usize],
+        fanout: usize,
+        bytes: u64,
+        now: Nanos,
+    ) -> Nanos {
+        MemoryChannel::charge_tree(self, from, targets, fanout, bytes, now)
+    }
+    fn fetch_shape(&self) -> FetchShape {
+        FetchShape::RequestReply
+    }
+    fn fetch_data(&self, home: usize, bytes: u64, now: Nanos) -> Nanos {
+        // The home node's reply is an ordinary one-sided remote write of
+        // the page: the same charge as any other modeled bulk transfer.
+        MemoryChannel::charge_link(self, home, bytes, now)
+    }
+}
+
+/// Generates a [`Transport`] impl for a newtype over [`MemoryChannel`]
+/// whose data plane is the inner channel (same ordered regions, same fault
+/// interposition, same traffic counters — with the backend's own cost
+/// model) but whose page fetches are **direct remote reads**.
+macro_rules! direct_read_transport {
+    ($ty:ident, $backend:expr) => {
+        impl $ty {
+            /// Wraps a channel (built with this backend's cost model).
+            pub fn new(inner: MemoryChannel) -> Self {
+                Self(inner)
+            }
+        }
+
+        impl Transport for $ty {
+            fn backend(&self) -> Backend {
+                $backend
+            }
+            fn cost(&self) -> &CostModel {
+                self.0.cost()
+            }
+            fn endpoints(&self) -> usize {
+                self.0.endpoints()
+            }
+            fn create_region(&self, words: usize, loopback: bool) -> RegionId {
+                self.0.create_region(words, loopback)
+            }
+            fn attach_rx(&self, r: RegionId, endpoint: usize) {
+                self.0.attach_rx(r, endpoint);
+            }
+            fn has_rx(&self, r: RegionId, endpoint: usize) -> bool {
+                self.0.has_rx(r, endpoint)
+            }
+            fn rx_buffer(&self, r: RegionId, endpoint: usize) -> Option<RxBuffer> {
+                self.0.rx_buffer(r, endpoint)
+            }
+            fn read_local(&self, r: RegionId, endpoint: usize, offset: usize) -> u64 {
+                self.0.read_local(r, endpoint, offset)
+            }
+            fn write_local(&self, r: RegionId, endpoint: usize, offset: usize, val: u64) {
+                self.0.write_local(r, endpoint, offset, val);
+            }
+            fn write(
+                &self,
+                r: RegionId,
+                from: usize,
+                offset: usize,
+                val: u64,
+                now: Nanos,
+            ) -> Nanos {
+                self.0.write(r, from, offset, val, now)
+            }
+            fn write_block(
+                &self,
+                r: RegionId,
+                from: usize,
+                offset: usize,
+                vals: &[u64],
+                now: Nanos,
+            ) -> Nanos {
+                self.0.write_block(r, from, offset, vals, now)
+            }
+            fn write_sparse(
+                &self,
+                r: RegionId,
+                from: usize,
+                entries: &[(u32, u64)],
+                now: Nanos,
+            ) -> Nanos {
+                self.0.write_sparse(r, from, entries, now)
+            }
+            fn write_runs(
+                &self,
+                r: RegionId,
+                from: usize,
+                runs: &[(u32, &[u64])],
+                now: Nanos,
+            ) -> Nanos {
+                self.0.write_runs(r, from, runs.iter().copied(), now)
+            }
+            fn write_tree(
+                &self,
+                r: RegionId,
+                from: usize,
+                offset: usize,
+                val: u64,
+                fanout: usize,
+                now: Nanos,
+            ) -> Nanos {
+                self.0.write_tree(r, from, offset, val, fanout, now)
+            }
+            fn charge_link(&self, from: usize, bytes: u64, now: Nanos) -> Nanos {
+                self.0.charge_link(from, bytes, now)
+            }
+            fn charge_tree(
+                &self,
+                from: usize,
+                targets: &[usize],
+                fanout: usize,
+                bytes: u64,
+                now: Nanos,
+            ) -> Nanos {
+                self.0.charge_tree(from, targets, fanout, bytes, now)
+            }
+            fn fetch_shape(&self) -> FetchShape {
+                FetchShape::DirectRead
+            }
+            fn fetch_data(&self, home: usize, bytes: u64, now: Nanos) -> Nanos {
+                // One-sided read: pull the page over the (fault-interposed)
+                // link and pay the read-completion latency. No request
+                // delivery, no reply, no home-side CPU.
+                self.0.reserve(home, bytes, now) + self.0.cost().remote_read_latency
+            }
+        }
+    };
+}
+
+/// RDMA-like backend ([`CostModel::rdma`]): sub-µs one-sided reads and
+/// writes; page fetches are direct remote reads with a per-read descriptor
+/// post/poll cost charged by the protocol layer
+/// ([`CostModel::fetch_direct_fixed`]).
+pub struct RdmaTransport(MemoryChannel);
+direct_read_transport!(RdmaTransport, Backend::Rdma);
+
+/// CXL/disaggregated-memory-like backend ([`CostModel::cxl`]): load/store
+/// far memory; direct reads with zero per-message software overhead.
+pub struct CxlTransport(MemoryChannel);
+direct_read_transport!(CxlTransport, Backend::Cxl);
+
+/// Builds the transport a [`TransportConfig`] describes, dispatching on its
+/// [`Backend`]. This is the one assembly point the engine (and every test
+/// harness) uses.
+pub fn build_transport(cfg: TransportConfig) -> Arc<dyn Transport> {
+    let backend = cfg.backend();
+    let chan = cfg.build_channel();
+    match backend {
+        Backend::MemoryChannel => Arc::new(chan),
+        Backend::Rdma => Arc::new(RdmaTransport::new(chan)),
+        Backend::Cxl => Arc::new(CxlTransport::new(chan)),
+    }
+}

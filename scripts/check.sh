@@ -36,6 +36,12 @@
 #            and the deterministic per-update fan-out gates. CASHMERE_JOBS
 #            bounds cell-level parallelism; the full 64x16 ladder is
 #            scripts/scaling.sh with no arguments
+#   xbackend — opt-in (CHECK_XBACKEND=1): the cross-backend transport gate
+#            (scripts/xbackend.sh): Memory-Channel golden byte-identity
+#            through the Transport trait, deterministic replay fingerprints
+#            per backend (mc/rdma/cxl), and the audited apps x protocols x
+#            backends sweep with the request/reply round-trip reduction
+#            gates; writes BENCH_xbackend.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -90,4 +96,8 @@ fi
 
 if [[ "${CHECK_SCALING:-0}" == "1" ]]; then
     scripts/scaling.sh --ci
+fi
+
+if [[ "${CHECK_XBACKEND:-0}" == "1" ]]; then
+    scripts/xbackend.sh
 fi

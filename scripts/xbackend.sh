@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Cross-backend transport gate (DESIGN.md §14).
+#
+# Builds the release tree and runs the `xbackend` harness, which
+#   1. regenerates the paper-suite goldens on the default Memory Channel
+#      backend and fails unless they are byte-identical to
+#      results/vt_golden.jsonl and the sequential rows of
+#      results/table2.jsonl (the pluggable transport must not move the
+#      paper artifacts),
+#   2. replays the scripted deterministic protocol probe across all four
+#      paper protocols x all three backends (mc, rdma, cxl), twice each,
+#      requiring exact per-backend determinism and strictly fewer
+#      request/reply round trips (remote_requests) on the direct-read
+#      fabrics than on the Memory Channel, and
+#   3. sweeps the paper suite plus KvService and BankOltp across the four
+#      protocols x three backends with the auditor and observability on,
+#      requiring clean audits, mc-identical checksums, and the same
+#      aggregate round-trip reduction, then writes BENCH_xbackend.json
+#      with per-backend virtual-time totals and Figure-7 breakdowns.
+#
+# Usage:
+#   scripts/xbackend.sh                       # default seed (24301)
+#   XBACKEND_SEED=12345 scripts/xbackend.sh   # a different deterministic seed
+#
+# The same seed always yields the same service traces, so a failing run is
+# replayable bit-for-bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cashmere-bench --offline
+exec target/release/xbackend --seed "${XBACKEND_SEED:-24301}"
