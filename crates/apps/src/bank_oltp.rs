@@ -162,6 +162,9 @@ impl Benchmark for BankOltp {
                     }
                     p.unlock(second);
                     p.unlock(first);
+                    // Per-transaction sojourn vs the open-loop arrival
+                    // stamp (no-op when obs is off).
+                    p.record_sojourn(p.now() - target);
                 }
                 // Quiescent audit window: no writes happen between these
                 // two barriers, so an unlocked full-ledger sweep is exact.

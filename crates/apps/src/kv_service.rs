@@ -211,6 +211,9 @@ impl Benchmark for KvService {
                     }
                 }
                 p.unlock(k % shards);
+                // Sojourn = completion minus the open-loop arrival stamp
+                // (service + queueing; zero-width when obs is off).
+                p.record_sojourn(p.now() - target);
             }
             p.barrier(1);
         });

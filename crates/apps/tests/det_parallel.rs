@@ -1,0 +1,25 @@
+//! The deterministic parallel engine (DESIGN.md §15) on a real service
+//! workload: a seeded KvService trace must produce byte-identical reports
+//! and checksums no matter how many host workers execute the simulated
+//! processors.
+
+use cashmere_apps::{run_app, KvService, Scale};
+use cashmere_core::{ClusterConfig, ProtocolKind, Topology};
+
+#[test]
+fn kv_service_report_bytes_identical_across_worker_counts() {
+    let app = KvService::new(Scale::Test);
+    let cfg = |workers| {
+        ClusterConfig::new(Topology::new(2, 2), ProtocolKind::OneLevelDiff)
+            .with_det_parallel(workers)
+    };
+    let base = run_app(&app, cfg(1));
+    assert_eq!(base.checksum, app.expected_checksum());
+    let par = run_app(&app, cfg(4));
+    assert_eq!(
+        par.report.to_json(),
+        base.report.to_json(),
+        "KV report bytes diverge between 1 and 4 workers"
+    );
+    assert_eq!(par.checksum, base.checksum);
+}

@@ -1,0 +1,277 @@
+//! Deterministic-parallelism gate (`scripts/detpar.sh`), DESIGN.md §15.
+//!
+//! Proves the conservative virtual-time engine is what it claims to be —
+//! parallelism inside a run with zero observable effect — in four phases
+//! (nonzero exit on any failure):
+//!
+//! 1. **Golden preflight** (skippable with `--skip-golden`; implied by a
+//!    non-`mc` backend): the default *sequential* engine regenerates the
+//!    committed `results/vt_golden.jsonl` and the sequential rows of
+//!    `results/table2.jsonl` byte-identically — the lookahead-barrier
+//!    refactor must not move a byte of the paper artifacts.
+//! 2. **Worker-identity matrix.** One paper app (SOR) across all four
+//!    protocols at host worker counts {1, 2, 8}, plus a repeat at the
+//!    widest count: every cell must produce a byte-identical `Report` and
+//!    an equal checksum.
+//! 3. **Env opt-in.** `CASHMERE_PROC_WORKERS=2` with no `RunSpec` override
+//!    must land on the same bytes as the explicit `with_det_parallel(2)`
+//!    run — the two opt-in paths may not diverge.
+//! 4. **Wallclock ratio.** The workers=1 vs widest-count wall times of the
+//!    matrix runs, recorded (not gated — host wall time is noisy; the
+//!    byte-identity above is the hard property).
+//!
+//! Flags: `--seed N` (echoed into the output for provenance; the SOR data
+//! set is deterministic), `--skip-golden`, `--backend {mc,rdma,cxl}`.
+//! `CASHMERE_JOBS` is echoed alongside for symmetry with the other gates.
+//!
+//! Output: `BENCH_detpar.json` — seed, jobs, backend, per-protocol
+//! identity verdicts and wall times, and the failure count.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use cashmere_apps::{suite, AppOutcome, Benchmark, Scale, Sor};
+use cashmere_bench::golden::{build_goldens, check_table2};
+use cashmere_bench::{json_f64, json_str, parse_backend, run_with, RunOpts};
+use cashmere_core::{Backend, ProtocolKind};
+
+/// The matrix topology: 8 processors, 4 per node (2 nodes — every worker
+/// count below the proc count forces real multiplexing).
+const DETPAR_CONFIG: (usize, usize) = (8, 4);
+
+/// Host worker counts exercised; the last entry is the widest and is the
+/// one repeated and used for the wallclock ratio.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+struct Args {
+    seed: u64,
+    skip_golden: bool,
+    backend: Backend,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        seed: 0x5EED,
+        skip_golden: false,
+        backend: Backend::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                a.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            "--skip-golden" => a.skip_golden = true,
+            "--backend" => a.backend = parse_backend(args.next()),
+            other => panic!(
+                "unknown flag {other:?} (supported: --seed N, --skip-golden, \
+                 --backend {{mc,rdma,cxl}})"
+            ),
+        }
+    }
+    a
+}
+
+/// One timed run of `app` at the given worker count (`None` = the
+/// sequential engine).
+fn timed_run(
+    app: &dyn Benchmark,
+    protocol: ProtocolKind,
+    backend: Backend,
+    det_workers: Option<usize>,
+) -> (AppOutcome, f64) {
+    let t = Instant::now();
+    let (out, _) = run_with(
+        app,
+        protocol,
+        DETPAR_CONFIG.0,
+        DETPAR_CONFIG.1,
+        RunOpts {
+            backend,
+            det_workers,
+            ..RunOpts::default()
+        },
+        None,
+        false,
+    );
+    (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args = parse_args();
+    let jobs = std::env::var("CASHMERE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    let mut failures = 0usize;
+
+    let golden = if args.skip_golden {
+        eprintln!("[--skip-golden: paper-golden preflight skipped]");
+        "skipped"
+    } else if args.backend != Backend::MemoryChannel {
+        eprintln!(
+            "[--backend {} — committed goldens pin the Memory Channel; preflight skipped]",
+            args.backend.label()
+        );
+        "skipped"
+    } else if golden_preflight() == 0 {
+        "ok"
+    } else {
+        failures += 1;
+        "drift"
+    };
+
+    let app = Sor::new(Scale::Test);
+    let widest = *WORKER_COUNTS.last().expect("worker counts nonempty");
+    let mut cells = Vec::new();
+    for protocol in ProtocolKind::PAPER_FOUR {
+        let (base, base_wall) = timed_run(&app, protocol, args.backend, Some(WORKER_COUNTS[0]));
+        let base_json = base.report.to_json();
+        let mut walls = vec![(WORKER_COUNTS[0], base_wall)];
+        let mut identical = true;
+        for &workers in &WORKER_COUNTS[1..] {
+            let (out, wall) = timed_run(&app, protocol, args.backend, Some(workers));
+            walls.push((workers, wall));
+            if out.report.to_json() != base_json || out.checksum != base.checksum {
+                identical = false;
+                eprintln!(
+                    "detpar {:4}: report diverges at {workers} workers",
+                    protocol.label()
+                );
+            }
+        }
+        let (again, _) = timed_run(&app, protocol, args.backend, Some(widest));
+        let repeat_identical = again.report.to_json() == base_json;
+        if !repeat_identical {
+            eprintln!(
+                "detpar {:4}: repeat run at {widest} workers not byte-identical",
+                protocol.label()
+            );
+        }
+        if !identical || !repeat_identical {
+            failures += 1;
+        }
+        let wall1 = walls[0].1;
+        let wallw = walls.last().expect("at least one count").1;
+        let ratio = if wallw > 0.0 { wall1 / wallw } else { 0.0 };
+        println!(
+            "detpar {:4} identical={} repeat={} wall w1={wall1:7.1}ms w{widest}={wallw:7.1}ms \
+             ratio={ratio:.2}",
+            protocol.label(),
+            if identical { "ok" } else { "BAD" },
+            if repeat_identical { "ok" } else { "BAD" },
+        );
+
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        json_str(&mut s, "protocol", protocol.label());
+        let _ = write!(
+            s,
+            ",\"identical\":{identical},\"repeat_identical\":{repeat_identical},\"wall_ms\":{{"
+        );
+        for (i, (w, ms)) in walls.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"w{w}\":");
+            s.push_str(&cashmere_bench::fmt_json_f64(*ms));
+        }
+        s.push_str("},");
+        json_f64(&mut s, "par_ratio", ratio);
+        s.push('}');
+        cells.push(s);
+    }
+
+    // Phase 3: the env opt-in path must land on the same bytes as the
+    // builder path. Set/removed around a single run; the rest of the gate
+    // runs with the variable absent.
+    let protocol = ProtocolKind::TwoLevel;
+    let (explicit, _) = timed_run(&app, protocol, args.backend, Some(2));
+    std::env::set_var("CASHMERE_PROC_WORKERS", "2");
+    let (via_env, _) = timed_run(&app, protocol, args.backend, None);
+    std::env::remove_var("CASHMERE_PROC_WORKERS");
+    let env_ok = via_env.report.to_json() == explicit.report.to_json()
+        && via_env.checksum == explicit.checksum;
+    if !env_ok {
+        failures += 1;
+        eprintln!("detpar: CASHMERE_PROC_WORKERS=2 diverges from with_det_parallel(2)");
+    }
+    println!(
+        "detpar env opt-in (CASHMERE_PROC_WORKERS=2): {}",
+        if env_ok { "ok" } else { "BAD" }
+    );
+
+    let mut out = String::from("{\"experiment\":\"detpar\",");
+    let _ = write!(
+        out,
+        "\"seed\":{},\"jobs\":{jobs},\"backend\":\"{}\",\"app\":\"{}\",\"config\":\"{}:{}\",\
+         \"workers\":[",
+        args.seed,
+        args.backend.label(),
+        app.name(),
+        DETPAR_CONFIG.0,
+        DETPAR_CONFIG.1
+    );
+    for (i, w) in WORKER_COUNTS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{w}");
+    }
+    let _ = write!(
+        out,
+        "],\"golden\":\"{golden}\",\"env_optin_ok\":{env_ok},\"cells\":["
+    );
+    out.push_str(&cells.join(","));
+    let _ = write!(out, "],\"failures\":{failures}}}");
+    out.push('\n');
+    std::fs::write("BENCH_detpar.json", out).expect("write BENCH_detpar.json");
+    eprintln!("[wrote BENCH_detpar.json]");
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} detpar check(s) failed");
+        std::process::exit(1);
+    }
+    println!("detpar: all checks passed");
+}
+
+/// Phase 1: the sequential engine must still regenerate the committed
+/// goldens byte-for-byte (the det refactor touched its charge paths).
+fn golden_preflight() -> usize {
+    let mut failures = 0usize;
+    let apps = suite(Scale::Bench);
+    let g = build_goldens(&apps, None, false, false, false);
+    let golden_path = Path::new("results/vt_golden.jsonl");
+    match std::fs::read_to_string(golden_path) {
+        Ok(committed) if committed == g.jsonl => {
+            println!(
+                "detpar golden: paper goldens byte-identical ({} lines)",
+                g.jsonl.lines().count()
+            );
+        }
+        Ok(committed) => {
+            failures += 1;
+            eprintln!("detpar golden: DRIFT in {}", golden_path.display());
+            for (i, (a, b)) in committed.lines().zip(g.jsonl.lines()).enumerate() {
+                if a != b {
+                    eprintln!(
+                        "  line {}:\n    committed: {a}\n    regenerated: {b}",
+                        i + 1
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!(
+                "detpar golden: cannot read {} ({e}) — capture goldens first",
+                golden_path.display()
+            );
+        }
+    }
+    failures + check_table2(&g.seq_secs)
+}

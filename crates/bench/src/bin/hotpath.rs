@@ -202,6 +202,44 @@ fn main() {
     });
     report("remote write: Arc<dyn Transport> dispatch", dyn_call);
 
+    // --- deterministic parallel engine ----------------------------------
+    // The det scheduler's per-operation costs (DESIGN.md §15): the horizon
+    // check every read/write/compute entry pays, the coordinator's grant
+    // scan over pending gates, and the lookahead clock's advance + wakeup
+    // round trip. The checkpoint row is the one on the engine hot path —
+    // it must stay a single atomic load when the horizon is open.
+    use cashmere_core::det::DetScheduler;
+    use cashmere_sim::HorizonClock;
+    let sched = Arc::new(DetScheduler::new(32, 8, 50_000));
+    let mut hvt = 0u64;
+    let horizon = bench(rounds, 50_000, || {
+        // The check is one atomic load whatever it answers; nothing parks
+        // here because the bench helper only reads.
+        black_box(sched.bench_horizon_check(black_box(hvt % 1_000)));
+        hvt = hvt.wrapping_add(7);
+    });
+    report("det: checkpoint horizon check", horizon);
+
+    for p in 0..32 {
+        sched.bench_seed_gate(p, (p as u64 + 1) * 1_000, p as u64);
+    }
+    let scan = bench(rounds, 50_000, || {
+        black_box(sched.bench_grant_scan());
+    });
+    report("det: coordinator grant scan (32 procs)", scan);
+
+    let hc = HorizonClock::new(50_000);
+    let mut wvt = 0u64;
+    let wakeup = bench(rounds, 50_000, || {
+        // One advance plus the sleeper's wait protocol (epoch capture +
+        // horizon re-check); the closure never fires because the advance
+        // just opened the window.
+        let end = hc.advance_past(black_box(wvt));
+        hc.wait_past(end - 1, |_| unreachable!("window just opened"));
+        wvt = end;
+    });
+    report("det: horizon advance + wakeup round trip", wakeup);
+
     // --- workload sampling ----------------------------------------------
     // The service-trace generator's per-op path (DESIGN.md §13): one
     // Zipfian CDF inversion plus the rank→slot map. Allocation-free after

@@ -318,13 +318,28 @@ fn audit_heat_sweep(seed: u64, backend: Backend) -> (Vec<String>, String, usize)
         }
         let obs = cell.outcome.report.obs.as_ref().expect("obs requested");
         let hot = obs.hot_pages(HEAT_TOP_K);
+        // Per-request sojourn percentiles (DESIGN.md §13): every service
+        // request records its arrival-to-completion latency, so an empty
+        // histogram means the recording hook fell off the request loop.
+        let sj = &obs.metrics.sojourn_ns;
+        let (p50, p95, p99) = (sj.quantile(0.50), sj.quantile(0.95), sj.quantile(0.99));
+        if sj.count == 0 {
+            failures += 1;
+            eprintln!(
+                "service sweep {:4} {:4}: EMPTY sojourn histogram",
+                cell.app,
+                cell.protocol.label()
+            );
+        }
         println!(
-            "service sweep {:4} {:4} exec={:9.3}ms checksum={} audit={} hot={:?}",
+            "service sweep {:4} {:4} exec={:9.3}ms checksum={} audit={} \
+             sojourn p50={p50} p95={p95} p99={p99} ns ({} reqs) hot={:?}",
             cell.app,
             cell.protocol.label(),
             cell.outcome.report.exec_secs() * 1e3,
             if checksum_ok { "ok" } else { "BAD" },
             if audit_clean { "clean" } else { "DIRTY" },
+            sj.count,
             hot
         );
 
@@ -337,6 +352,12 @@ fn audit_heat_sweep(seed: u64, backend: Backend) -> (Vec<String>, String, usize)
         json_str(&mut s, "protocol", cell.protocol.label());
         s.push(',');
         json_f64(&mut s, "exec_secs", cell.outcome.report.exec_secs());
+        let _ = write!(
+            s,
+            ",\"sojourn_count\":{},\"sojourn_p50_ns\":{p50},\"sojourn_p95_ns\":{p95},\
+             \"sojourn_p99_ns\":{p99}",
+            sj.count
+        );
         let _ = write!(
             s,
             ",\"checksum_ok\":{checksum_ok},\"audit_clean\":{audit_clean},\"hot_pages\":["

@@ -66,6 +66,12 @@ pub struct RunOpts {
     /// Record observability data (`Report::obs`): spans, the Figure-7
     /// breakdown, counters/histograms, page heat, and link traffic.
     pub obs: bool,
+    /// Run the simulated processors on this many host workers under the
+    /// deterministic parallel engine (DESIGN.md §15). `None` keeps the
+    /// sequential engine — the mode every committed golden was captured
+    /// under (the det engine reproduces them byte-for-byte; the `detpar`
+    /// gate asserts it).
+    pub det_workers: Option<usize>,
 }
 
 /// Parses the value of a `--backend` flag shared by every driver binary
@@ -114,6 +120,9 @@ pub fn run_with(
         .uninstrumented(opts.uninstrumented)
         .with_audit(audit)
         .with_obs(opts.obs);
+    if let Some(w) = opts.det_workers {
+        spec = spec.with_det_parallel(w);
+    }
     if let Some(p) = plan {
         spec = spec.with_faults(p);
     }

@@ -281,7 +281,23 @@ pub struct ClusterConfig {
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Timeout/backoff policy for recovering lost requests.
     pub recovery: RecoveryPolicy,
+    /// Deterministic parallel execution inside the run (DESIGN.md §15):
+    /// `Some(w)` runs the simulated processors under the conservative
+    /// virtual-time scheduler with at most `w` concurrently running host
+    /// threads. `None` (the default) keeps the free-running path; the
+    /// `CASHMERE_PROC_WORKERS` environment variable can then opt a run in
+    /// at [`crate::Cluster::run`] time. The [`crate::Report`] of a
+    /// deterministic run is byte-identical at any worker count.
+    pub det_workers: Option<usize>,
+    /// Lookahead window quantum for the deterministic scheduler, in
+    /// virtual nanoseconds.
+    pub det_quantum_ns: Nanos,
 }
+
+/// Default lookahead window quantum: coarse enough that a window spans many
+/// operations of every paper app, fine enough to keep processors' virtual
+/// times loosely synchronized at protocol boundaries.
+pub const DET_QUANTUM_DEFAULT: Nanos = 50_000;
 
 impl ClusterConfig {
     /// A small default configuration: the paper's full 8×4 cluster, the 2L
@@ -305,7 +321,24 @@ impl ClusterConfig {
             obs: false,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            det_workers: None,
+            det_quantum_ns: DET_QUANTUM_DEFAULT,
         }
+    }
+
+    /// Builder-style deterministic-parallelism opt-in: run the simulated
+    /// processors under the conservative virtual-time scheduler with at
+    /// most `workers` concurrently running host threads (DESIGN.md §15).
+    pub fn with_det_parallel(mut self, workers: usize) -> Self {
+        self.det_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Builder-style lookahead-quantum override for the deterministic
+    /// scheduler.
+    pub fn with_det_quantum(mut self, quantum_ns: Nanos) -> Self {
+        self.det_quantum_ns = quantum_ns.max(1);
+        self
     }
 
     /// Builder-style interconnect selection: installs `backend` and its

@@ -1,0 +1,571 @@
+//! Deterministic parallel execution inside a run (DESIGN.md §15).
+//!
+//! A conservative virtual-time scheduler: simulated processors run
+//! concurrently on up to `workers` host threads, but only through *local*
+//! segments (compute, non-faulting mapped accesses), and only up to the
+//! shared lookahead horizon ([`HorizonClock`]). Everything that touches
+//! shared protocol state — page faults, bus/link settles, release/acquire
+//! actions, lock/barrier/flag carriers — is a **gate**: the processor parks
+//! and the gate body executes only when every peer is parked, one gate at a
+//! time, in ascending `(virtual time, proc id, per-proc seq)` order.
+//!
+//! Determinism argument (the full version is DESIGN.md §15): every
+//! scheduling decision — which gate runs next, where the next window ends,
+//! which processors it releases — is a pure function of the multiset of
+//! parked states, never of host timing or the worker count. Shared protocol
+//! state is mutated only inside gates, and gates run only when no processor
+//! is free-running, so the frozen-state a free-running segment reads is the
+//! same under any host interleaving. The worker bound changes only *when*
+//! released processors run their (purely local) segments, not what those
+//! segments compute. Hence the same config + seed produces byte-identical
+//! [`Report`](crate::Report)s at any worker count — gated by
+//! `scripts/detpar.sh`.
+//!
+//! The scheduler is a monitor: one mutex + condvar for parked-state
+//! bookkeeping, plus the lock-free [`HorizonClock`] fast path consulted at
+//! every operation entry ([`DetHandle::checkpoint`]). Horizon-parked
+//! processors sleep through the `HorizonClock` wakeup protocol (the
+//! model-checked piece — see `model_scenarios::lookahead_wakeup`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cashmere_sim::{HorizonClock, Nanos};
+use parking_lot::{Condvar, Mutex};
+
+/// What a blocked processor is waiting on, keyed by carrier pool index.
+/// `unblock_all` with the same key re-arms every matching waiter as a
+/// pending gate at its original virtual time (with a fresh seq, so re-tries
+/// order deterministically after first arrivals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKey {
+    /// Waiting for `CarrierLock` *index* to be released.
+    Lock(usize),
+    /// Waiting for the current episode of `CarrierBarrier` *index*.
+    Barrier(usize),
+    /// Waiting for `CarrierFlag` *index* to be set.
+    Flag(usize),
+}
+
+/// Per-processor scheduler state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    /// Released: free-running a local segment (or executing its gate, if
+    /// `granted` names it).
+    Running,
+    /// Parked at an operation entry at this virtual time (horizon reached,
+    /// or re-parked after a gate) — runnable local work pending.
+    Parked(Nanos),
+    /// Parked at a gate entry: `(vt, seq)`; runs when granted.
+    AtGate(Nanos, u64),
+    /// Blocked inside a gate on a carrier; re-armed by `unblock_all`.
+    Blocked(Nanos, WaitKey),
+    /// Ran to completion.
+    Finished,
+}
+
+#[derive(Debug)]
+struct DetState {
+    procs: Vec<PState>,
+    /// Per-proc gate sequence numbers (third tie-break component).
+    seq: Vec<u64>,
+    /// Released processors that have not parked again (includes the granted
+    /// one). All scheduling decisions happen at `runners == 0`.
+    runners: usize,
+    /// The processor currently granted exclusive gate execution.
+    granted: Option<usize>,
+    /// Window-eligible processors awaiting a free worker slot, in
+    /// deterministic `(vt, id)` order.
+    release_queue: VecDeque<usize>,
+    finished: usize,
+}
+
+/// The conservative virtual-time scheduler for one run.
+pub struct DetScheduler {
+    state: Mutex<DetState>,
+    /// Wakes stage-2 waits: admission grants and gate grants.
+    cv: Condvar,
+    /// Sleep channel for horizon-parked processors (stage 1). Separate from
+    /// `state` so sleepers hold no scheduler state while parked.
+    sleep: Mutex<()>,
+    sleep_cv: Condvar,
+    horizon: HorizonClock,
+    nprocs: usize,
+    workers: usize,
+    /// Set when the coordinator detects a deadlock; every waiter converts
+    /// its wait into a panic so the run aborts instead of hanging.
+    aborted: AtomicBool,
+}
+
+impl DetScheduler {
+    /// A scheduler for `nprocs` processors multiplexed onto at most
+    /// `workers` concurrently running host threads, with windows of
+    /// `quantum_ns` virtual nanoseconds.
+    #[must_use]
+    pub fn new(nprocs: usize, workers: usize, quantum_ns: Nanos) -> Self {
+        Self {
+            state: Mutex::new(DetState {
+                procs: vec![PState::Running; nprocs],
+                seq: vec![0; nprocs],
+                runners: nprocs,
+                granted: None,
+                release_queue: VecDeque::new(),
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            sleep: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            horizon: HorizonClock::new(quantum_ns),
+            nprocs,
+            workers: workers.max(1),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// The worker bound.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A per-processor handle for embedding in the engine's `ProcCtx`.
+    #[must_use]
+    pub fn handle(self: &Arc<Self>, id: usize) -> DetHandle {
+        DetHandle {
+            sched: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// The per-op fast path: one atomic horizon load (see the hotpath rows).
+    #[inline]
+    fn must_park(&self, vt: Nanos) -> bool {
+        self.horizon.past(vt)
+    }
+
+    /// Parks `me` at an operation entry and blocks until readmitted.
+    fn park(&self, me: usize, vt: Nanos) {
+        let mut st = self.state.lock();
+        debug_assert_ne!(st.granted, Some(me), "park inside a gate body");
+        st.procs[me] = PState::Parked(vt);
+        self.retire_runner(&mut st);
+        drop(st);
+        self.wait_released(me, vt);
+    }
+
+    /// Parks `me` as a pending gate and blocks until the coordinator grants
+    /// it exclusive execution.
+    fn gate_enter(&self, me: usize, vt: Nanos) {
+        let mut st = self.state.lock();
+        debug_assert_ne!(st.granted, Some(me), "nested gate");
+        st.seq[me] += 1;
+        st.procs[me] = PState::AtGate(vt, st.seq[me]);
+        self.retire_runner(&mut st);
+        self.wait_granted(me, &mut st);
+    }
+
+    /// Ends `me`'s gate: re-parks at the (possibly advanced) virtual time
+    /// and blocks until readmitted to a window.
+    fn gate_exit(&self, me: usize, vt: Nanos) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.granted, Some(me), "gate_exit outside a gate");
+        st.granted = None;
+        st.procs[me] = PState::Parked(vt);
+        self.retire_runner(&mut st);
+        drop(st);
+        self.wait_released(me, vt);
+    }
+
+    /// From inside `me`'s gate: gives up the grant, blocks on `key`, and
+    /// returns once re-granted (after some peer's gate called
+    /// [`unblock_all`](Self::unblock_all) and the coordinator re-selected
+    /// `me`). The caller loops: re-check the carrier, block again if still
+    /// unavailable.
+    fn gate_block(&self, me: usize, vt: Nanos, key: WaitKey) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.granted, Some(me), "gate_block outside a gate");
+        st.granted = None;
+        st.procs[me] = PState::Blocked(vt, key);
+        self.retire_runner(&mut st);
+        self.wait_granted(me, &mut st);
+    }
+
+    /// From inside a gate: re-arms every processor blocked on `key` as a
+    /// pending gate at its original virtual time with a fresh seq. The
+    /// grants happen later, one at a time, once the unblocker's gate ends.
+    fn unblock_all(&self, key: WaitKey) {
+        let mut st = self.state.lock();
+        debug_assert!(st.granted.is_some(), "unblock_all outside a gate");
+        for p in 0..self.nprocs {
+            if let PState::Blocked(vt, k) = st.procs[p] {
+                if k == key {
+                    st.seq[p] += 1;
+                    st.procs[p] = PState::AtGate(vt, st.seq[p]);
+                }
+            }
+        }
+    }
+
+    /// Marks `me` finished and hands its slot on.
+    fn finish(&self, me: usize) {
+        let mut st = self.state.lock();
+        debug_assert_ne!(st.granted, Some(me), "finish inside a gate body");
+        st.procs[me] = PState::Finished;
+        st.finished += 1;
+        self.retire_runner(&mut st);
+    }
+
+    /// One released processor has parked (in whatever state the caller just
+    /// recorded): refill its worker slot from the release queue, and run the
+    /// coordinator if it was the last runner.
+    fn retire_runner(&self, st: &mut DetState) {
+        st.runners -= 1;
+        while st.runners < self.workers {
+            let Some(p) = st.release_queue.pop_front() else {
+                break;
+            };
+            st.procs[p] = PState::Running;
+            st.runners += 1;
+            self.cv.notify_all();
+        }
+        if st.runners == 0 {
+            self.coordinate(st);
+        }
+    }
+
+    /// The scheduling decision point, reached only when every processor is
+    /// parked. Everything here is a pure function of the parked multiset.
+    fn coordinate(&self, st: &mut DetState) {
+        debug_assert_eq!(st.runners, 0);
+        debug_assert!(st.granted.is_none());
+        debug_assert!(st.release_queue.is_empty());
+
+        // 1. Drain pending gates, earliest (vt, id, seq) first.
+        let next_gate = (0..self.nprocs)
+            .filter_map(|p| match st.procs[p] {
+                PState::AtGate(vt, seq) => Some((vt, p, seq)),
+                _ => None,
+            })
+            .min();
+        if let Some((_, p, _)) = next_gate {
+            st.granted = Some(p);
+            st.procs[p] = PState::Running;
+            st.runners = 1;
+            self.cv.notify_all();
+            return;
+        }
+
+        // 2. No gates pending: open the next window over the parked set.
+        let mut parked: Vec<(Nanos, usize)> = (0..self.nprocs)
+            .filter_map(|p| match st.procs[p] {
+                PState::Parked(vt) => Some((vt, p)),
+                _ => None,
+            })
+            .collect();
+        if parked.is_empty() {
+            if st.finished == self.nprocs {
+                self.cv.notify_all();
+                return;
+            }
+            self.abort_deadlocked(st);
+        }
+        parked.sort_unstable();
+        let min_vt = parked[0].0;
+        let mut advanced = false;
+        if self.horizon.past(min_vt) {
+            self.horizon.advance_past(min_vt);
+            advanced = true;
+        }
+        let end = self.horizon.end();
+        for &(vt, p) in &parked {
+            if vt >= end {
+                // Beyond the window: stays parked for a later one.
+                continue;
+            }
+            if st.runners < self.workers {
+                st.procs[p] = PState::Running;
+                st.runners += 1;
+            } else {
+                st.release_queue.push_back(p);
+            }
+        }
+        debug_assert!(st.runners > 0, "window covers no parked processor");
+        if advanced {
+            // Wake stage-1 sleepers under the sleep lock (the HorizonClock
+            // epoch already changed, so late sleepers re-check and return).
+            let _g = self.sleep.lock();
+            self.sleep_cv.notify_all();
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until it is released into a window: first until the
+    /// horizon passes its parked vt (stage 1, the lock-free wakeup
+    /// protocol), then until the coordinator admits it (stage 2).
+    fn wait_released(&self, me: usize, vt: Nanos) {
+        self.horizon.wait_past(vt, |seen| {
+            let mut g = self.sleep.lock();
+            while self.horizon.sleep_epoch() == seen {
+                self.check_abort();
+                self.sleep_cv.wait(&mut g);
+            }
+        });
+        let mut st = self.state.lock();
+        while st.procs[me] != PState::Running {
+            self.check_abort();
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks `me` (already recorded AtGate/Blocked, lock held) until the
+    /// coordinator grants it the gate.
+    fn wait_granted(&self, me: usize, st: &mut parking_lot::MutexGuard<'_, DetState>) {
+        while st.granted != Some(me) {
+            self.check_abort();
+            self.cv.wait(st);
+        }
+        debug_assert_eq!(st.procs[me], PState::Running);
+    }
+
+    fn check_abort(&self) {
+        assert!(
+            !self.aborted.load(Ordering::SeqCst),
+            "deterministic scheduler aborted (deadlock detected by the coordinator)"
+        );
+    }
+
+    /// No gate pending, nobody parked, not everyone finished: the remaining
+    /// processors are blocked on carriers nobody will ever signal. Wake
+    /// every waiter into a panic (instead of hanging the run) and report
+    /// who waits on what.
+    fn abort_deadlocked(&self, st: &DetState) -> ! {
+        self.aborted.store(true, Ordering::SeqCst);
+        {
+            let _g = self.sleep.lock();
+            self.sleep_cv.notify_all();
+        }
+        self.cv.notify_all();
+        let waiters: Vec<String> = (0..self.nprocs)
+            .filter_map(|p| match st.procs[p] {
+                PState::Blocked(vt, key) => Some(format!("proc {p} blocked on {key:?} at vt {vt}")),
+                _ => None,
+            })
+            .collect();
+        panic!(
+            "deterministic scheduler deadlock: no runnable processor \
+             ({}/{} finished; {})",
+            st.finished,
+            self.nprocs,
+            waiters.join(", ")
+        );
+    }
+
+    // -- microbench probes (charge-free host machinery; see `hotpath`) ----
+
+    /// The checkpoint fast path, exposed for the hotpath rows.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn bench_horizon_check(&self, vt: Nanos) -> bool {
+        self.must_park(vt)
+    }
+
+    /// The coordinator's grant selection over the current parked multiset,
+    /// exposed for the hotpath rows. Scans like `coordinate` step 1 but
+    /// changes nothing.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn bench_grant_scan(&self) -> Option<usize> {
+        let st = self.state.lock();
+        (0..self.nprocs)
+            .filter_map(|p| match st.procs[p] {
+                PState::AtGate(vt, seq) => Some((vt, p, seq)),
+                _ => None,
+            })
+            .min()
+            .map(|(_, p, _)| p)
+    }
+
+    /// Seeds proc `p` as a pending gate at `(vt, seq)` for
+    /// [`bench_grant_scan`](Self::bench_grant_scan). Bench-only: bypasses
+    /// the runner accounting.
+    #[doc(hidden)]
+    pub fn bench_seed_gate(&self, p: usize, vt: Nanos, seq: u64) {
+        let mut st = self.state.lock();
+        st.procs[p] = PState::AtGate(vt, seq);
+    }
+}
+
+/// A per-processor handle on the shared scheduler, embedded in the engine's
+/// `ProcCtx` (absent in the default free-running mode, so the off path costs
+/// one `Option` discriminant test per hook, like the obs layer).
+#[derive(Clone)]
+pub struct DetHandle {
+    sched: Arc<DetScheduler>,
+    id: usize,
+}
+
+impl DetHandle {
+    /// Operation-entry checkpoint: park if the lookahead horizon has been
+    /// reached. The common case is a single atomic load.
+    #[inline]
+    pub fn checkpoint(&self, vt: Nanos) {
+        if self.sched.must_park(vt) {
+            self.sched.park(self.id, vt);
+        }
+    }
+
+    /// Start-of-run barrier: parks at vt 0 so the first window opens only
+    /// once every processor has checked in, and no more than `workers`
+    /// processors ever run concurrently.
+    pub fn start(&self) {
+        self.sched.park(self.id, 0);
+    }
+
+    /// Enters a gate at `vt`: blocks until every peer is parked and this
+    /// processor's `(vt, id, seq)` is the earliest pending gate.
+    pub fn gate_enter(&self, vt: Nanos) {
+        self.sched.gate_enter(self.id, vt);
+    }
+
+    /// Leaves the current gate at `vt` (clock may have advanced inside) and
+    /// blocks until readmitted to a window.
+    pub fn gate_exit(&self, vt: Nanos) {
+        self.sched.gate_exit(self.id, vt);
+    }
+
+    /// From inside a gate: block on `key` until re-granted after a peer's
+    /// `unblock_all(key)`.
+    pub fn gate_block(&self, vt: Nanos, key: WaitKey) {
+        self.sched.gate_block(self.id, vt, key);
+    }
+
+    /// From inside a gate: re-arm every processor blocked on `key`.
+    pub fn unblock_all(&self, key: WaitKey) {
+        self.sched.unblock_all(key);
+    }
+
+    /// Marks this processor finished.
+    pub fn finish(&self) {
+        self.sched.finish(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type ProcBody = Box<dyn FnOnce(&DetHandle) + Send>;
+
+    fn run_procs(sched: &Arc<DetScheduler>, bodies: Vec<ProcBody>) {
+        std::thread::scope(|s| {
+            for (id, body) in bodies.into_iter().enumerate() {
+                let h = sched.handle(id);
+                s.spawn(move || {
+                    h.start();
+                    body(&h);
+                    h.finish();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn windows_release_all_procs_regardless_of_worker_bound() {
+        for workers in [1, 2, 8] {
+            let sched = Arc::new(DetScheduler::new(4, workers, 100));
+            let bodies: Vec<ProcBody> = (0..4)
+                .map(|p| {
+                    Box::new(move |h: &DetHandle| {
+                        let mut vt = 0;
+                        for _ in 0..10 {
+                            vt += 30 + p as u64;
+                            h.checkpoint(vt);
+                        }
+                    }) as Box<dyn FnOnce(&DetHandle) + Send>
+                })
+                .collect();
+            run_procs(&sched, bodies);
+        }
+    }
+
+    #[test]
+    fn gates_serialize_in_vt_id_order() {
+        let sched = Arc::new(DetScheduler::new(3, 8, 1_000));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<ProcBody> = (0..3)
+            .map(|p| {
+                let log = Arc::clone(&log);
+                Box::new(move |h: &DetHandle| {
+                    // Proc p gates at vt 30-p: higher ids carry earlier vts,
+                    // so the grant order must be exactly reversed.
+                    let vt = 30 - p as u64;
+                    h.gate_enter(vt);
+                    log.lock().push(p);
+                    h.gate_exit(vt);
+                }) as Box<dyn FnOnce(&DetHandle) + Send>
+            })
+            .collect();
+        run_procs(&sched, bodies);
+        assert_eq!(*log.lock(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn blocked_procs_reacquire_in_vt_order() {
+        // A 1-slot "carrier" lock: procs 1 and 2 block until proc 0's gate
+        // releases it; proc 1 (earlier gate vt) must win the re-grant race,
+        // and proc 2 acquires only after proc 1 releases in turn.
+        let sched = Arc::new(DetScheduler::new(3, 8, 1_000));
+        let held = Arc::new(Mutex::new(true));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<ProcBody> = (0..3)
+            .map(|p| {
+                let held = Arc::clone(&held);
+                let log = Arc::clone(&log);
+                Box::new(move |h: &DetHandle| {
+                    if p == 0 {
+                        // Initial holder: release inside a later gate.
+                        h.gate_enter(50);
+                        *held.lock() = false;
+                        h.unblock_all(WaitKey::Lock(0));
+                        h.gate_exit(50);
+                        return;
+                    }
+                    let vt = 10 * p as u64; // proc 1 at 10, proc 2 at 20
+                    h.gate_enter(vt);
+                    loop {
+                        let mut s = held.lock();
+                        if !*s {
+                            *s = true;
+                            drop(s);
+                            log.lock().push(p);
+                            break;
+                        }
+                        drop(s);
+                        h.gate_block(vt, WaitKey::Lock(0));
+                    }
+                    h.gate_exit(vt);
+                    // Release in a second gate so the other waiter can run.
+                    h.gate_enter(vt + 5);
+                    *held.lock() = false;
+                    h.unblock_all(WaitKey::Lock(0));
+                    h.gate_exit(vt + 5);
+                }) as Box<dyn FnOnce(&DetHandle) + Send>
+            })
+            .collect();
+        run_procs(&sched, bodies);
+        assert_eq!(*log.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic scheduler deadlock")]
+    fn deadlock_panics_with_diagnostics() {
+        // Single proc, no scope: blocking on a flag nobody will ever set
+        // makes the coordinator's deadlock panic fire on this very thread.
+        let sched = Arc::new(DetScheduler::new(1, 1, 100));
+        let h = sched.handle(0);
+        h.start();
+        h.gate_enter(5);
+        h.gate_block(5, WaitKey::Flag(0));
+    }
+}

@@ -50,6 +50,7 @@ use cashmere_vmpage::{
 };
 
 use crate::config::{ClusterConfig, DirectoryMode};
+use crate::det::DetHandle;
 use crate::directory::{DirWord, Directory, HomeInfo, PermBits};
 use crate::mc_lock::McLock;
 use crate::recovery::{RecoveryStats, RecoverySummary};
@@ -99,6 +100,10 @@ pub struct ProcCtx {
     /// when observability is off, so the disabled cost is one discriminant
     /// test per hook and zero allocations.
     pub obs: Option<Box<ProcObs>>,
+    /// Deterministic parallel scheduler handle (DESIGN.md §15); `None` in
+    /// the sequential engine, so the disabled cost — like `obs` — is one
+    /// discriminant test per hook.
+    pub(crate) det: Option<DetHandle>,
 }
 
 impl ProcCtx {
@@ -130,6 +135,7 @@ impl ProcCtx {
             obs: cfg
                 .obs
                 .then(|| Box::new(ProcObs::new(pnode as u32, id.0 as u32, cfg.heap_pages))),
+            det: None,
         };
         ctx.set_poll_fraction(cfg.poll_fraction, cfg);
         ctx
@@ -150,6 +156,23 @@ impl ProcCtx {
         match &mut self.obs {
             Some(o) => o.end(kind, &self.clock),
             None => 0,
+        }
+    }
+
+    /// Attaches the deterministic-scheduler handle (set by
+    /// [`crate::Cluster::run`] before the processor body starts).
+    pub(crate) fn set_det(&mut self, handle: DetHandle) {
+        self.det = Some(handle);
+    }
+
+    /// Lookahead checkpoint (DESIGN.md §15): parks this processor if its
+    /// virtual time has reached the scheduler's horizon. Placed at the
+    /// entry of every data-access/compute operation; a no-op (one
+    /// discriminant test) in the sequential engine.
+    #[inline]
+    pub(crate) fn det_checkpoint(&self) {
+        if let Some(d) = &self.det {
+            d.checkpoint(self.clock.now());
         }
     }
 
@@ -579,6 +602,7 @@ impl Engine {
 
     /// Reads the 64-bit word at `addr`, faulting if necessary.
     pub fn read_word(&self, ctx: &mut ProcCtx, addr: Addr) -> u64 {
+        ctx.det_checkpoint();
         let page = addr / PAGE_WORDS;
         if self.pt(ctx).read_faults(page) {
             self.stats.read_faults.inc();
@@ -611,6 +635,7 @@ impl Engine {
     /// write-doubling protocols the store is also sent to the home copy
     /// in-line.
     pub fn write_word(&self, ctx: &mut ProcCtx, addr: Addr, val: u64) {
+        ctx.det_checkpoint();
         let page = addr / PAGE_WORDS;
         if ctx.frames[page].is_none() && !self.pt(ctx).write_faults(page) {
             self.refresh_frame_cache(ctx, page);
@@ -646,20 +671,27 @@ impl Engine {
             self.stats.write_faults.inc();
             self.fault_common(ctx, page, addr % PAGE_WORDS, /* write: */ true);
         }
-        self.charge_access(ctx);
         let off = addr % PAGE_WORDS;
-        let frame = ctx.frames[page].as_ref().expect("fault left no frame");
-        frame.store(off, val);
+        // Store before the access charge (the store itself is charge-free,
+        // so virtual time is unchanged): the in-write flag then clears
+        // before `charge_access`, whose bus settle is a lookahead barrier
+        // under the deterministic scheduler — a processor must never park
+        // with the flag raised (a gated shooter would spin on it forever).
+        ctx.frames[page]
+            .as_ref()
+            .expect("fault left no frame")
+            .store(off, val);
         if guarded {
             self.pnodes[ctx.pnode].procs[ctx.local]
                 .in_write
                 .store(false, Ordering::Release);
         }
+        self.charge_access(ctx);
         if self.cfg.protocol.write_through() {
             let master = self.master(page);
             // Home procs write the master directly (frame == master); only
             // remote copies need the doubled write.
-            if !Arc::ptr_eq(frame, master) {
+            if !Arc::ptr_eq(ctx.frames[page].as_ref().unwrap(), master) {
                 master.store(off, val);
                 ctx.clock.charge(
                     TimeCategory::WriteDoubling,
@@ -668,13 +700,7 @@ impl Engine {
                 ctx.pending_double += 8;
                 self.stats.data_bytes.add(8);
                 if ctx.pending_double >= 512 {
-                    // Settle the doubled bytes through the MC link in bulk
-                    // (the hardware's write buffer coalesces them; the
-                    // writes are posted, so the writer does not block).
-                    let _ = self
-                        .mc
-                        .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
-                    ctx.pending_double = 0;
+                    self.settle_double(ctx);
                 }
             }
         }
@@ -693,10 +719,43 @@ impl Engine {
         // batches to keep contention on the Resource realistic but cheap.
         ctx.pending_bus += ctx.bus_bytes;
         if ctx.pending_bus >= 4096 {
-            let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
-            ctx.pending_bus = 0;
-            let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
-            ctx.clock.wait_until(done);
+            self.settle_bus(ctx);
+        }
+    }
+
+    /// Settles the accumulated bus batch against the node's shared bus.
+    /// The bus `Resource` is shared mutable state whose grant times depend
+    /// on acquisition order, so under the deterministic scheduler the
+    /// settle is a lookahead barrier (DESIGN.md §15).
+    fn settle_bus(&self, ctx: &mut ProcCtx) {
+        let det = ctx.det.clone();
+        if let Some(d) = &det {
+            d.gate_enter(ctx.clock.now());
+        }
+        let busy = ctx.pending_bus * self.cfg.cost.node_bus_ns_per_byte;
+        ctx.pending_bus = 0;
+        let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
+        ctx.clock.wait_until(done);
+        if let Some(d) = &det {
+            d.gate_exit(ctx.clock.now());
+        }
+    }
+
+    /// Settles the accumulated write-doubling bytes through the node's MC
+    /// link in bulk (the hardware's write buffer coalesces them; the writes
+    /// are posted, so the writer does not block). Like [`Self::settle_bus`],
+    /// a lookahead barrier: link occupancy is order-sensitive shared state.
+    fn settle_double(&self, ctx: &mut ProcCtx) {
+        let det = ctx.det.clone();
+        if let Some(d) = &det {
+            d.gate_enter(ctx.clock.now());
+        }
+        let _ = self
+            .mc
+            .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
+        ctx.pending_double = 0;
+        if let Some(d) = &det {
+            d.gate_exit(ctx.clock.now());
         }
     }
 
@@ -737,10 +796,7 @@ impl Engine {
             }
             ctx.pending_bus += ctx.bus_bytes * k;
             if ctx.pending_bus >= 4096 {
-                let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
-                ctx.pending_bus = 0;
-                let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
-                ctx.clock.wait_until(done);
+                self.settle_bus(ctx);
             }
             n -= k;
         }
@@ -753,6 +809,7 @@ impl Engine {
     /// once present, is only ever revoked by this processor's *own*
     /// acquire — which cannot run mid-call.
     pub fn read_run(&self, ctx: &mut ProcCtx, addr: Addr, out: &mut [u64]) {
+        ctx.det_checkpoint();
         let total = out.len();
         let mut done = 0;
         while done < total {
@@ -784,6 +841,7 @@ impl Engine {
     /// the per-page charges go through [`Self::charge_doubled_stores`],
     /// which replays the scalar loop's charge/settle sequence exactly.
     pub fn write_run(&self, ctx: &mut ProcCtx, addr: Addr, vals: &[u64]) {
+        ctx.det_checkpoint();
         let write_through = self.cfg.protocol.write_through();
         let total = vals.len();
         let mut done = 0;
@@ -823,15 +881,21 @@ impl Engine {
                     true
                 }
             };
-            if doubled {
-                self.charge_doubled_stores(ctx, n as u64);
-            } else {
-                self.charge_accesses(ctx, n as u64);
-            }
+            // Clear the in-write flag before the charges: their settles are
+            // lookahead barriers under the deterministic scheduler, and a
+            // processor must never park with the flag raised (see
+            // `write_word`). The charges are pure clock additions plus
+            // settles that never read the flag, so virtual time is
+            // unchanged by the move.
             if guarded {
                 self.pnodes[ctx.pnode].procs[ctx.local]
                     .in_write
                     .store(false, Ordering::Release);
+            }
+            if doubled {
+                self.charge_doubled_stores(ctx, n as u64);
+            } else {
+                self.charge_accesses(ctx, n as u64);
             }
             done += n;
         }
@@ -874,20 +938,14 @@ impl Engine {
                 if k > 1 {
                     ctx.clock.charge(TimeCategory::WriteDoubling, wd * (k - 1));
                 }
-                let busy = ctx.pending_bus * c.node_bus_ns_per_byte;
-                ctx.pending_bus = 0;
-                let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
-                ctx.clock.wait_until(done);
+                self.settle_bus(ctx);
                 ctx.clock.charge(TimeCategory::WriteDoubling, wd);
             } else {
                 ctx.clock.charge(TimeCategory::WriteDoubling, wd * k);
             }
             ctx.pending_double += 8 * k;
             if ctx.pending_double >= 512 {
-                let _ = self
-                    .mc
-                    .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
-                ctx.pending_double = 0;
+                self.settle_double(ctx);
             }
             n -= k;
         }
@@ -895,6 +953,7 @@ impl Engine {
 
     /// Charges `ns` of application compute time (plus polling overhead).
     pub fn compute(&self, ctx: &mut ProcCtx, ns: Nanos) {
+        ctx.det_checkpoint();
         ctx.clock.charge(TimeCategory::User, ns);
         if self.cfg.cost.messaging == Messaging::Polling && ctx.poll_fraction > 0.0 {
             ctx.clock.charge(
@@ -1005,7 +1064,22 @@ impl Engine {
         self.fault_common(ctx, page, 0, /* write: */ true);
     }
 
+    /// Fault entry point: under the deterministic scheduler the whole
+    /// handler is one exclusive gate (DESIGN.md §15) — it reads and writes
+    /// the directory, node-page state, the notice board, node clocks, the
+    /// home lock, and the transport, all order-sensitive shared state.
     fn fault_common(&self, ctx: &mut ProcCtx, page: usize, word: usize, write: bool) {
+        match ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(ctx.clock.now());
+                self.fault_common_inner(ctx, page, word, write);
+                d.gate_exit(ctx.clock.now());
+            }
+            None => self.fault_common_inner(ctx, page, word, write),
+        }
+    }
+
+    fn fault_common_inner(&self, ctx: &mut ProcCtx, page: usize, word: usize, write: bool) {
         ctx.obs_begin(SpanKind::Fault, page as i64);
         if let Some(o) = &mut ctx.obs {
             if write {
@@ -1753,7 +1827,20 @@ impl Engine {
 
     /// Consistency actions before a release: flush every dirty, non-
     /// exclusive page to its home and send write notices to the sharers.
+    /// Under the deterministic scheduler the whole release is one
+    /// exclusive gate (DESIGN.md §15).
     pub fn release_actions(&self, ctx: &mut ProcCtx) {
+        match ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(ctx.clock.now());
+                self.release_actions_inner(ctx);
+                d.gate_exit(ctx.clock.now());
+            }
+            None => self.release_actions_inner(ctx),
+        }
+    }
+
+    fn release_actions_inner(&self, ctx: &mut ProcCtx) {
         ctx.obs_begin(SpanKind::Release, -1);
         let release_begin = self.node_now(ctx.pnode);
         // relaxed-ok: `last_release` is monotonic bookkeeping that no
@@ -1947,8 +2034,20 @@ impl Engine {
 
     /// Consistency actions after an acquire: distribute the node's global
     /// write notices, then invalidate the pages in this processor's list
-    /// whose updates predate their notices.
+    /// whose updates predate their notices. Under the deterministic
+    /// scheduler the whole acquire is one exclusive gate (DESIGN.md §15).
     pub fn acquire_actions(&self, ctx: &mut ProcCtx) {
+        match ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(ctx.clock.now());
+                self.acquire_actions_inner(ctx);
+                d.gate_exit(ctx.clock.now());
+            }
+            None => self.acquire_actions_inner(ctx),
+        }
+    }
+
+    fn acquire_actions_inner(&self, ctx: &mut ProcCtx) {
         ctx.obs_begin(SpanKind::Acquire, -1);
         // Distribute the global bins to affected local processors. The
         // drain + distribute is serialized per node so a sibling's acquire
@@ -2118,19 +2217,14 @@ impl Engine {
     }
 
     /// Flushes a processor's residual accounting (bus/doubling batches) at
-    /// the end of its run.
+    /// the end of its run. Each settle self-gates under the deterministic
+    /// scheduler (see [`Self::settle_bus`] / [`Self::settle_double`]).
     pub fn settle(&self, ctx: &mut ProcCtx) {
         if ctx.pending_bus > 0 {
-            let busy = ctx.pending_bus * self.cfg.cost.node_bus_ns_per_byte;
-            ctx.pending_bus = 0;
-            let done = self.buses[ctx.phys].acquire(ctx.clock.now(), busy);
-            ctx.clock.wait_until(done);
+            self.settle_bus(ctx);
         }
         if ctx.pending_double > 0 {
-            let _ = self
-                .mc
-                .charge_link(ctx.pnode, ctx.pending_double, ctx.clock.now());
-            ctx.pending_double = 0;
+            self.settle_double(ctx);
         }
     }
 

@@ -29,6 +29,7 @@
 //! `examples/` directory.
 
 pub mod config;
+pub mod det;
 pub mod directory;
 pub mod engine;
 pub mod mc_lock;

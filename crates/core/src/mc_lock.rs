@@ -16,6 +16,15 @@
 //! exclusion and the loop-back machinery. (Bulk application locking goes
 //! through the [`crate::sync::CarrierLock`] carrier, which blocks instead of
 //! spinning; the cost model is identical.)
+//!
+//! Under the deterministic parallel engine (DESIGN.md §15) this lock is
+//! only ever reached from home-node resolution inside the page-fault
+//! lookahead barrier, whose holder is the sole running processor — so
+//! acquires are uncontended by construction and the set-then-check loop
+//! succeeds on its first attempt. The simulated *cost* (the paper's 11 µs
+//! pair) is charged the same either way; contention remains exercised by
+//! the sequential engine, the OS-thread stress tests, and the `model_*`
+//! explorer scenarios.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use cashmere_memchan::TransportConfig;
 use cashmere_model::{thread, ModelAtomicBool, ModelAtomicU64};
-use cashmere_sim::Nanos;
+use cashmere_sim::{HorizonClock, Nanos};
 use cashmere_transport::build_transport;
 
 use crate::config::DirectoryMode;
@@ -328,6 +328,65 @@ pub fn sparse_directory_read_vs_update(words: u16, max_reads: usize, mutant: boo
             "reader must settle on the final published claim"
         );
     }
+}
+
+/// The deterministic scheduler's parked-processor wakeup (DESIGN.md §15):
+/// a waiter sleeps on the lookahead horizon while the coordinator advances
+/// it past the waiter's virtual time. The seqlock protocol — horizon store
+/// first, epoch bump second — guarantees the waiter either re-reads the new
+/// horizon before sleeping or captured a pre-bump epoch that the bump
+/// wakes. With `mutant`, the advancer bumps the epoch *before* publishing
+/// the horizon, and the explorer must find the schedule where the waiter
+/// captures the post-bump epoch against the stale horizon and sleeps on an
+/// epoch that will never change — detected by the `done` flag the main
+/// thread raises once the advancer has provably finished (so a stuck sleep
+/// can no longer be woken by any future advance).
+pub fn lookahead_wakeup(mutant: bool) {
+    let hc = Arc::new(HorizonClock::new(100));
+    let done = Arc::new(ModelAtomicBool::new(false));
+    let waiter = {
+        let hc = Arc::clone(&hc);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            // The sleep closure blocks until the epoch moves off `seen`,
+            // exactly like the scheduler's condvar wait (which is banned
+            // under exploration) — a yielding spin the explorer can
+            // preempt. Once `done` is up no advance is coming, so an
+            // unchanged epoch at that point is a lost wakeup, not a race
+            // still in flight. `done` is read *before* the epoch so the
+            // pair cannot straddle an advance: an epoch still at `seen`
+            // after `done` was observed up is conclusive.
+            hc.wait_past(50, |seen| loop {
+                thread::yield_now();
+                let finished = done.load(Ordering::Acquire);
+                if hc.sleep_epoch() != seen {
+                    return;
+                }
+                if finished {
+                    panic!(
+                        "lost wakeup: advance finished but the captured sleep epoch never changed"
+                    );
+                }
+            });
+        })
+    };
+    let advancer = {
+        let hc = Arc::clone(&hc);
+        thread::spawn(move || {
+            if mutant {
+                hc.advance_past_mutant_wake_first(50);
+            } else {
+                hc.advance_past(50);
+            }
+        })
+    };
+    advancer.join();
+    done.store(true, Ordering::Release);
+    waiter.join();
+    assert!(
+        hc.end() > 50,
+        "the horizon must have opened past the waiter"
+    );
 }
 
 /// Mutual exclusion through the Memory Channel lock: `nodes` threads (one

@@ -29,9 +29,10 @@ use cashmere_sim::{Nanos, ProcClock, ProcId, TimeCategory};
 use cashmere_vmpage::PAGE_WORDS;
 
 use crate::config::ClusterConfig;
+use crate::det::{DetScheduler, WaitKey};
 use crate::engine::{Engine, ProcCtx};
 use crate::report::Report;
-use crate::sync::{CarrierBarrier, CarrierFlag, CarrierLock};
+use crate::sync::{BarrierArrival, CarrierBarrier, CarrierFlag, CarrierLock};
 use crate::trace::{ProtocolEvent, TraceEvent};
 use crate::Addr;
 
@@ -141,7 +142,23 @@ impl Cluster {
     /// Runs `f` on every simulated processor (one OS thread each) and
     /// returns the run's [`Report`]. Each processor gets an implicit final
     /// release so all its modifications reach the home copies.
+    ///
+    /// With [`ClusterConfig::with_det_parallel`] (or the
+    /// `CASHMERE_PROC_WORKERS` environment opt-in), the processors advance
+    /// under the deterministic parallel scheduler (DESIGN.md §15): at most
+    /// that many host workers run concurrently, and the returned `Report`
+    /// is byte-identical at every worker count.
     pub fn run<F>(&self, f: F) -> Report
+    where
+        F: Fn(&mut Proc) + Sync,
+    {
+        match self.config().det_workers.or_else(det_workers_from_env) {
+            Some(workers) => self.run_det(&f, workers),
+            None => self.run_seq(&f),
+        }
+    }
+
+    fn run_seq<F>(&self, f: &F) -> Report
     where
         F: Fn(&mut Proc) + Sync,
     {
@@ -151,7 +168,6 @@ impl Cluster {
                 .map(|p| {
                     let engine = Arc::clone(&self.engine);
                     let pools = Arc::clone(&self.pools);
-                    let f = &f;
                     s.spawn(move || {
                         let mut proc = Proc::new(engine, pools, ProcId(p));
                         f(&mut proc);
@@ -164,6 +180,48 @@ impl Cluster {
                 .map(|h| h.join().expect("simulated processor panicked"))
                 .collect()
         });
+        self.collect_report(&results)
+    }
+
+    /// Deterministic parallel run (DESIGN.md §15): one OS thread per
+    /// processor as in [`Self::run_seq`], but gated by a [`DetScheduler`]
+    /// that bounds concurrency to `workers` and serializes every
+    /// protocol/sync boundary in (virtual time, processor id) order.
+    fn run_det<F>(&self, f: &F, workers: usize) -> Report
+    where
+        F: Fn(&mut Proc) + Sync,
+    {
+        let n = self.config().topology.total_procs();
+        let sched = Arc::new(DetScheduler::new(n, workers, self.config().det_quantum_ns));
+        let results: Vec<(ProcClock, Option<Box<ProcObs>>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|p| {
+                    let engine = Arc::clone(&self.engine);
+                    let pools = Arc::clone(&self.pools);
+                    let h = sched.handle(p);
+                    s.spawn(move || {
+                        let mut proc = Proc::new(engine, pools, ProcId(p));
+                        proc.ctx.set_det(h.clone());
+                        // Start barrier: no processor computes until every
+                        // context exists, so window 0 opens identically at
+                        // any worker count.
+                        h.start();
+                        f(&mut proc);
+                        let out = proc.finish();
+                        h.finish();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulated processor panicked"))
+                .collect()
+        });
+        self.collect_report(&results)
+    }
+
+    fn collect_report(&self, results: &[(ProcClock, Option<Box<ProcObs>>)]) -> Report {
         let clocks: Vec<ProcClock> = results.iter().map(|(c, _)| c.clone()).collect();
         let mut report = Report::build(self.engine.config(), &self.engine.stats, &clocks)
             .with_recovery(self.engine.recovery_summary());
@@ -179,6 +237,16 @@ impl Cluster {
         }
         report
     }
+}
+
+/// `CASHMERE_PROC_WORKERS` opt-in: a positive integer enables the
+/// deterministic parallel engine at that worker count for clusters whose
+/// config did not choose explicitly.
+fn det_workers_from_env() -> Option<usize> {
+    std::env::var("CASHMERE_PROC_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
 }
 
 /// A simulated processor's handle: shared-memory accesses, synchronization,
@@ -295,7 +363,25 @@ impl Proc {
     pub fn lock(&mut self, l: usize) {
         self.ctx.obs_begin(SpanKind::Lock, l as i64);
         self.engine.stats.lock_acquires.inc();
-        let vt = self.pools.locks[l].acquire_for(self.ctx.clock.now(), self.lock_cost());
+        let cost = self.lock_cost();
+        let vt = match self.ctx.det.clone() {
+            Some(d) => {
+                // Deterministic grant (DESIGN.md §15): the acquire is a
+                // gate; contenders park in the scheduler and are re-granted
+                // in (virtual time, processor id) order at each release.
+                d.gate_enter(self.ctx.clock.now());
+                loop {
+                    match self.pools.locks[l].try_acquire_for(self.ctx.clock.now(), cost) {
+                        Some(vt) => {
+                            d.gate_exit(self.ctx.clock.now());
+                            break vt;
+                        }
+                        None => d.gate_block(self.ctx.clock.now(), WaitKey::Lock(l)),
+                    }
+                }
+            }
+            None => self.pools.locks[l].acquire_for(self.ctx.clock.now(), cost),
+        };
         self.ctx.clock.wait_until(vt);
         // Consumer: emitted after the carrier grant, so it is sequenced
         // after the previous holder's LockRelease.
@@ -319,7 +405,15 @@ impl Proc {
             pnode: self.ctx.pnode,
             lock: l,
         });
-        self.pools.locks[l].release(self.ctx.clock.now());
+        match self.ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(self.ctx.clock.now());
+                self.pools.locks[l].release(self.ctx.clock.now());
+                d.unblock_all(WaitKey::Lock(l));
+                d.gate_exit(self.ctx.clock.now());
+            }
+            None => self.pools.locks[l].release(self.ctx.clock.now()),
+        }
     }
 
     /// Crosses application barrier `b` (all processors participate): a
@@ -338,7 +432,31 @@ impl Proc {
             barrier: b,
         });
         let cost = self.barrier_cost();
-        let crossing = self.pools.barriers[b].wait(self.nprocs(), self.ctx.clock.now(), cost);
+        let n = self.nprocs();
+        let crossing = match self.ctx.det.clone() {
+            Some(d) => {
+                // Deterministic rendezvous (DESIGN.md §15): arrivals are
+                // gates ordered by (virtual time, processor id); early
+                // arrivers park in the scheduler until the last arrival
+                // completes the episode and unblocks them.
+                d.gate_enter(self.ctx.clock.now());
+                match self.pools.barriers[b].arrive(n, self.ctx.clock.now(), cost) {
+                    BarrierArrival::Complete(c) => {
+                        d.unblock_all(WaitKey::Barrier(b));
+                        d.gate_exit(self.ctx.clock.now());
+                        c
+                    }
+                    BarrierArrival::Waiting(epoch) => loop {
+                        d.gate_block(self.ctx.clock.now(), WaitKey::Barrier(b));
+                        if let Some(c) = self.pools.barriers[b].poll(epoch) {
+                            d.gate_exit(self.ctx.clock.now());
+                            break c;
+                        }
+                    },
+                }
+            }
+            None => self.pools.barriers[b].wait(n, self.ctx.clock.now(), cost),
+        };
         if crossing.was_last {
             self.engine.stats.barriers.inc();
         }
@@ -380,14 +498,36 @@ impl Proc {
             pnode: self.ctx.pnode,
             flag: fl,
         });
-        self.pools.flags[fl].set(self.ctx.clock.now());
+        match self.ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(self.ctx.clock.now());
+                self.pools.flags[fl].set(self.ctx.clock.now());
+                d.unblock_all(WaitKey::Flag(fl));
+                d.gate_exit(self.ctx.clock.now());
+            }
+            None => self.pools.flags[fl].set(self.ctx.clock.now()),
+        }
     }
 
     /// Waits for application flag `fl` (acquire semantics).
     pub fn flag_wait(&mut self, fl: usize) {
         self.ctx.obs_begin(SpanKind::Flag, fl as i64);
         self.engine.stats.lock_acquires.inc();
-        let vt = self.pools.flags[fl].wait(self.ctx.clock.now());
+        let vt = match self.ctx.det.clone() {
+            Some(d) => {
+                d.gate_enter(self.ctx.clock.now());
+                loop {
+                    match self.pools.flags[fl].try_wait(self.ctx.clock.now()) {
+                        Some(vt) => {
+                            d.gate_exit(self.ctx.clock.now());
+                            break vt;
+                        }
+                        None => d.gate_block(self.ctx.clock.now(), WaitKey::Flag(fl)),
+                    }
+                }
+            }
+            None => self.pools.flags[fl].wait(self.ctx.clock.now()),
+        };
         // Consumer: emitted after the wait observed the set.
         self.trace(|| ProtocolEvent::FlagWait {
             proc: self.ctx.id.0,
@@ -402,12 +542,29 @@ impl Proc {
         self.ctx.obs_end(SpanKind::Flag);
     }
 
-    /// Non-blocking flag check (no consistency actions).
+    /// Non-blocking flag check (no consistency actions). Under the
+    /// deterministic scheduler this is a lookahead checkpoint: flag sets
+    /// land at exclusive gates, so the value read here is a pure function
+    /// of the caller's window — identical at every worker count. (Callers
+    /// polling in a loop must charge time between polls, as any real
+    /// program would; a zero-cost spin never reaches the horizon.)
     pub fn flag_is_set(&self, fl: usize) -> bool {
+        self.ctx.det_checkpoint();
         self.pools.flags[fl].is_set()
     }
 
     // --- Accounting knobs ---------------------------------------------
+
+    /// Records one request's sojourn (arrival-to-completion) latency into
+    /// the observability histograms (`Report::obs`, `sojourn_ns`). Used by
+    /// the trace-driven service applications (DESIGN.md §13); a no-op when
+    /// observability is off — like every obs hook it never charges the
+    /// clock, so recording cannot perturb virtual time.
+    pub fn record_sojourn(&mut self, ns: Nanos) {
+        if let Some(o) = &mut self.ctx.obs {
+            o.metrics.sojourn_ns.record(ns);
+        }
+    }
 
     /// Overrides the polling-overhead fraction for this processor (the
     /// paper's per-application 0–36%).

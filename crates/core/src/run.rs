@@ -56,6 +56,10 @@ pub struct RunSpec {
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Timeout/backoff policy for lost-request recovery.
     pub recovery: RecoveryPolicy,
+    /// Deterministic parallel execution (DESIGN.md §15): run the simulated
+    /// processors on this many host workers. `None` keeps the sequential
+    /// engine (unless `CASHMERE_PROC_WORKERS` opts in at run time).
+    pub det_workers: Option<usize>,
 }
 
 impl RunSpec {
@@ -77,6 +81,7 @@ impl RunSpec {
             obs: false,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            det_workers: None,
         }
     }
 
@@ -160,6 +165,16 @@ impl RunSpec {
         self
     }
 
+    /// Builder-style deterministic parallelism: run the simulated
+    /// processors on `workers` host threads (clamped to at least 1). The
+    /// [`Report`] is byte-identical at any worker count — see
+    /// [`ClusterConfig::with_det_parallel`].
+    #[must_use]
+    pub fn with_det_parallel(mut self, workers: usize) -> Self {
+        self.det_workers = Some(workers.max(1));
+        self
+    }
+
     /// Materializes the [`ClusterConfig`], letting `tweak` (typically an
     /// application's `configure`) adjust the base config *before* the
     /// spec's overriding toggles (directory, messaging, instrumentation,
@@ -186,6 +201,9 @@ impl RunSpec {
         cfg.obs = self.obs;
         cfg.fault_plan = self.fault_plan.clone();
         cfg.recovery = self.recovery;
+        if let Some(workers) = self.det_workers {
+            cfg = cfg.with_det_parallel(workers);
+        }
         cfg
     }
 

@@ -77,6 +77,22 @@ impl CarrierLock {
         self.acquire_for(arrive_vt, 1)
     }
 
+    /// Non-blocking [`Self::acquire_for`]: takes the lock and returns the
+    /// completion time if it is free, or `None` without blocking. Used by
+    /// the deterministic scheduler's lock gate (DESIGN.md §15), where
+    /// blocking in real time would stall a host worker — contenders park in
+    /// the scheduler instead and retry when the holder's release unblocks
+    /// them.
+    pub fn try_acquire_for(&self, arrive_vt: Nanos, hold: Nanos) -> Option<Nanos> {
+        let mut g = self.inner.lock();
+        if g.held {
+            return None;
+        }
+        g.held = true;
+        drop(g);
+        Some(self.slots.acquire(arrive_vt, hold.max(1)))
+    }
+
     /// Releases the lock.
     ///
     /// # Panics
@@ -109,6 +125,15 @@ struct BarrierInner {
     max_vt: Nanos,
     epoch: u64,
     departure_vt: Nanos,
+}
+
+/// Result of a non-blocking barrier arrival ([`CarrierBarrier::arrive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierArrival {
+    /// This arrival completed the rendezvous; every participant departs.
+    Complete(BarrierCrossing),
+    /// Others are still missing; poll with the returned epoch.
+    Waiting(u64),
 }
 
 /// Result of a barrier crossing.
@@ -165,6 +190,45 @@ impl CarrierBarrier {
             }
         }
     }
+
+    /// Non-blocking [`Self::wait`]: registers the arrival and either
+    /// completes the rendezvous (this caller was the last participant) or
+    /// returns the epoch to [`poll`](Self::poll) once the completion has
+    /// been signalled. Used by the deterministic scheduler's barrier gate
+    /// (DESIGN.md §15): early arrivers park in the scheduler instead of on
+    /// the condvar.
+    pub fn arrive(&self, participants: usize, arrive_vt: Nanos, cost: Nanos) -> BarrierArrival {
+        assert!(participants > 0);
+        let mut g = self.inner.lock();
+        g.max_vt = g.max_vt.max(arrive_vt);
+        g.arrived += 1;
+        if g.arrived == participants {
+            let departure = g.max_vt + cost;
+            g.departure_vt = departure;
+            g.arrived = 0;
+            g.max_vt = 0;
+            g.epoch += 1;
+            let epoch = g.epoch;
+            BarrierArrival::Complete(BarrierCrossing {
+                departure_vt: departure,
+                was_last: true,
+                epoch,
+            })
+        } else {
+            BarrierArrival::Waiting(g.epoch)
+        }
+    }
+
+    /// Checks whether the episode a [`Self::arrive`] joined at `epoch` has
+    /// completed; returns the crossing if so.
+    pub fn poll(&self, epoch: u64) -> Option<BarrierCrossing> {
+        let g = self.inner.lock();
+        (g.epoch != epoch).then_some(BarrierCrossing {
+            departure_vt: g.departure_vt,
+            was_last: false,
+            epoch: epoch + 1,
+        })
+    }
 }
 
 impl Default for CarrierBarrier {
@@ -212,6 +276,15 @@ impl CarrierFlag {
             self.cv.wait(&mut g);
         }
         arrive_vt.max(g.set_vt)
+    }
+
+    /// Non-blocking [`Self::wait`]: returns the completion time if the flag
+    /// is set, `None` otherwise. Used by the deterministic scheduler's flag
+    /// gate (DESIGN.md §15); waiters park in the scheduler and retry when
+    /// the setter unblocks them.
+    pub fn try_wait(&self, arrive_vt: Nanos) -> Option<Nanos> {
+        let g = self.inner.lock();
+        g.set.then_some(arrive_vt.max(g.set_vt))
     }
 
     /// Non-blocking check.

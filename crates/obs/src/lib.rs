@@ -130,6 +130,7 @@ impl ObsReport {
             ("fetch_rtt", &self.metrics.fetch_rtt),
             ("break_rtt", &self.metrics.break_rtt),
             ("fault_ns", &self.metrics.fault_ns),
+            ("sojourn_ns", &self.metrics.sojourn_ns),
         ];
         for (i, (name, h)) in hists.into_iter().enumerate() {
             if i > 0 {
@@ -206,8 +207,11 @@ impl ObsReport {
                 ("fetch_rtt", &mut r.metrics.fetch_rtt),
                 ("break_rtt", &mut r.metrics.break_rtt),
                 ("fault_ns", &mut r.metrics.fault_ns),
+                ("sojourn_ns", &mut r.metrics.sojourn_ns),
             ] {
-                let hv = h.get(name).ok_or_else(|| format!("missing hist {name}"))?;
+                // Absent histograms (reports written by older builds) stay
+                // empty rather than failing the parse.
+                let Some(hv) = h.get(name) else { continue };
                 slot.count = u64_field(hv, "count")?;
                 slot.sum = u64_field(hv, "sum")?;
                 slot.max = u64_field(hv, "max")?;

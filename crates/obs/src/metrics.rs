@@ -81,6 +81,27 @@ impl VtHistogram {
         }
     }
 
+    /// Approximate quantile `q` (in `0.0..=1.0`) from the log2 bins: the
+    /// inclusive lower edge of the bin holding the sample of that rank,
+    /// clamped to the exact [`max`](Self::max). Returns 0 when empty. With
+    /// log2 bins the estimate is within 2× of the true value, which is the
+    /// resolution the latency tables report anyway.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bin_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Self) {
         for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
@@ -128,6 +149,10 @@ pub struct MetricsRegistry {
     pub break_rtt: VtHistogram,
     /// End-to-end page-fault service latency.
     pub fault_ns: VtHistogram,
+    /// Per-request sojourn (arrival-to-completion) latency, recorded by the
+    /// trace-driven service applications (DESIGN.md §13) via
+    /// `Proc::record_sojourn`. Empty for the scientific suite.
+    pub sojourn_ns: VtHistogram,
 }
 
 impl MetricsRegistry {
@@ -147,6 +172,7 @@ impl MetricsRegistry {
         self.fetch_rtt.merge(&other.fetch_rtt);
         self.break_rtt.merge(&other.break_rtt);
         self.fault_ns.merge(&other.fault_ns);
+        self.sojourn_ns.merge(&other.sojourn_ns);
     }
 
     /// Labelled snapshot of every scalar counter, for reports and JSON.
@@ -275,6 +301,27 @@ mod tests {
         assert_eq!(b.sum, 1010);
         assert_eq!(b.max, 1000);
         assert!((b.mean() - 1010.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_track_log2_bins() {
+        let empty = VtHistogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        let mut h = VtHistogram::default();
+        for _ in 0..90 {
+            h.record(100); // bin floor 64
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bin floor 8192
+        }
+        assert_eq!(h.quantile(0.50), 64);
+        assert_eq!(h.quantile(0.90), 64);
+        assert_eq!(h.quantile(0.95), 8192);
+        assert_eq!(h.quantile(1.0), 8192);
+        // A lone sample reports its bin's lower edge.
+        let mut one = VtHistogram::default();
+        one.record(5);
+        assert_eq!(one.quantile(0.99), 4);
     }
 
     #[test]

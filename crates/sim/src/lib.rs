@@ -17,17 +17,21 @@
 //!   the per-node Memory Channel PCI link and the per-node memory bus (these
 //!   produce the paper's contention effects: LU's one-level clustering
 //!   collapse and SOR/Gauss's negative clustering),
-//! * [`Stats`] — the aggregate counters of Table 3.
+//! * [`Stats`] — the aggregate counters of Table 3,
+//! * [`HorizonClock`] — the shared lookahead horizon the deterministic
+//!   parallel scheduler (DESIGN.md §15) advances window by window.
 //!
 //! Nothing in this crate knows about coherence; it is the "hardware".
 
 pub mod cost;
+pub mod lookahead;
 pub mod resource;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
 pub use cost::{Backend, CostModel, FetchShape, Messaging};
+pub use lookahead::HorizonClock;
 pub use resource::Resource;
 pub use stats::{Counter, Stats, TimeBreakdown, TimeCategory};
 pub use time::{Nanos, ProcClock};

@@ -36,6 +36,13 @@
 #            and the deterministic per-update fan-out gates. CASHMERE_JOBS
 #            bounds cell-level parallelism; the full 64x16 ladder is
 #            scripts/scaling.sh with no arguments
+#   detpar — opt-in (CHECK_DETPAR=1): the deterministic-parallelism gate
+#            (scripts/detpar.sh): sequential-golden byte-identity through
+#            the refactored engine, SOR x four protocols at host worker
+#            counts {1,2,8} with byte-identical reports required, the
+#            CASHMERE_PROC_WORKERS env opt-in vs builder-path identity,
+#            and the recorded multi-worker wallclock ratio; writes
+#            BENCH_detpar.json
 #   xbackend — opt-in (CHECK_XBACKEND=1): the cross-backend transport gate
 #            (scripts/xbackend.sh): Memory-Channel golden byte-identity
 #            through the Transport trait, deterministic replay fingerprints
@@ -96,6 +103,10 @@ fi
 
 if [[ "${CHECK_SCALING:-0}" == "1" ]]; then
     scripts/scaling.sh --ci
+fi
+
+if [[ "${CHECK_DETPAR:-0}" == "1" ]]; then
+    scripts/detpar.sh
 fi
 
 if [[ "${CHECK_XBACKEND:-0}" == "1" ]]; then

@@ -35,6 +35,7 @@ crates/faults/src/lib.rs
 crates/obs/src/metrics.rs
 crates/sim/src/stats.rs
 crates/vmpage/src/lib.rs
+crates/workload/tests/alloc_free.rs
 "
 
 relaxed_files="$(grep -rl --include='*.rs' 'Ordering::Relaxed' crates | sort || true)"
